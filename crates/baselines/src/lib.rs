@@ -1,0 +1,32 @@
+//! # sns-baselines
+//!
+//! Conventional online CPD baselines, updated **once per period** on the
+//! discrete sliding window — the comparison targets of the paper's
+//! evaluation (Section VI): batch ALS, OnlineSCP, CP-stream, and NeCPD(n).
+//!
+//! All four were originally designed for growing tensors; the paper
+//! "modified the baselines, which are for decomposing the entire tensor,
+//! to decompose the tensor window", and we adapt each the same way (see
+//! the per-module docs for the exact windowing rules). What matters for
+//! the reproduction is preserved exactly:
+//!
+//! - update **cadence**: once per period `T`, never in between, so any
+//!   event waits up to `T` before it influences the factors;
+//! - per-update **cost scale**: ALS and OnlineSCP sweep window non-zeros,
+//!   CP-stream and NeCPD touch only the new slice;
+//! - output form: a windowed Kruskal factorization whose fitness is
+//!   measured on the same tensor window as SliceNStitch's.
+
+pub mod als_periodic;
+pub mod cpstream;
+pub mod engine;
+pub mod necpd;
+pub mod onlinescp;
+pub mod periodic;
+
+pub use als_periodic::AlsPeriodic;
+pub use cpstream::CpStream;
+pub use engine::BaselineEngine;
+pub use necpd::NeCpd;
+pub use onlinescp::OnlineScp;
+pub use periodic::PeriodicCpd;

@@ -1,0 +1,75 @@
+//! Per-event update latency of every SliceNStitch variant — the
+//! microbenchmark behind Fig. 5a's continuous rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sns_bench::runner::{split_prefill, ExperimentParams};
+use sns_core::als::{als, AlsOptions};
+use sns_core::config::{AlgorithmKind, SnsConfig};
+use sns_core::update::{ContinuousUpdater, Updater};
+use sns_data::{generate, nytaxi_like};
+use sns_stream::ContinuousWindow;
+
+fn bench_updates(c: &mut Criterion) {
+    let spec = nytaxi_like();
+    let stream = generate(&spec.generator(20_000, 42));
+    let params = ExperimentParams::from_spec(&spec);
+    let (prefill, measured) = split_prefill(&params, &stream);
+
+    let mut group = c.benchmark_group("update_latency");
+    group.sample_size(10);
+    for kind in [
+        AlgorithmKind::Vec,
+        AlgorithmKind::Rnd,
+        AlgorithmKind::PlusVec,
+        AlgorithmKind::PlusRnd,
+    ] {
+        group.bench_function(BenchmarkId::new("per_event", kind.name()), |b| {
+            b.iter_custom(|iters| {
+                // Fresh engine; warm-started per measurement.
+                let config = SnsConfig {
+                    rank: params.rank,
+                    theta: params.theta,
+                    eta: params.eta,
+                    ..Default::default()
+                };
+                let mut dims = params.base_dims.clone();
+                dims.push(params.window);
+                let mut window =
+                    ContinuousWindow::new(&params.base_dims, params.window, params.period);
+                let mut updater = Updater::new(kind, &dims, &config);
+                let mut buf = Vec::new();
+                for tu in prefill {
+                    buf.clear();
+                    window.ingest(*tu, &mut buf).unwrap();
+                }
+                let warm = als(
+                    window.tensor(),
+                    params.rank,
+                    &AlsOptions { max_iters: 10, tol: 1e-3, ..Default::default() },
+                );
+                updater.install(warm.kruskal, warm.grams);
+                // Timed region: apply up to `iters` events (the stream is
+                // long enough for Criterion's sample sizes; if it runs
+                // out, the shorter measurement is still valid).
+                let mut applied = 0u64;
+                let start = std::time::Instant::now();
+                'outer: for tu in measured {
+                    buf.clear();
+                    window.ingest(*tu, &mut buf).ok();
+                    for d in &buf {
+                        updater.apply(window.tensor(), d);
+                        applied += 1;
+                        if applied >= iters {
+                            break 'outer;
+                        }
+                    }
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs every table/figure harness in paper order; the output of this
+//! binary is what `EXPERIMENTS.md` records.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = sns_bench::parse_scale(&args);
+    println!("SliceNStitch reproduction — full experiment sweep (scale = {scale})");
+    print!("{}", sns_bench::experiments::run_all(scale));
+}

@@ -1,0 +1,7 @@
+//! Harness binary for the paper's table3 (see sns_bench::experiments::table3).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = sns_bench::parse_scale(&args);
+    print!("{}", sns_bench::experiments::table3::run(scale));
+}

@@ -1,0 +1,53 @@
+//! Figure 8 — effect of the clipping bound η on SNS+_VEC / SNS+_RND.
+//!
+//! η sweeps 32 … 16000 (log-spaced). The paper finds fitness insensitive
+//! to η "as long as η is small enough" (Obs. 7) — clipping only needs to
+//! prevent runaway magnitudes, not to act as a tight regularizer.
+
+use crate::method::Method;
+use crate::report::{banner, f, observation, Table};
+use crate::runner::{run_method, ExperimentParams, RunConfig};
+use sns_core::config::AlgorithmKind;
+use sns_data::{generate, chicago_crime_like, nytaxi_like};
+
+/// Renders Fig. 8.
+pub fn run(scale: f64) -> String {
+    let specs = [nytaxi_like(), chicago_crime_like()];
+    let etas = [32.0, 100.0, 320.0, 1000.0, 3200.0, 16000.0];
+    let mut out = banner("Fig 8 — effect of eta on SNS+_VEC and SNS+_RND");
+    let mut insensitive = true;
+    for spec in specs {
+        let events = ((spec.default_events as f64 * scale * 0.4) as usize).max(1_200);
+        let stream = generate(&spec.generator(events, 0xf188));
+        out.push_str(&format!("\n--- {} ---\n", spec.name));
+        let mut t = Table::new(&["Method", "eta", "avg rel fitness"]);
+        for kind in [AlgorithmKind::PlusVec, AlgorithmKind::PlusRnd] {
+            let mut fits = Vec::new();
+            for &eta in &etas {
+                let mut params = ExperimentParams::from_spec(&spec);
+                params.eta = eta;
+                let cfg = RunConfig { checkpoints: 4, ..Default::default() };
+                let r = run_method(&params, &stream, Method::Sns(kind), &cfg);
+                t.row(vec![kind.name().to_string(), format!("{eta:.0}"), f(r.avg_relative_fitness)]);
+                fits.push(r.avg_relative_fitness);
+            }
+            // "Insensitive as long as small enough": the spread across the
+            // small-η half of the sweep should be tight.
+            let small: Vec<f64> = fits[..3].to_vec();
+            let max = small.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = small.iter().cloned().fold(f64::INFINITY, f64::min);
+            if max - min > 0.25 {
+                insensitive = false;
+            }
+        }
+        out.push_str(&t.render());
+    }
+    out.push('\n');
+    out.push_str(&observation(
+        "7",
+        "fitness is insensitive to eta in the small-eta regime",
+        insensitive,
+    ));
+    out.push('\n');
+    out
+}

@@ -1,0 +1,34 @@
+//! Table III — default hyperparameter settings.
+
+use crate::report::{banner, Table};
+use sns_data::all_datasets;
+
+/// Renders Table III (scale has no effect; kept for interface symmetry).
+pub fn run(_scale: f64) -> String {
+    let mut out = banner("Table III — default hyperparameters (paper values)");
+    let mut t = Table::new(&["Name", "R", "W", "T (period)", "theta", "eta"]);
+    for d in all_datasets() {
+        t.row(vec![
+            d.name.to_string(),
+            d.rank.to_string(),
+            d.window.to_string(),
+            format!("{} {}", d.period, d.tick_unit),
+            d.theta.to_string(),
+            format!("{:.0}", d.eta),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_paper_defaults() {
+        let s = super::run(1.0);
+        assert!(s.contains("3600 seconds"));
+        assert!(s.contains("720 hours"));
+        // Ride Austin's θ = 50 is the only deviation from 20.
+        assert!(s.contains("50"));
+    }
+}

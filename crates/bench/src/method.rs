@@ -1,0 +1,74 @@
+//! Unified method selector: the five SliceNStitch variants plus the four
+//! conventional baselines.
+
+use sns_core::config::AlgorithmKind;
+
+/// A method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// One of the SliceNStitch per-event updaters.
+    Sns(AlgorithmKind),
+    /// Periodic warm-started batch ALS with the given sweep count.
+    AlsPeriodic(usize),
+    /// Windowed OnlineSCP.
+    OnlineScp,
+    /// Windowed CP-stream.
+    CpStream,
+    /// Windowed NeCPD(n).
+    NeCpd(usize),
+}
+
+impl Method {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Sns(k) => k.name().to_string(),
+            Method::AlsPeriodic(n) => format!("ALS({n})"),
+            Method::OnlineScp => "OnlineSCP".to_string(),
+            Method::CpStream => "CP-stream".to_string(),
+            Method::NeCpd(n) => format!("NeCPD({n})"),
+        }
+    }
+
+    /// True for per-event (continuous) methods.
+    pub fn is_continuous(&self) -> bool {
+        matches!(self, Method::Sns(_))
+    }
+
+    /// The method line-up of Figs. 4–5.
+    pub fn fig45_lineup() -> Vec<Method> {
+        vec![
+            Method::Sns(AlgorithmKind::Mat),
+            Method::Sns(AlgorithmKind::Vec),
+            Method::Sns(AlgorithmKind::Rnd),
+            Method::Sns(AlgorithmKind::PlusVec),
+            Method::Sns(AlgorithmKind::PlusRnd),
+            Method::OnlineScp,
+            Method::CpStream,
+            Method::NeCpd(1),
+            Method::NeCpd(10),
+        ]
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_lineup() {
+        assert_eq!(Method::Sns(AlgorithmKind::PlusRnd).name(), "SNS+_RND");
+        assert_eq!(Method::NeCpd(10).name(), "NeCPD(10)");
+        assert_eq!(Method::AlsPeriodic(3).name(), "ALS(3)");
+        let lineup = Method::fig45_lineup();
+        assert_eq!(lineup.len(), 9);
+        assert!(lineup[0].is_continuous());
+        assert!(!Method::OnlineScp.is_continuous());
+    }
+}

@@ -1,0 +1,223 @@
+//! Batch ALS for CP decomposition (Section II, Eq. 4).
+//!
+//! Used three ways in the reproduction, exactly as in the paper:
+//! 1. to initialize factor matrices on the initial tensor window,
+//! 2. as the fitness reference (denominator of relative fitness),
+//! 3. as the body of SNS_MAT, which runs a single sweep per event.
+
+use crate::fitness::fitness_with_grams;
+use crate::grams::{compute_grams, hadamard_except};
+use crate::kruskal::KruskalTensor;
+use crate::mttkrp::mttkrp_full;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sns_linalg::ops::gram;
+use sns_tensor::SparseTensor;
+
+/// Options for a batch ALS run.
+#[derive(Debug, Clone)]
+pub struct AlsOptions {
+    /// Maximum number of full sweeps.
+    pub max_iters: usize,
+    /// Stop when the fitness improvement drops below this threshold.
+    pub tol: f64,
+    /// Seed for the random initialization.
+    pub seed: u64,
+    /// Scale of the uniform random initialization.
+    pub init_scale: f64,
+}
+
+impl Default for AlsOptions {
+    fn default() -> Self {
+        AlsOptions { max_iters: 50, tol: 1e-5, seed: 0x5eed, init_scale: 1.0 }
+    }
+}
+
+/// Result of a batch ALS run.
+#[derive(Debug, Clone)]
+pub struct AlsResult {
+    /// The fitted factorization (columns normalized, weights in `λ`).
+    pub kruskal: KruskalTensor,
+    /// Gram matrices of the final factors.
+    pub grams: Vec<sns_linalg::Mat>,
+    /// Final fitness.
+    pub fitness: f64,
+    /// Number of sweeps performed.
+    pub iters: usize,
+}
+
+/// One ALS sweep (Algorithm 2 without the ΔX bookkeeping): for each mode,
+/// solve Eq. (4), normalize columns into `λ`, and refresh that mode's Gram.
+///
+/// `k.lambda` is overwritten with the scales gathered at the *last* mode,
+/// which is the standard `cp_als` convention: after the final mode's
+/// normalization all other factors have unit columns, so the last `λ`
+/// carries the full scale of the model.
+pub fn als_sweep(x: &SparseTensor, k: &mut KruskalTensor, grams: &mut [sns_linalg::Mat]) {
+    let order = k.order();
+    let rank = k.rank();
+    for m in 0..order {
+        let u = mttkrp_full(x, &k.factors, m);
+        let h = hadamard_except(grams, m, rank);
+        let a = sns_linalg::lstsq::solve_xh_eq_u(&h, &u).expect("Gram system is square/finite");
+        k.factors[m] = a;
+        // Column normalization (footnote 1 of the paper).
+        for r in 0..rank {
+            let f = &mut k.factors[m];
+            let norm: f64 = (0..f.rows()).map(|i| f[(i, r)] * f[(i, r)]).sum::<f64>().sqrt();
+            k.lambda[r] = norm;
+            if norm > 0.0 {
+                for i in 0..f.rows() {
+                    f[(i, r)] /= norm;
+                }
+            }
+        }
+        grams[m] = gram(&k.factors[m]);
+    }
+}
+
+/// Runs batch ALS from a random start until convergence or `max_iters`.
+pub fn als(x: &SparseTensor, rank: usize, opts: &AlsOptions) -> AlsResult {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let dims = x.shape().dims().to_vec();
+    let mut k = KruskalTensor::random(&mut rng, &dims, rank, opts.init_scale);
+    let mut grams = compute_grams(&k.factors);
+    als_from(x, &mut k, &mut grams, opts)
+}
+
+/// Runs batch ALS from the supplied starting point (warm start), mutating
+/// it in place and returning a summary.
+pub fn als_from(
+    x: &SparseTensor,
+    k: &mut KruskalTensor,
+    grams: &mut [sns_linalg::Mat],
+    opts: &AlsOptions,
+) -> AlsResult {
+    let mut prev_fit = f64::NEG_INFINITY;
+    let mut iters = 0;
+    for it in 0..opts.max_iters {
+        als_sweep(x, k, grams);
+        iters = it + 1;
+        let fit = fitness_with_grams(x, k, grams);
+        if (fit - prev_fit).abs() < opts.tol {
+            prev_fit = fit;
+            break;
+        }
+        prev_fit = fit;
+    }
+    AlsResult { kruskal: k.clone(), grams: grams.to_vec(), fitness: prev_fit, iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sns_tensor::{Coord, Shape};
+
+    /// Builds an exactly rank-`r` sparse tensor from random non-negative
+    /// factors over a small dense grid (zeros dropped).
+    fn lowrank_tensor(rng: &mut StdRng, dims: &[usize], rank: usize) -> SparseTensor {
+        let k = KruskalTensor::random(rng, dims, rank, 1.0);
+        k.reconstruct_dense().to_sparse()
+    }
+
+    #[test]
+    fn recovers_rank1_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = lowrank_tensor(&mut rng, &[4, 3, 2], 1);
+        let result = als(&x, 1, &AlsOptions { max_iters: 60, ..Default::default() });
+        assert!(result.fitness > 0.999, "fitness {}", result.fitness);
+        assert!(result.kruskal.is_finite());
+    }
+
+    #[test]
+    fn fits_rank2_with_rank2() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = lowrank_tensor(&mut rng, &[5, 4, 3], 2);
+        let result = als(&x, 2, &AlsOptions { max_iters: 200, tol: 1e-9, ..Default::default() });
+        assert!(result.fitness > 0.98, "fitness {}", result.fitness);
+    }
+
+    #[test]
+    fn fitness_is_monotone_nondecreasing_across_sweeps() {
+        // ALS is a block-coordinate descent: each sweep cannot decrease
+        // the fit (up to numerical noise).
+        let mut rng = StdRng::seed_from_u64(3);
+        let dims = [5usize, 4, 3];
+        let mut x = lowrank_tensor(&mut rng, &dims, 3);
+        // Add noise entries.
+        for _ in 0..10 {
+            let c: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+            x.add(&Coord::new(&c), 0.3);
+        }
+        let mut k = KruskalTensor::random(&mut rng, &dims, 2, 1.0);
+        let mut grams = compute_grams(&k.factors);
+        let mut prev = fitness_with_grams(&x, &k, &grams);
+        for _ in 0..15 {
+            als_sweep(&x, &mut k, &mut grams);
+            let fit = fitness_with_grams(&x, &k, &grams);
+            assert!(fit >= prev - 1e-8, "fitness decreased: {prev} -> {fit}");
+            prev = fit;
+        }
+    }
+
+    #[test]
+    fn grams_stay_consistent_with_factors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = lowrank_tensor(&mut rng, &[4, 4, 4], 2);
+        let result = als(&x, 2, &AlsOptions::default());
+        for (m, g) in result.grams.iter().enumerate() {
+            let fresh = gram(&result.kruskal.factors[m]);
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert!((g[(i, j)] - fresh[(i, j)]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_columns_after_run() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = lowrank_tensor(&mut rng, &[4, 3, 3], 2);
+        let result = als(&x, 2, &AlsOptions::default());
+        // All but scale live in λ: every column of every factor is unit.
+        for f in &result.kruskal.factors {
+            for r in 0..2 {
+                let n: f64 = (0..f.rows()).map(|i| f[(i, r)] * f[(i, r)]).sum::<f64>().sqrt();
+                assert!((n - 1.0).abs() < 1e-8 || n == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tensor_is_handled() {
+        let x = SparseTensor::new(Shape::new(&[3, 3, 3]));
+        let result = als(&x, 2, &AlsOptions { max_iters: 3, ..Default::default() });
+        // Zero tensor → zero λ → perfect (vacuous) fit.
+        assert_eq!(result.fitness, 1.0);
+        assert!(result.kruskal.is_finite());
+    }
+
+    #[test]
+    fn warm_start_converges_faster_than_cold() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = lowrank_tensor(&mut rng, &[5, 5, 4], 2);
+        let cold = als(&x, 2, &AlsOptions { max_iters: 100, tol: 1e-7, ..Default::default() });
+        // Warm start from the converged model: one sweep should suffice.
+        let mut k = cold.kruskal.clone();
+        let mut grams = cold.grams.clone();
+        let warm = als_from(&x, &mut k, &mut grams, &AlsOptions {
+            max_iters: 100,
+            tol: 1e-7,
+            ..Default::default()
+        });
+        assert!(
+            warm.iters <= cold.iters,
+            "warm start took {} iters vs cold {}",
+            warm.iters,
+            cold.iters
+        );
+        assert!(warm.fitness >= cold.fitness - 1e-6);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sns-core
+//!
+//! The SliceNStitch algorithms — continuous CP decomposition of sparse
+//! tensor streams (Section V of the paper), plus the batch ALS used for
+//! initialization and as the fitness reference.
+//!
+//! ## Layout
+//!
+//! - [`config`] — hyperparameters (`R`, `θ`, `η`, seeds),
+//! - [`kruskal`] — the factorization object `[[λ; A(1),…,A(M)]]`,
+//! - [`grams`] — incrementally maintained Gram matrices `A(m)ᵀA(m)`,
+//! - [`mttkrp`] — sparse MTTKRP kernels (full, per-row, per-sample),
+//! - [`fitness`] — exact sparse fitness via the Gram identity,
+//! - [`als`] — batch ALS (Eq. 4) with column normalization,
+//! - [`update`] — the five per-event updaters:
+//!   [`update::SnsMat`] (Alg. 2), [`update::SnsVec`] (Eqs. 9/12/13),
+//!   [`update::SnsRnd`] (Eqs. 16/17), [`update::SnsPlusVec`] and
+//!   [`update::SnsPlusRnd`] (coordinate descent, Eqs. 20–26, with
+//!   clipping),
+//! - [`engine`] — glue: a continuous window + an updater = a continuously
+//!   maintained CP decomposition,
+//! - [`anomaly`] — the z-score anomaly detector of Section VI-G.
+
+pub mod als;
+pub mod anomaly;
+pub mod config;
+pub mod engine;
+pub mod fitness;
+pub mod grams;
+pub mod kruskal;
+pub mod mttkrp;
+pub mod update;
+
+pub use config::{AlgorithmKind, SnsConfig};
+pub use engine::SnsEngine;
+pub use kruskal::KruskalTensor;
+pub use update::ContinuousUpdater;

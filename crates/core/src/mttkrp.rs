@@ -1,0 +1,236 @@
+//! Sparse MTTKRP kernels.
+//!
+//! The matricized-tensor-times-Khatri-Rao product `X(m)·K(m)` is the hot
+//! kernel of every CP algorithm. For a sparse `X` it reduces to, per
+//! non-zero `x_J`, a scaled element-wise product of factor rows — the
+//! Khatri–Rao product is never materialized.
+
+use crate::kruskal::KruskalTensor;
+use sns_linalg::Mat;
+use sns_tensor::{Coord, SparseTensor};
+
+/// `out[k] = Π_{n≠skip} factors[n](coord_n, k)` — the Khatri–Rao *row*
+/// product for one coordinate. `O(M·R)`.
+#[inline]
+pub fn khatri_rao_row(factors: &[Mat], coord: &Coord, skip: usize, out: &mut [f64]) {
+    out.iter_mut().for_each(|x| *x = 1.0);
+    for (n, f) in factors.iter().enumerate() {
+        if n == skip {
+            continue;
+        }
+        let row = f.row(coord.get(n) as usize);
+        out.iter_mut().zip(row).for_each(|(o, &v)| *o *= v);
+    }
+}
+
+/// Full MTTKRP `U = X(m)·K(m) ∈ R^{N_m×R}` over all non-zeros of `x`.
+/// `O(|X|·M·R)`.
+pub fn mttkrp_full(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+    let rank = factors[0].cols();
+    let mut u = Mat::zeros(x.shape().dim(mode), rank);
+    let mut prod = vec![0.0; rank];
+    for (coord, value) in x.iter() {
+        khatri_rao_row(factors, coord, mode, &mut prod);
+        let row = u.row_mut(coord.get(mode) as usize);
+        row.iter_mut().zip(&prod).for_each(|(r, &p)| *r += value * p);
+    }
+    u
+}
+
+/// Row MTTKRP over one fiber:
+/// `out[k] = Σ_{J : J_mode = index} x_J · Π_{n≠mode} factors[n](J_n, k)`.
+/// This is `(X)(m)(i,:)·K(m)` of Eq. (12). `O(deg·M·R)`.
+pub fn mttkrp_row(
+    x: &SparseTensor,
+    factors: &[Mat],
+    mode: usize,
+    index: u32,
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for (coord, value) in x.fiber_entries(mode, index) {
+        khatri_rao_row(factors, coord, mode, scratch);
+        out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += value * p);
+    }
+}
+
+/// Row MTTKRP over an explicit list of `(coord, value)` pairs (used for
+/// the sampled correction `X̄ + ΔX` of Eq. (16) and Eq. (23)).
+pub fn mttkrp_row_from_entries(
+    entries: &[(Coord, f64)],
+    factors: &[Mat],
+    mode: usize,
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for (coord, value) in entries {
+        khatri_rao_row(factors, coord, mode, scratch);
+        out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += value * p);
+    }
+}
+
+/// Dense-oracle MTTKRP: materializes `X(m)` and the full Khatri–Rao
+/// product and multiplies them. Small shapes only; used to pin the sparse
+/// kernels in tests.
+pub fn mttkrp_dense_oracle(
+    x: &sns_tensor::DenseTensor,
+    factors: &[Mat],
+    mode: usize,
+) -> Mat {
+    use sns_linalg::ops::{khatri_rao_all, matmul};
+    use sns_tensor::matricize::kr_ordering;
+    let ordering = kr_ordering(factors.len(), mode);
+    let parts: Vec<&Mat> = ordering.iter().map(|&n| &factors[n]).collect();
+    let k = khatri_rao_all(&parts).expect("rank-consistent factors");
+    matmul(&x.matricize(mode), &k).expect("shape-consistent MTTKRP")
+}
+
+/// Inner product `⟨X, X̃⟩ = Σ_{J non-zero} x_J · x̃_J`. `O(|X|·M·R)`.
+pub fn inner_with_kruskal(x: &SparseTensor, k: &KruskalTensor) -> f64 {
+    x.iter().map(|(c, v)| v * k.eval(c)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sns_tensor::{DenseTensor, Shape};
+
+    fn random_sparse(rng: &mut StdRng, dims: &[usize], nnz: usize) -> SparseTensor {
+        let mut x = SparseTensor::new(Shape::new(dims));
+        for _ in 0..nnz {
+            let coord: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+            x.add(&Coord::new(&coord), rng.gen_range(1..5) as f64);
+        }
+        x
+    }
+
+    fn random_factors(rng: &mut StdRng, dims: &[usize], rank: usize) -> Vec<Mat> {
+        dims.iter().map(|&n| Mat::random(rng, n, rank, 1.0)).collect()
+    }
+
+    #[test]
+    fn khatri_rao_row_products() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = random_factors(&mut rng, &[3, 4, 2], 5);
+        let c = Coord::new(&[2, 3, 1]);
+        let mut out = vec![0.0; 5];
+        khatri_rao_row(&f, &c, 1, &mut out);
+        for k in 0..5 {
+            let expect = f[0][(2, k)] * f[2][(1, k)];
+            assert!((out[k] - expect).abs() < 1e-14);
+        }
+        // skip = every mode — result excludes exactly that factor.
+        khatri_rao_row(&f, &c, 0, &mut out);
+        for k in 0..5 {
+            let expect = f[1][(3, k)] * f[2][(1, k)];
+            assert!((out[k] - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sparse_mttkrp_matches_dense_oracle_all_modes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dims = [4usize, 3, 5];
+        let x = random_sparse(&mut rng, &dims, 25);
+        let f = random_factors(&mut rng, &dims, 3);
+        let dense = DenseTensor::from_sparse(&x);
+        for mode in 0..3 {
+            let fast = mttkrp_full(&x, &f, mode);
+            let oracle = mttkrp_dense_oracle(&dense, &f, mode);
+            assert_eq!(fast.shape(), oracle.shape());
+            for i in 0..fast.rows() {
+                for j in 0..fast.cols() {
+                    assert!(
+                        (fast[(i, j)] - oracle[(i, j)]).abs() < 1e-9,
+                        "mode {mode} ({i},{j}): {} vs {}",
+                        fast[(i, j)],
+                        oracle[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mttkrp_4mode_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dims = [3usize, 2, 4, 3];
+        let x = random_sparse(&mut rng, &dims, 20);
+        let f = random_factors(&mut rng, &dims, 2);
+        let dense = DenseTensor::from_sparse(&x);
+        for mode in 0..4 {
+            let fast = mttkrp_full(&x, &f, mode);
+            let oracle = mttkrp_dense_oracle(&dense, &f, mode);
+            for i in 0..fast.rows() {
+                for j in 0..fast.cols() {
+                    assert!((fast[(i, j)] - oracle[(i, j)]).abs() < 1e-9, "mode {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_mttkrp_matches_full() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dims = [4usize, 3, 5];
+        let x = random_sparse(&mut rng, &dims, 30);
+        let f = random_factors(&mut rng, &dims, 4);
+        let mut out = vec![0.0; 4];
+        let mut scratch = vec![0.0; 4];
+        for (mode, &dim) in dims.iter().enumerate() {
+            let full = mttkrp_full(&x, &f, mode);
+            for i in 0..dim as u32 {
+                mttkrp_row(&x, &f, mode, i, &mut out, &mut scratch);
+                for k in 0..4 {
+                    assert!((out[k] - full[(i as usize, k)]).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_from_entries_matches_row() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dims = [4usize, 3, 5];
+        let x = random_sparse(&mut rng, &dims, 30);
+        let f = random_factors(&mut rng, &dims, 4);
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        let mut scratch = vec![0.0; 4];
+        let entries: Vec<(Coord, f64)> = x.fiber_entries(0, 2).map(|(c, v)| (*c, v)).collect();
+        mttkrp_row(&x, &f, 0, 2, &mut a, &mut scratch);
+        mttkrp_row_from_entries(&entries, &f, 0, &mut b, &mut scratch);
+        for k in 0..4 {
+            assert!((a[k] - b[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_with_kruskal_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dims = [3usize, 4, 2];
+        let x = random_sparse(&mut rng, &dims, 15);
+        let k = KruskalTensor::random(&mut rng, &dims, 3, 1.0);
+        let dense_x = DenseTensor::from_sparse(&x);
+        let dense_k = k.reconstruct_dense();
+        let brute: f64 = Shape::new(&dims)
+            .iter_coords()
+            .map(|c| dense_x.get(&c) * dense_k.get(&c))
+            .sum();
+        assert!((inner_with_kruskal(&x, &k) - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tensor_gives_zero_mttkrp() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dims = [3usize, 3, 3];
+        let x = SparseTensor::new(Shape::new(&dims));
+        let f = random_factors(&mut rng, &dims, 2);
+        let u = mttkrp_full(&x, &f, 0);
+        assert_eq!(u.frob_norm(), 0.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Shared state and row-update kernels for the fast updaters.
+
+use crate::grams::{compute_grams, gram_row_update, hadamard_except};
+use crate::kruskal::KruskalTensor;
+use crate::mttkrp::{khatri_rao_row, mttkrp_row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sns_linalg::lstsq::solve_row_sym;
+use sns_linalg::Mat;
+use sns_stream::Delta;
+use sns_tensor::{Coord, SparseTensor};
+
+/// Factor matrices plus their maintained Gram matrices.
+#[derive(Debug, Clone)]
+pub struct FactorState {
+    /// The factorization (`λ = 1` for all fast updaters).
+    pub kruskal: KruskalTensor,
+    /// `Q(m) = A(m)ᵀA(m)`, kept in lock-step with every row edit.
+    pub grams: Vec<Mat>,
+}
+
+impl FactorState {
+    /// Random non-negative initialization (the paper then overwrites this
+    /// with batch ALS on the initial window).
+    pub fn random(dims: &[usize], rank: usize, scale: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kruskal = KruskalTensor::random(&mut rng, dims, rank, scale);
+        let grams = compute_grams(&kruskal.factors);
+        FactorState { kruskal, grams }
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.kruskal.order()
+    }
+
+    /// CP rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.kruskal.rank()
+    }
+
+    /// The time mode index (always the last mode).
+    #[inline]
+    pub fn time_mode(&self) -> usize {
+        self.order() - 1
+    }
+
+    /// Replaces the factorization (warm start).
+    ///
+    /// The fast updaters model `X̃ = [[A(1),…,A(M)]]` with unit weights, so
+    /// a weighted factorization (e.g. fresh from ALS, whose columns are
+    /// normalized with scales in `λ`) is converted by distributing `λ`
+    /// into the factors and recomputing the Gram matrices.
+    pub fn install(&mut self, mut kruskal: KruskalTensor, grams: Vec<Mat>) {
+        debug_assert_eq!(kruskal.order(), grams.len());
+        if kruskal.lambda.iter().any(|&l| l != 1.0) {
+            kruskal.distribute_lambda();
+            self.grams = compute_grams(&kruskal.factors);
+        } else {
+            self.grams = grams;
+        }
+        self.kruskal = kruskal;
+    }
+}
+
+/// Reusable buffers for per-event updates — no allocation in steady state.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Khatri–Rao row product buffer (`R`).
+    pub prod: Vec<f64>,
+    /// MTTKRP accumulator (`R`).
+    pub acc: Vec<f64>,
+    /// New-row buffer (`R`).
+    pub row: Vec<f64>,
+    /// Old-row copy (`R`).
+    pub old: Vec<f64>,
+    /// Sampled fiber coordinates (`θ`).
+    pub samples: Vec<Coord>,
+    /// Sampled `(coord, value)` workspace (`θ + 2`).
+    pub entries: Vec<(Coord, f64)>,
+}
+
+impl Scratch {
+    /// Creates buffers sized for rank `r`.
+    pub fn new(r: usize) -> Self {
+        Scratch {
+            prod: vec![0.0; r],
+            acc: vec![0.0; r],
+            row: vec![0.0; r],
+            old: vec![0.0; r],
+            samples: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// The ΔX entries of `delta` whose mode-`m` index equals `index`, i.e. the
+/// non-zeros of `ΔX(m)(index, :)`. At most two.
+pub fn delta_entries_for_row(delta: &Delta, mode: usize, index: u32) -> [(Coord, f64); 2] {
+    let mut out = [(Coord::new(&[]), 0.0); 2];
+    let mut n = 0;
+    for &(c, v) in delta.changes.iter() {
+        if c.get(mode) == index {
+            out[n] = (c, v);
+            n += 1;
+        }
+    }
+    out
+}
+
+/// Eq. (12) + Eq. (13): exact row least squares for mode `m`, row `index`:
+/// `A(m)(i,:) ← (X+ΔX)(m)(i,:)·K(m)·H(m)†`, then the Gram rank-1 update.
+/// Returns `(old_row, new_row)` through `scratch.old` / `scratch.row`.
+///
+/// `window` must already contain `ΔX`. Cost `O(deg·M·R + R³)`.
+pub fn update_row_exact(
+    state: &mut FactorState,
+    window: &SparseTensor,
+    mode: usize,
+    index: u32,
+    scratch: &mut Scratch,
+) {
+    // u = (X+ΔX)(m)(i,:)·K(m)
+    mttkrp_row(window, &state.kruskal.factors, mode, index, &mut scratch.acc, &mut scratch.prod);
+    // Row solve against H(m) (Cholesky fast path, pinv fallback).
+    let rank = state.rank();
+    let h = hadamard_except(&state.grams, mode, rank);
+    solve_row_sym(&h, &scratch.acc, &mut scratch.row);
+    commit_row(state, mode, index, scratch);
+}
+
+/// Eq. (9) + Eq. (13): additive approximate update of a *time-mode* row:
+/// `A(M)(j,:) += ΔX(M)(j,:)·K(M)·H(M)†`. Used by SNS_VEC only; the ΔX row
+/// has at most one non-zero (the tuple's categorical coordinate), whose
+/// signed value is `value`.
+pub fn update_time_row_additive(
+    state: &mut FactorState,
+    delta: &Delta,
+    index: u32,
+    value: f64,
+    scratch: &mut Scratch,
+) {
+    let tm = state.time_mode();
+    let rank = state.rank();
+    // ΔX(M)(j,:)·K(M): a single scaled Khatri–Rao row product. Build the
+    // full window coordinate so `khatri_rao_row` can skip the time mode.
+    let coord = delta.tuple.coords.extended(index);
+    khatri_rao_row(&state.kruskal.factors, &coord, tm, &mut scratch.prod);
+    for p in scratch.prod.iter_mut() {
+        *p *= value;
+    }
+    let h = hadamard_except(&state.grams, tm, rank);
+    solve_row_sym(&h, &scratch.prod, &mut scratch.acc);
+    let old = state.kruskal.factors[tm].row(index as usize);
+    for (k, o) in old.iter().enumerate() {
+        scratch.old[k] = *o;
+        scratch.row[k] = *o + scratch.acc[k];
+    }
+    state.kruskal.factors[tm].set_row(index as usize, &scratch.row);
+    gram_row_update(&mut state.grams[tm], &scratch.old, &scratch.row);
+}
+
+/// Writes `scratch.row` into `A(mode)(index,:)`, saving the previous row in
+/// `scratch.old` and applying the Eq. (13) Gram update.
+pub fn commit_row(state: &mut FactorState, mode: usize, index: u32, scratch: &mut Scratch) {
+    scratch.old.copy_from_slice(state.kruskal.factors[mode].row(index as usize));
+    state.kruskal.factors[mode].set_row(index as usize, &scratch.row);
+    gram_row_update(&mut state.grams[mode], &scratch.old, &scratch.row);
+}
+
+/// Magnitude threshold past which an unclipped updater is declared
+/// numerically diverged (Observation 3). Factor entries of count tensors
+/// live in O(1)–O(10²); 10⁹ is unambiguously runaway while still far from
+/// overflow, so the freeze happens before `inf`/`NaN` pollute the state.
+pub const DIVERGENCE_LIMIT: f64 = 1e9;
+
+/// Checks the rows an event touched (the only entries that can have
+/// changed) for runaway magnitude — O(M·R), unlike a full factor scan.
+pub fn touched_rows_blew_up(state: &FactorState, delta: &Delta) -> bool {
+    let tm = state.time_mode();
+    let over = |row: &[f64]| row.iter().any(|v| !v.is_finite() || v.abs() > DIVERGENCE_LIMIT);
+    for (c, _) in delta.changes.iter() {
+        if over(state.kruskal.factors[tm].row(c.get(tm) as usize)) {
+            return true;
+        }
+    }
+    for m in 0..tm {
+        if over(state.kruskal.factors[m].row(delta.tuple.coords.get(m) as usize)) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::fitness_with_grams;
+    use rand::Rng;
+    use sns_linalg::ops::gram;
+    use sns_stream::{ContinuousWindow, StreamTuple};
+    use sns_tensor::Shape;
+
+    fn approx_mat(a: &Mat, b: &Mat, tol: f64) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    fn random_window(seed: u64, nnz: usize) -> SparseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [4usize, 3, 5];
+        let mut x = SparseTensor::new(Shape::new(&dims));
+        for _ in 0..nnz {
+            let c: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+            x.add(&Coord::new(&c), rng.gen_range(1..4) as f64);
+        }
+        x
+    }
+
+    #[test]
+    fn factor_state_construction() {
+        let s = FactorState::random(&[4, 3, 5], 3, 1.0, 7);
+        assert_eq!(s.order(), 3);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.time_mode(), 2);
+        for (m, g) in s.grams.iter().enumerate() {
+            assert!(approx_mat(g, &gram(&s.kruskal.factors[m]), 1e-12));
+        }
+    }
+
+    #[test]
+    fn exact_row_update_solves_the_row_ls() {
+        // After Eq. (12), the updated row must be a least-squares optimum:
+        // perturbing any entry must not reduce the full objective restricted
+        // to that row's fiber... equivalently u = row · H must hold.
+        let x = random_window(1, 30);
+        let mut s = FactorState::random(&[4, 3, 5], 3, 1.0, 2);
+        let mut scratch = Scratch::new(3);
+        update_row_exact(&mut s, &x, 0, 2, &mut scratch);
+        // Check stationarity: (X)(0)(2,:)·K = row·H at the new row.
+        let mut u = vec![0.0; 3];
+        let mut tmp = vec![0.0; 3];
+        mttkrp_row(&x, &s.kruskal.factors, 0, 2, &mut u, &mut tmp);
+        let h = hadamard_except(&s.grams, 0, 3);
+        let row = s.kruskal.factors[0].row(2);
+        let mut lhs = vec![0.0; 3];
+        sns_linalg::ops::row_times_mat(row, &h, &mut lhs);
+        for k in 0..3 {
+            assert!((lhs[k] - u[k]).abs() < 1e-8, "stationarity violated at {k}");
+        }
+        // Grams stayed consistent.
+        for (m, g) in s.grams.iter().enumerate() {
+            assert!(approx_mat(g, &gram(&s.kruskal.factors[m]), 1e-9));
+        }
+    }
+
+    #[test]
+    fn exact_row_update_never_increases_objective() {
+        // Row LS: the objective restricted to other variables fixed cannot
+        // increase, hence fitness cannot decrease.
+        let x = random_window(3, 40);
+        let mut s = FactorState::random(&[4, 3, 5], 3, 0.5, 4);
+        let mut scratch = Scratch::new(3);
+        for mode in 0..2 {
+            for i in 0..x.shape().dim(mode) as u32 {
+                let before = fitness_with_grams(&x, &s.kruskal, &s.grams);
+                update_row_exact(&mut s, &x, mode, i, &mut scratch);
+                let after = fitness_with_grams(&x, &s.kruskal, &s.grams);
+                assert!(after >= before - 1e-9, "mode {mode} row {i}: {before} -> {after}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fiber_zeroes_the_row() {
+        let x = random_window(5, 1); // at most one non-zero
+        let mut s = FactorState::random(&[4, 3, 5], 3, 1.0, 6);
+        let mut scratch = Scratch::new(3);
+        // Find a row with an empty fiber.
+        let empty = (0..4u32).find(|&i| x.deg(0, i) == 0).expect("an empty fiber exists");
+        update_row_exact(&mut s, &x, 0, empty, &mut scratch);
+        assert!(s.kruskal.factors[0].row(empty as usize).iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn delta_entry_extraction() {
+        let mut w = ContinuousWindow::new(&[3, 3], 4, 10);
+        let mut out = Vec::new();
+        w.ingest(StreamTuple::new([1u32, 2], 5.0, 0), &mut out).unwrap();
+        out.clear();
+        w.advance_to(10, &mut out); // Shift: −5 @ t-idx 3, +5 @ t-idx 2
+        let d = &out[0];
+        // Time mode (mode 2): each row sees exactly one entry.
+        let top = delta_entries_for_row(d, 2, 3);
+        assert_eq!(top[0].1, -5.0);
+        assert_eq!(top[1].1, 0.0);
+        let bot = delta_entries_for_row(d, 2, 2);
+        assert_eq!(bot[0].1, 5.0);
+        // Non-time mode 0: both entries share index 1.
+        let both = delta_entries_for_row(d, 0, 1);
+        assert_eq!(both[0].1, -5.0);
+        assert_eq!(both[1].1, 5.0);
+        // Mismatched index: nothing.
+        let none = delta_entries_for_row(d, 0, 2);
+        assert_eq!(none[0].1, 0.0);
+    }
+
+    #[test]
+    fn additive_time_update_reduces_residual_on_fresh_arrival() {
+        // Build a window whose factors fit it exactly, then inject an
+        // arrival; Eq. (9) must move the affected time row toward the new
+        // mass (fitness after ≥ fitness before is not guaranteed in
+        // general, but the update must at least change only that row).
+        let mut w = ContinuousWindow::new(&[4, 3], 5, 10);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut out = Vec::new();
+        for t in 0..30u64 {
+            let tu = StreamTuple::new(
+                [rng.gen_range(0..4u32), rng.gen_range(0..3u32)],
+                1.0,
+                t,
+            );
+            w.ingest(tu, &mut out).unwrap();
+        }
+        let mut s = FactorState::random(&[4, 3, 5], 3, 0.5, 9);
+        let before = s.kruskal.factors[2].clone();
+        out.clear();
+        w.ingest(StreamTuple::new([2u32, 1], 4.0, 31), &mut out).unwrap();
+        let d = out.last().unwrap();
+        let mut scratch = Scratch::new(3);
+        update_time_row_additive(&mut s, d, 4, 4.0, &mut scratch);
+        // Only row 4 changed.
+        for r in 0..4 {
+            assert_eq!(s.kruskal.factors[2].row(r), before.row(r), "row {r} must be untouched");
+        }
+        assert_ne!(s.kruskal.factors[2].row(4), before.row(4));
+        // Gram consistent.
+        assert!(approx_mat(&s.grams[2], &gram(&s.kruskal.factors[2]), 1e-9));
+    }
+}

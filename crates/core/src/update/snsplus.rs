@@ -1,0 +1,488 @@
+//! SNS⁺_VEC and SNS⁺_RND — coordinate descent with clipping (Section V-D).
+//!
+//! The unclipped row solves of SNS_VEC / SNS_RND can blow factor entries
+//! up (Observation 3). The stable variants update one entry at a time
+//! (coordinate descent) and clip every result into `[−η, η]`, which never
+//! increases the local objective (footnote 3: the objective restricted to
+//! one entry is a convex parabola, so moving from the unconstrained
+//! minimizer back toward a point still on the same side keeps it below
+//! the starting value).
+//!
+//! For the entry `a(m)_{i_m k}`, with `G = ∗_{n≠m} Q(n)` and
+//! `Ĝ = ∗_{n≠m} U(n)` (Eq. 20):
+//!
+//! - `c_k = G_kk`,
+//! - `d_{ik} = Σ_{r≠k} a_{i r} G_{r k}` (uses the *current*, mutating row),
+//! - `e_{ik} = Σ_r b_{i r} Ĝ_{r k}` with `b` the row at event start,
+//!
+//! and the updates are Eq. (21) (exact), Eq. (22) (time-mode model
+//! approximation), Eq. (23) (sampled). Gram upkeep is Eqs. (24)–(26),
+//! applied as the equivalent end-of-row rank-1 forms (the per-coordinate
+//! entrywise updates telescope to exactly these — see `grams.rs`).
+
+use crate::config::{AlgorithmKind, SnsConfig};
+use crate::grams::{gram_row_update, hadamard_except, prev_gram_row_update};
+use crate::kruskal::KruskalTensor;
+use crate::mttkrp::{mttkrp_row, mttkrp_row_from_entries};
+use crate::update::common::{delta_entries_for_row, FactorState, Scratch};
+use crate::update::ContinuousUpdater;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sns_linalg::Mat;
+use sns_stream::Delta;
+use sns_tensor::{Coord, SparseTensor};
+
+/// Coordinate-descent sweep over one factor row with clipping.
+///
+/// `base[k]` must hold the data-dependent part of the numerator (the
+/// bracketed sums of Eqs. 21–23 *without* `−d_{ik}`); this function
+/// subtracts `d_{ik}` with the live row and divides by `c_k`, clipping
+/// each result to `[−η, η]`. Returns the updated row via the factor
+/// matrix itself; the previous row must already be saved by the caller.
+fn descend_row(factor: &mut Mat, index: u32, g: &Mat, base: &[f64], eta: f64) {
+    let rank = g.rows();
+    let row = factor.row_mut(index as usize);
+    for k in 0..rank {
+        let c = g[(k, k)];
+        if c > 0.0 {
+            // d_{ik} = row·G(:,k) − row[k]·G_kk (current row values).
+            let mut d = 0.0;
+            for r in 0..rank {
+                d += row[r] * g[(r, k)];
+            }
+            d -= row[k] * c;
+            row[k] = (base[k] - d) / c;
+        }
+        // Clipping (Algorithm 5 lines 5/15) applies in every case.
+        if row[k] > eta {
+            row[k] = eta;
+        } else if row[k] < -eta {
+            row[k] = -eta;
+        }
+    }
+}
+
+/// `e_{ik} = Σ_r b_{ir} Ĝ_{rk}` for the whole row (Eq. 20's `e` terms).
+fn model_row(prev_row: &[f64], g_hat: &Mat, out: &mut [f64]) {
+    sns_linalg::ops::row_times_mat(prev_row, g_hat, out);
+}
+
+/// The SNS⁺_VEC updater (Algorithm 5, `updateRowVec+`).
+pub struct SnsPlusVec {
+    state: FactorState,
+    eta: f64,
+    scratch: Scratch,
+}
+
+impl SnsPlusVec {
+    /// Creates an SNS⁺_VEC updater with random initial factors.
+    pub fn new(dims: &[usize], config: &SnsConfig) -> Self {
+        SnsPlusVec {
+            state: FactorState::random(dims, config.rank, config.init_scale, config.seed),
+            eta: config.eta,
+            scratch: Scratch::new(config.rank),
+        }
+    }
+
+    /// Clipping bound `η`.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {
+        let rank = self.state.rank();
+        let tm = self.state.time_mode();
+        let g = hadamard_except(&self.state.grams, mode, rank);
+        self.scratch.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
+        if mode == tm {
+            // Eq. (22): e + Σ_ΔX Δx·Π a. The time mode is updated before
+            // any other factor changes in this event, so U(n) = Q(n) for
+            // all n ≠ M and Ĝ = G.
+            model_row(&self.scratch.old, &g, &mut self.scratch.acc);
+            for (c, v) in delta_entries_for_row(delta, mode, index) {
+                if v == 0.0 {
+                    continue;
+                }
+                crate::mttkrp::khatri_rao_row(
+                    &self.state.kruskal.factors,
+                    &c,
+                    mode,
+                    &mut self.scratch.prod,
+                );
+                sns_linalg::ops::axpy(v, &self.scratch.prod, &mut self.scratch.acc);
+            }
+        } else {
+            // Eq. (21): exact fiber sum over X+ΔX (already in `window`).
+            mttkrp_row(
+                window,
+                &self.state.kruskal.factors,
+                mode,
+                index,
+                &mut self.scratch.acc,
+                &mut self.scratch.prod,
+            );
+        }
+        descend_row(
+            &mut self.state.kruskal.factors[mode],
+            index,
+            &g,
+            &self.scratch.acc,
+            self.eta,
+        );
+        let new_row = self.state.kruskal.factors[mode].row(index as usize).to_vec();
+        gram_row_update(&mut self.state.grams[mode], &self.scratch.old, &new_row);
+    }
+}
+
+impl ContinuousUpdater for SnsPlusVec {
+    fn apply(&mut self, window: &SparseTensor, delta: &Delta) {
+        let tm = self.state.time_mode();
+        let time_rows: Vec<u32> = delta.time_indices().collect();
+        for index in time_rows {
+            self.update_row(window, delta, tm, index);
+        }
+        for m in 0..tm {
+            self.update_row(window, delta, m, delta.tuple.coords.get(m));
+        }
+    }
+
+    fn kruskal(&self) -> &KruskalTensor {
+        &self.state.kruskal
+    }
+
+    fn grams(&self) -> &[Mat] {
+        &self.state.grams
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::PlusVec
+    }
+
+    fn install(&mut self, kruskal: KruskalTensor, grams: Vec<Mat>) {
+        self.state.install(kruskal, grams);
+    }
+}
+
+/// The SNS⁺_RND updater (Algorithm 5, `updateRowRan+`).
+pub struct SnsPlusRnd {
+    state: FactorState,
+    prev_grams: Vec<Mat>,
+    theta: usize,
+    eta: f64,
+    rng: StdRng,
+    scratch: Scratch,
+}
+
+impl SnsPlusRnd {
+    /// Creates an SNS⁺_RND updater with random initial factors.
+    pub fn new(dims: &[usize], config: &SnsConfig) -> Self {
+        let state = FactorState::random(dims, config.rank, config.init_scale, config.seed);
+        let prev_grams = state.grams.clone();
+        SnsPlusRnd {
+            prev_grams,
+            theta: config.theta,
+            eta: config.eta,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x517c_c1b7_2722_0a95),
+            scratch: Scratch::new(config.rank),
+            state,
+        }
+    }
+
+    /// Sampling threshold `θ`.
+    pub fn theta(&self) -> usize {
+        self.theta
+    }
+
+    /// Clipping bound `η`.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {
+        let rank = self.state.rank();
+        let deg = window.deg(mode, index);
+        let g = hadamard_except(&self.state.grams, mode, rank);
+        self.scratch.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
+        if deg <= self.theta {
+            // Eq. (21): exact fiber sum.
+            mttkrp_row(
+                window,
+                &self.state.kruskal.factors,
+                mode,
+                index,
+                &mut self.scratch.acc,
+                &mut self.scratch.prod,
+            );
+        } else {
+            // Eq. (23): e (model part via Ĝ) + sampled residuals + ΔX.
+            let g_hat = hadamard_except(&self.prev_grams, mode, rank);
+            model_row(&self.scratch.old, &g_hat, &mut self.scratch.acc);
+            let exclude: Vec<Coord> = delta.changes.coords().collect();
+            self.scratch.samples.clear();
+            window.sample_fiber_positions(
+                mode,
+                index,
+                self.theta,
+                &mut self.rng,
+                &exclude,
+                &mut self.scratch.samples,
+            );
+            self.scratch.entries.clear();
+            for c in &self.scratch.samples {
+                let residual = window.get(c) - self.state.kruskal.eval(c);
+                self.scratch.entries.push((*c, residual));
+            }
+            for (c, v) in delta_entries_for_row(delta, mode, index) {
+                if v != 0.0 {
+                    self.scratch.entries.push((c, v));
+                }
+            }
+            let mut sampled = vec![0.0; rank];
+            mttkrp_row_from_entries(
+                &self.scratch.entries,
+                &self.state.kruskal.factors,
+                mode,
+                &mut sampled,
+                &mut self.scratch.prod,
+            );
+            sns_linalg::ops::axpy(1.0, &sampled, &mut self.scratch.acc);
+        }
+        descend_row(
+            &mut self.state.kruskal.factors[mode],
+            index,
+            &g,
+            &self.scratch.acc,
+            self.eta,
+        );
+        let new_row = self.state.kruskal.factors[mode].row(index as usize).to_vec();
+        gram_row_update(&mut self.state.grams[mode], &self.scratch.old, &new_row);
+        prev_gram_row_update(&mut self.prev_grams[mode], &self.scratch.old, &new_row);
+    }
+}
+
+impl ContinuousUpdater for SnsPlusRnd {
+    fn apply(&mut self, window: &SparseTensor, delta: &Delta) {
+        // Snapshot the Grams: A_prevᵀA ← AᵀA (Algorithm 3 line 1).
+        for (u, q) in self.prev_grams.iter_mut().zip(&self.state.grams) {
+            u.as_mut_slice().copy_from_slice(q.as_slice());
+        }
+        let tm = self.state.time_mode();
+        let time_rows: Vec<u32> = delta.time_indices().collect();
+        for index in time_rows {
+            self.update_row(window, delta, tm, index);
+        }
+        for m in 0..tm {
+            self.update_row(window, delta, m, delta.tuple.coords.get(m));
+        }
+    }
+
+    fn kruskal(&self) -> &KruskalTensor {
+        &self.state.kruskal
+    }
+
+    fn grams(&self) -> &[Mat] {
+        &self.state.grams
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::PlusRnd
+    }
+
+    fn install(&mut self, kruskal: KruskalTensor, grams: Vec<Mat>) {
+        self.prev_grams = grams.clone();
+        self.state.install(kruskal, grams);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::{als, AlsOptions};
+    use crate::fitness::fitness_with_grams;
+    use rand::Rng;
+    use sns_linalg::ops::gram;
+    use sns_stream::{ContinuousWindow, StreamTuple};
+
+    fn stream(seed: u64, n: usize) -> Vec<StreamTuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0u64;
+        (0..n)
+            .map(|_| {
+                t += rng.gen_range(0..3);
+                StreamTuple::new([rng.gen_range(0..5u32), rng.gen_range(0..4u32)], 1.0, t)
+            })
+            .collect()
+    }
+
+    fn drive<U: ContinuousUpdater>(alg: &mut U, tuples: &[StreamTuple]) -> ContinuousWindow {
+        let mut w = ContinuousWindow::new(&[5, 4], 5, 10);
+        let mut out = Vec::new();
+        let half = tuples.len() / 2;
+        for tu in &tuples[..half] {
+            out.clear();
+            w.ingest(*tu, &mut out).unwrap();
+        }
+        let warm = als(w.tensor(), 3, &AlsOptions { max_iters: 30, ..Default::default() });
+        alg.install(warm.kruskal, warm.grams);
+        for tu in &tuples[half..] {
+            out.clear();
+            w.ingest(*tu, &mut out).unwrap();
+            for d in &out {
+                alg.apply(w.tensor(), d);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn plus_vec_tracks_stream() {
+        let tuples = stream(61, 200);
+        let config = SnsConfig { rank: 3, eta: 1000.0, seed: 62, ..Default::default() };
+        let mut alg = SnsPlusVec::new(&[5, 4, 5], &config);
+        let w = drive(&mut alg, &tuples);
+        let fit = fitness_with_grams(w.tensor(), alg.kruskal(), alg.grams());
+        let reference = als(w.tensor(), 3, &AlsOptions { max_iters: 40, ..Default::default() });
+        assert!(
+            fit > 0.5 * reference.fitness,
+            "SNS+_VEC fitness {fit} vs ALS {}",
+            reference.fitness
+        );
+        assert!(alg.kruskal().is_finite());
+    }
+
+    #[test]
+    fn plus_rnd_tracks_stream() {
+        let tuples = stream(71, 200);
+        // θ must cover a reasonable share of the fiber degrees (here ~30)
+        // for the sampled rule to track an unstructured stream.
+        let config =
+            SnsConfig { rank: 3, theta: 12, eta: 1000.0, seed: 72, ..Default::default() };
+        let mut alg = SnsPlusRnd::new(&[5, 4, 5], &config);
+        let w = drive(&mut alg, &tuples);
+        let fit = fitness_with_grams(w.tensor(), alg.kruskal(), alg.grams());
+        let reference = als(w.tensor(), 3, &AlsOptions { max_iters: 40, ..Default::default() });
+        assert!(
+            fit > 0.4 * reference.fitness,
+            "SNS+_RND fitness {fit} vs ALS {}",
+            reference.fitness
+        );
+        assert!(alg.kruskal().is_finite());
+    }
+
+    #[test]
+    fn clipping_bound_is_respected_always() {
+        // Tiny η: every factor entry must stay within [−η, η] after any
+        // number of events.
+        let tuples = stream(81, 150);
+        let eta = 2.0;
+        let config = SnsConfig { rank: 3, theta: 4, eta, seed: 82, ..Default::default() };
+        let mut alg = SnsPlusRnd::new(&[5, 4, 5], &config);
+        // Note: install() replaces factors with ALS output that may exceed
+        // η; the bound is enforced on every row the updater touches.
+        let mut w = ContinuousWindow::new(&[5, 4], 5, 10);
+        let mut out = Vec::new();
+        for tu in &tuples {
+            out.clear();
+            w.ingest(*tu, &mut out).unwrap();
+            for d in &out {
+                alg.apply(w.tensor(), d);
+            }
+        }
+        assert!(
+            alg.kruskal().max_abs_entry() <= eta + 1e-12,
+            "entry exceeded η: {}",
+            alg.kruskal().max_abs_entry()
+        );
+    }
+
+    #[test]
+    fn exact_coordinate_descent_never_increases_objective() {
+        // Footnote 3: the exact path (Eq. 21 + clipping) is a true
+        // coordinate-descent step — the objective cannot increase. (The
+        // time-mode Eq. 22 carries this guarantee only when X̃ ≈ X,
+        // footnote 4, so we exercise *categorical* rows only.)
+        let tuples = stream(91, 80);
+        let config = SnsConfig { rank: 3, eta: 1e6, seed: 92, ..Default::default() };
+        let mut alg = SnsPlusVec::new(&[5, 4, 5], &config);
+        let mut w = ContinuousWindow::new(&[5, 4], 5, 10);
+        let mut out = Vec::new();
+        for tu in &tuples {
+            out.clear();
+            w.ingest(*tu, &mut out).unwrap();
+        }
+        let last_delta = out.last().copied().unwrap();
+        let mut prev = fitness_with_grams(w.tensor(), alg.kruskal(), alg.grams());
+        // Sweep every categorical row through the exact Eq. 21 update.
+        for pass in 0..4 {
+            for mode in 0..2usize {
+                for i in 0..w.tensor().shape().dim(mode) as u32 {
+                    alg.update_row(w.tensor(), &last_delta, mode, i);
+                    let fit = fitness_with_grams(w.tensor(), alg.kruskal(), alg.grams());
+                    assert!(
+                        fit >= prev - 1e-9,
+                        "pass {pass} mode {mode} row {i}: fitness decreased {prev} -> {fit}"
+                    );
+                    prev = fit;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grams_follow_factors() {
+        let tuples = stream(101, 150);
+        let config = SnsConfig { rank: 3, theta: 5, seed: 102, ..Default::default() };
+        let mut alg = SnsPlusRnd::new(&[5, 4, 5], &config);
+        let _ = drive(&mut alg, &tuples);
+        for (m, g) in alg.grams().iter().enumerate() {
+            let fresh = gram(&alg.kruskal().factors[m]);
+            let scale = 1.0 + fresh.max_abs();
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert!(
+                        (g[(i, j)] - fresh[(i, j)]).abs() < 1e-6 * scale,
+                        "mode {m} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_theta_makes_plus_rnd_deterministic() {
+        // With θ ≥ every fiber degree, SNS⁺_RND never samples, so two runs
+        // with different RNG seeds must agree bit-for-bit.
+        let tuples = stream(111, 120);
+        let run = |seed: u64| {
+            let config = SnsConfig {
+                rank: 3,
+                theta: 10_000,
+                eta: 1000.0,
+                seed: 112, // same factor init
+                ..Default::default()
+            };
+            let mut alg = SnsPlusRnd::new(&[5, 4, 5], &config);
+            alg.rng = StdRng::seed_from_u64(seed); // different sampling RNG
+            let _ = drive(&mut alg, &tuples);
+            alg
+        };
+        let a = run(1);
+        let b = run(2);
+        for m in 0..3 {
+            assert_eq!(a.kruskal().factors[m], b.kruskal().factors[m], "mode {m}");
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let config = SnsConfig { rank: 2, theta: 3, eta: 64.0, ..Default::default() };
+        let v = SnsPlusVec::new(&[3, 3, 2], &config);
+        assert_eq!(v.kind(), AlgorithmKind::PlusVec);
+        assert_eq!(v.eta(), 64.0);
+        let r = SnsPlusRnd::new(&[3, 3, 2], &config);
+        assert_eq!(r.kind(), AlgorithmKind::PlusRnd);
+        assert_eq!(r.theta(), 3);
+        assert_eq!(r.eta(), 64.0);
+        assert!(!v.diverged() && !r.diverged());
+    }
+}

@@ -1,0 +1,135 @@
+//! CSV serialization of multi-aspect data streams.
+//!
+//! Format (one event per line, header optional):
+//! `time,i1,i2,…,value` — the same layout the original SliceNStitch
+//! release consumes, so real traces can be dropped in when available.
+
+use sns_stream::StreamTuple;
+use sns_tensor::Coord;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, content } => {
+                write!(f, "csv parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a stream as CSV (no header).
+pub fn write_stream<W: Write>(writer: W, stream: &[StreamTuple]) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(writer);
+    for tu in stream {
+        write!(out, "{}", tu.time)?;
+        for &i in tu.coords.as_slice() {
+            write!(out, ",{i}")?;
+        }
+        writeln!(out, ",{}", tu.value)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a stream from CSV. Blank lines and `#` comments are skipped; a
+/// `time,…` header row is tolerated.
+pub fn read_stream<R: Read>(reader: R) -> Result<Vec<StreamTuple>, CsvError> {
+    let buf = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if lineno == 0 && trimmed.starts_with("time") {
+            continue; // header
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 3 {
+            return Err(CsvError::Parse { line: lineno + 1, content: line.clone() });
+        }
+        let parse_err = || CsvError::Parse { line: lineno + 1, content: line.clone() };
+        let time: u64 = fields[0].trim().parse().map_err(|_| parse_err())?;
+        let value: f64 =
+            fields[fields.len() - 1].trim().parse().map_err(|_| parse_err())?;
+        let coords: Result<Vec<u32>, _> = fields[1..fields.len() - 1]
+            .iter()
+            .map(|f| f.trim().parse::<u32>())
+            .collect();
+        let coords = coords.map_err(|_| parse_err())?;
+        out.push(StreamTuple::new(Coord::new(&coords), value, time));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<StreamTuple> {
+        vec![
+            StreamTuple::new([1u32, 2], 1.0, 0),
+            StreamTuple::new([3u32, 4], 2.5, 17),
+            StreamTuple::new([0u32, 0], 1.0, 17),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_stream(&mut buf, &sample()).unwrap();
+        let back = read_stream(&buf[..]).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn tolerates_header_comments_blanks() {
+        let text = "time,src,dst,value\n# comment\n\n5,1,2,3.0\n";
+        let s = read_stream(text.as_bytes()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].time, 5);
+        assert_eq!(s[0].value, 3.0);
+    }
+
+    #[test]
+    fn four_mode_rows() {
+        let text = "0,1,2,3,4.0\n";
+        let s = read_stream(text.as_bytes()).unwrap();
+        assert_eq!(s[0].coords.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_garbage() {
+        let text = "0,1,2,1.0\nnot,a,row\n";
+        match read_stream(text.as_bytes()) {
+            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(read_stream("1,2\n".as_bytes()).is_err()); // too few fields
+    }
+}

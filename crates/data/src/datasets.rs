@@ -1,0 +1,170 @@
+//! The four dataset descriptors (Tables II–III of the paper) and their
+//! synthetic twins.
+//!
+//! Paper-reported statistics are kept verbatim for the Table II harness;
+//! `base_dims` / `default_events` are the scaled generation parameters
+//! our experiments run at (see `DESIGN.md` §4 for the substitution
+//! rationale).
+
+use crate::spec::DatasetSpec;
+
+/// Divvy Bikes: `sources × destinations × timestamps [minutes]`,
+/// T = 1440 min (1 day).
+pub fn divvy_like() -> DatasetSpec {
+    DatasetSpec {
+        name: "Divvy Bikes",
+        description: "sources x destinations x timestamps [minutes]",
+        tick_unit: "minutes",
+        paper_dims: &[673, 673, 525_594],
+        paper_nnz: 3.82e6,
+        paper_density: 1.604e-5,
+        rank: 20,
+        window: 10,
+        period: 1440,
+        theta: 20,
+        eta: 1000.0,
+        base_dims: &[120, 120],
+        default_events: 45_000,
+        latent_rank: 8,
+        noise_fraction: 0.15,
+        zipf_exponent: 1.5,
+        day_ticks: 1440,
+    }
+}
+
+/// Chicago Crime: `communities × crime types × timestamps [hours]`,
+/// T = 720 h (1 month).
+pub fn chicago_crime_like() -> DatasetSpec {
+    DatasetSpec {
+        name: "Chicago Crime",
+        description: "communities x crime types x timestamps [hours]",
+        tick_unit: "hours",
+        paper_dims: &[77, 32, 148_464],
+        paper_nnz: 5.33e6,
+        paper_density: 1.457e-2,
+        rank: 20,
+        window: 10,
+        period: 720,
+        theta: 20,
+        eta: 1000.0,
+        base_dims: &[77, 32],
+        default_events: 40_000,
+        latent_rank: 8,
+        noise_fraction: 0.25,
+        zipf_exponent: 1.2,
+        day_ticks: 24,
+    }
+}
+
+/// New York Taxi: `sources × destinations × timestamps [seconds]`,
+/// T = 3600 s (1 hour). The paper's main running example (Figs. 1, 9).
+pub fn nytaxi_like() -> DatasetSpec {
+    DatasetSpec {
+        name: "New York Taxi",
+        description: "sources x destinations x timestamps [seconds]",
+        tick_unit: "seconds",
+        paper_dims: &[265, 265, 5_184_000],
+        paper_nnz: 84.39e6,
+        paper_density: 2.318e-4,
+        rank: 20,
+        window: 10,
+        period: 3600,
+        theta: 20,
+        eta: 1000.0,
+        base_dims: &[150, 150],
+        default_events: 60_000,
+        latent_rank: 6,
+        noise_fraction: 0.08,
+        zipf_exponent: 1.8,
+        day_ticks: 86_400,
+    }
+}
+
+/// Ride Austin: `sources × destinations × colors × timestamps [minutes]`,
+/// T = 1440 min (1 day). The only 4-mode dataset.
+pub fn ride_austin_like() -> DatasetSpec {
+    DatasetSpec {
+        name: "Ride Austin",
+        description: "sources x destinations x colors x timestamps [minutes]",
+        tick_unit: "minutes",
+        paper_dims: &[219, 219, 24, 285_136],
+        paper_nnz: 0.89e6,
+        paper_density: 2.739e-6,
+        rank: 20,
+        window: 10,
+        period: 1440,
+        theta: 50,
+        eta: 1000.0,
+        base_dims: &[100, 100, 24],
+        default_events: 30_000,
+        latent_rank: 6,
+        noise_fraction: 0.15,
+        zipf_exponent: 1.6,
+        day_ticks: 1440,
+    }
+}
+
+/// All four datasets in the paper's presentation order.
+pub fn all_datasets() -> Vec<DatasetSpec> {
+    vec![divvy_like(), chicago_crime_like(), nytaxi_like(), ride_austin_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn four_datasets_with_paper_defaults() {
+        let all = all_datasets();
+        assert_eq!(all.len(), 4);
+        for d in &all {
+            // Table III invariants.
+            assert_eq!(d.rank, 20, "{}", d.name);
+            assert_eq!(d.window, 10, "{}", d.name);
+            assert!(d.theta == 20 || d.theta == 50);
+            assert_eq!(d.eta, 1000.0);
+            // Table II shape: time mode last, categorical dims positive.
+            assert!(d.paper_dims.len() >= 3);
+            assert!(d.paper_nnz > 0.0);
+            assert!(d.base_dims.len() == d.paper_dims.len() - 1);
+        }
+    }
+
+    #[test]
+    fn ride_austin_is_4mode() {
+        assert_eq!(ride_austin_like().base_dims.len(), 3);
+        assert_eq!(divvy_like().base_dims.len(), 2);
+    }
+
+    #[test]
+    fn periods_match_paper() {
+        assert_eq!(divvy_like().period, 1440);
+        assert_eq!(chicago_crime_like().period, 720);
+        assert_eq!(nytaxi_like().period, 3600);
+        assert_eq!(ride_austin_like().period, 1440);
+    }
+
+    #[test]
+    fn generators_produce_valid_streams() {
+        for d in all_datasets() {
+            let s = generate(&d.generator(500, 7));
+            assert_eq!(s.len(), 500, "{}", d.name);
+            for tu in &s {
+                assert_eq!(tu.coords.order(), d.base_dims.len());
+                for (m, &n) in d.base_dims.iter().enumerate() {
+                    assert!((tu.coords.get(m) as usize) < n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn densities_span_paper_regimes() {
+        // Table II spans 1e-2 (Crime) down to 1e-6 (Ride Austin).
+        let all = all_datasets();
+        let max = all.iter().map(|d| d.paper_density).fold(0.0, f64::max);
+        let min = all.iter().map(|d| d.paper_density).fold(1.0, f64::min);
+        assert!(max > 1e-2 && min < 1e-5);
+    }
+}

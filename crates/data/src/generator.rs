@@ -1,0 +1,310 @@
+//! CP-structured synthetic stream generator.
+//!
+//! Events are drawn from `n_components` latent components. Component `r`
+//! owns one Zipf-skewed categorical profile per mode (its "community")
+//! and a diurnal activity curve (two Gaussian rush-hour bumps over the
+//! synthetic day plus a weekday/weekend modulation). A configurable
+//! fraction of events is instead drawn uniformly — the unstructured tail
+//! that keeps the tensor from being exactly low rank, which is what makes
+//! the fitness trade-offs of the paper visible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sns_stream::StreamTuple;
+use sns_tensor::Coord;
+
+/// Configuration of the synthetic stream generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Categorical mode lengths `N₁,…,N_{M−1}`.
+    pub base_dims: Vec<usize>,
+    /// Number of latent components (the "true" CP rank of the signal).
+    pub n_components: usize,
+    /// Number of events to emit.
+    pub events: usize,
+    /// Stream duration in ticks; timestamps are spread over `[0, duration)`.
+    pub duration: u64,
+    /// Fraction of events drawn uniformly at random.
+    pub noise_fraction: f64,
+    /// Zipf exponent of the categorical profiles (higher = more skewed).
+    pub zipf_exponent: f64,
+    /// Ticks per synthetic day (diurnal activity period).
+    pub day_ticks: u64,
+    /// Values are `1 ..= max_value`, geometric-ish (1 dominates).
+    pub max_value: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            base_dims: vec![50, 50],
+            n_components: 8,
+            events: 10_000,
+            duration: 100_000,
+            noise_fraction: 0.15,
+            zipf_exponent: 1.1,
+            day_ticks: 86_400,
+            max_value: 3,
+            seed: 0xda7a,
+        }
+    }
+}
+
+/// A categorical distribution sampled via its cumulative weights.
+struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    fn from_weights(weights: &[f64]) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w.max(0.0);
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "categorical needs positive total weight");
+        Categorical { cumulative }
+    }
+
+    /// Zipf weights over a random permutation of `0..n`.
+    fn zipf<R: Rng + ?Sized>(rng: &mut R, n: usize, exponent: f64) -> Self {
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Fisher–Yates.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut weights = vec![0.0; n];
+        for (rank_pos, &idx) in perm.iter().enumerate() {
+            weights[idx] = 1.0 / ((rank_pos + 1) as f64).powf(exponent);
+        }
+        Categorical::from_weights(&weights)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty categorical");
+        let u = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+/// One latent component: a categorical profile per mode + temporal shape.
+struct Component {
+    profiles: Vec<Categorical>,
+    /// Rush-hour bump centers as day fractions (e.g. 0.35 ≈ morning).
+    bump_centers: [f64; 2],
+    bump_width: f64,
+    base_rate: f64,
+}
+
+impl Component {
+    /// Relative activity at day fraction `f ∈ [0, 1)`.
+    fn activity(&self, f: f64) -> f64 {
+        let mut a = 0.15; // floor: activity never fully stops
+        for &c in &self.bump_centers {
+            // circular distance on the day
+            let d = (f - c).abs().min(1.0 - (f - c).abs());
+            a += (-0.5 * (d / self.bump_width).powi(2)).exp();
+        }
+        a * self.base_rate
+    }
+}
+
+/// Generates a chronological synthetic multi-aspect data stream.
+pub fn generate(cfg: &GeneratorConfig) -> Vec<StreamTuple> {
+    assert!(!cfg.base_dims.is_empty(), "need at least one categorical mode");
+    assert!(cfg.n_components > 0, "need at least one component");
+    assert!(cfg.duration > 0, "duration must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let components: Vec<Component> = (0..cfg.n_components)
+        .map(|_| Component {
+            profiles: cfg
+                .base_dims
+                .iter()
+                .map(|&n| Categorical::zipf(&mut rng, n, cfg.zipf_exponent))
+                .collect(),
+            bump_centers: [rng.gen_range(0.25..0.45), rng.gen_range(0.6..0.85)],
+            bump_width: rng.gen_range(0.04..0.12),
+            base_rate: 1.0 / ((1.0 + rng.gen::<f64>() * cfg.n_components as f64).sqrt()),
+        })
+        .collect();
+
+    // Timestamps follow a diurnal intensity (two rush-hour bumps) via
+    // rejection sampling, so the *event rate* itself carries the daily
+    // texture of real traffic — not just the component mixture.
+    let day = cfg.day_ticks.max(1);
+    let intensity = |t: u64| -> f64 {
+        let f = (t % day) as f64 / day as f64;
+        let bump = |c: f64, w: f64| {
+            let d = (f - c).abs().min(1.0 - (f - c).abs());
+            (-0.5 * (d / w) * (d / w)).exp()
+        };
+        0.25 + bump(0.33, 0.07) + 0.8 * bump(0.74, 0.09)
+    };
+    let max_intensity = 2.05; // floor + both bumps can barely overlap
+    let mut times: Vec<u64> = Vec::with_capacity(cfg.events);
+    while times.len() < cfg.events {
+        let t = rng.gen_range(0..cfg.duration);
+        if rng.gen::<f64>() * max_intensity < intensity(t) {
+            times.push(t);
+        }
+    }
+    times.sort_unstable();
+
+    let mut out = Vec::with_capacity(cfg.events);
+    let mut weights = vec![0.0; cfg.n_components];
+    for t in times {
+        let value = sample_value(&mut rng, cfg.max_value);
+        let coords: Vec<u32> = if rng.gen::<f64>() < cfg.noise_fraction {
+            cfg.base_dims.iter().map(|&n| rng.gen_range(0..n as u32)).collect()
+        } else {
+            // Pick a component by its activity at this time of "day".
+            let day_fraction =
+                (t % cfg.day_ticks.max(1)) as f64 / cfg.day_ticks.max(1) as f64;
+            // Weekend damping: every 6th and 7th synthetic day is quieter
+            // for even components, busier for odd ones (weekly texture).
+            let day_index = t / cfg.day_ticks.max(1);
+            let weekend = day_index % 7 >= 5;
+            for (r, comp) in components.iter().enumerate() {
+                let mut w = comp.activity(day_fraction);
+                if weekend {
+                    w *= if r % 2 == 0 { 0.4 } else { 1.4 };
+                }
+                weights[r] = w;
+            }
+            let comp = &components[Categorical::from_weights(&weights).sample(&mut rng)];
+            comp.profiles.iter().map(|p| p.sample(&mut rng) as u32).collect()
+        };
+        out.push(StreamTuple::new(Coord::new(&coords), value as f64, t));
+    }
+    out
+}
+
+fn sample_value<R: Rng + ?Sized>(rng: &mut R, max_value: u32) -> u32 {
+    // Geometric-ish: 1 with prob ~0.8, then tail up to max_value.
+    let mut v = 1;
+    while v < max_value && rng.gen::<f64>() < 0.2 {
+        v += 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            base_dims: vec![20, 15],
+            n_components: 4,
+            events: 3000,
+            duration: 30_000,
+            day_ticks: 5_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn emits_requested_count_chronologically_in_bounds() {
+        let cfg = small_cfg();
+        let s = generate(&cfg);
+        assert_eq!(s.len(), 3000);
+        for w in s.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for tu in &s {
+            assert!(tu.time < cfg.duration);
+            assert_eq!(tu.coords.order(), 2);
+            assert!((tu.coords.get(0) as usize) < 20);
+            assert!((tu.coords.get(1) as usize) < 15);
+            assert!(tu.value >= 1.0 && tu.value <= cfg.max_value as f64);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = small_cfg();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let mut cfg2 = small_cfg();
+        cfg2.seed += 1;
+        assert_ne!(generate(&cfg), generate(&cfg2));
+    }
+
+    #[test]
+    fn skewed_not_uniform() {
+        // With Zipf profiles, the most popular source should receive far
+        // more than the uniform share of events.
+        let cfg = GeneratorConfig { noise_fraction: 0.0, ..small_cfg() };
+        let s = generate(&cfg);
+        let mut counts = [0usize; 20];
+        for tu in &s {
+            counts[tu.coords.get(0) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let uniform_share = s.len() / 20;
+        assert!(max > 2 * uniform_share, "max {max} vs uniform {uniform_share}");
+    }
+
+    #[test]
+    fn pure_noise_is_roughly_uniform() {
+        let cfg = GeneratorConfig { noise_fraction: 1.0, events: 20_000, ..small_cfg() };
+        let s = generate(&cfg);
+        let mut counts = [0usize; 20];
+        for tu in &s {
+            counts[tu.coords.get(0) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "noise mode should be near-uniform: {counts:?}");
+    }
+
+    #[test]
+    fn diurnal_structure_present() {
+        // Activity at rush hours should exceed the floor markedly: compare
+        // busiest vs quietest day-fraction deciles.
+        let cfg = GeneratorConfig {
+            noise_fraction: 0.0,
+            events: 30_000,
+            duration: 50_000,
+            day_ticks: 10_000,
+            ..small_cfg()
+        };
+        let s = generate(&cfg);
+        let mut buckets = [0usize; 10];
+        for tu in &s {
+            let f = (tu.time % 10_000) as f64 / 10_000.0;
+            buckets[(f * 10.0) as usize % 10] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max > min * 2, "no diurnal texture: {buckets:?}");
+    }
+
+    #[test]
+    fn values_mostly_one() {
+        let s = generate(&small_cfg());
+        let ones = s.iter().filter(|t| t.value == 1.0).count();
+        assert!(ones * 10 > s.len() * 7, "values should be mostly 1");
+    }
+
+    #[test]
+    fn categorical_sampler_is_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Categorical::from_weights(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_weights_rejected() {
+        let _ = Categorical::from_weights(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sns-data
+//!
+//! Synthetic multi-aspect data streams mirroring the paper's four
+//! real-world datasets (Table II), plus CSV stream I/O and the anomaly
+//! injection of Section VI-G.
+//!
+//! ## Why synthetic
+//!
+//! The original traces (Divvy Bikes, Chicago Crime, New York Taxi, Ride
+//! Austin) are not available in this environment. The generator in
+//! [`generator`] reproduces the *structural* properties the SliceNStitch
+//! algorithms are sensitive to:
+//!
+//! - the same mode structure (3-mode `src×dst×time`, 3-mode
+//!   `community×type×time`, 4-mode `src×dst×color×time`),
+//! - approximately low CP rank: events are drawn from latent components
+//!   with Zipf-skewed categorical profiles — the "communities" that make
+//!   real traffic matrices low-rank — plus a tunable fraction of
+//!   unstructured noise,
+//! - diurnal/weekly temporal activity (rush-hour bumps) so the time mode
+//!   carries signal,
+//! - comparable density regimes per window.
+//!
+//! Absolute fitness values will differ from the paper; orderings and
+//! trends (who wins, how θ/η move the curves) are preserved because they
+//! depend only on these structural knobs. See `DESIGN.md` §4.
+
+pub mod csvio;
+pub mod datasets;
+pub mod generator;
+pub mod inject;
+pub mod spec;
+
+pub use datasets::{all_datasets, chicago_crime_like, divvy_like, nytaxi_like, ride_austin_like};
+pub use generator::{generate, GeneratorConfig};
+pub use inject::{inject_anomalies, InjectedAnomaly};
+pub use spec::DatasetSpec;

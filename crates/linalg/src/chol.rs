@@ -1,0 +1,216 @@
+//! Cholesky factorization and SPD linear solves.
+//!
+//! The normal-equation matrices `H = ∗ AᵀA` arising in ALS are symmetric
+//! positive semi-definite; when they are strictly positive definite a
+//! Cholesky solve is the cheapest option. [`solve_spd`] falls back to a
+//! pseudoinverse-based solve only when the factorization fails, matching
+//! the `H†` used in the paper.
+
+use crate::{LinalgError, Mat, Result};
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// # Errors
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+/// positive.
+pub fn cholesky(a: &Mat) -> Result<Mat> {
+    cholesky_with_tol(a, 0.0)
+}
+
+/// Cholesky with a *relative* pivot threshold: factorization fails as
+/// "not positive definite" if any pivot drops below
+/// `rel_tol · max_diag(A)`. Solver callers use this to detect
+/// near-singular Gram systems and divert them to the truncated
+/// pseudoinverse — an exact solve through a tiny pivot amplifies noise by
+/// `1/λ_min`, which is precisely the runaway the paper's clipped variants
+/// guard against.
+pub fn cholesky_with_tol(a: &Mat, rel_tol: f64) -> Result<Mat> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { op: "cholesky", shape: a.shape() });
+    }
+    let n = a.rows();
+    let max_diag = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs()));
+    let floor = rel_tol * max_diag;
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= floor || sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L·y = b` for lower-triangular `L` (forward substitution), in place.
+pub fn forward_sub(l: &Mat, b: &mut [f64]) {
+    let n = l.rows();
+    debug_assert_eq!(b.len(), n);
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * b[k];
+        }
+        b[i] = sum / l[(i, i)];
+    }
+}
+
+/// Solves `Lᵀ·x = y` for lower-triangular `L` (backward substitution), in place.
+pub fn backward_sub_t(l: &Mat, y: &mut [f64]) {
+    let n = l.rows();
+    debug_assert_eq!(y.len(), n);
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky,
+/// overwriting `b` with the solution.
+pub fn solve_chol_in_place(l: &Mat, b: &mut [f64]) {
+    forward_sub(l, b);
+    backward_sub_t(l, b);
+}
+
+/// Solves `A·X = B` (column-by-column) for SPD `A`, trying Cholesky first
+/// and falling back to the eigendecomposition pseudoinverse when `A` is
+/// singular or indefinite. This is the `H†`-style solve of Eq. (4).
+pub fn solve_spd(a: &Mat, b: &Mat) -> Result<Mat> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { op: "solve_spd", shape: a.shape() });
+    }
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_spd",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    match cholesky(a) {
+        Ok(l) => {
+            let n = a.rows();
+            let mut x = Mat::zeros(n, b.cols());
+            let mut col = vec![0.0; n];
+            for j in 0..b.cols() {
+                for i in 0..n {
+                    col[i] = b[(i, j)];
+                }
+                solve_chol_in_place(&l, &mut col);
+                for i in 0..n {
+                    x[(i, j)] = col[i];
+                }
+            }
+            Ok(x)
+        }
+        Err(_) => {
+            // Singular or indefinite: use the Moore–Penrose pseudoinverse.
+            let pinv = crate::pinv::pinv_sym(a)?;
+            crate::ops::matmul(&pinv, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gram, matmul};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mat::random(&mut rng, n + 2, n, 1.0);
+        let mut g = gram(&a);
+        for i in 0..n {
+            g[(i, i)] += 0.1; // safely positive definite
+        }
+        g
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(6, 1);
+        let l = cholesky(&a).unwrap();
+        let rec = matmul(&l, &l.transpose()).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+        // L is lower triangular.
+        for i in 0..6 {
+            for j in i + 1..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert!(matches!(cholesky(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1., 2.], &[2., 1.]]); // eigenvalues 3, −1
+        assert!(matches!(cholesky(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(5, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x_true = Mat::random(&mut rng, 5, 3, 1.0);
+        let b = matmul(&a, &x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for i in 0..5 {
+            for j in 0..3 {
+                assert!((x[(i, j)] - x_true[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_spd_falls_back_on_singular() {
+        // Rank-1 PSD matrix: Cholesky fails, pinv path must still produce
+        // the minimum-norm solution.
+        let v = Mat::from_rows(&[&[1.0], &[2.0]]);
+        let a = matmul(&v, &v.transpose()).unwrap(); // [[1,2],[2,4]]
+        let b = Mat::from_rows(&[&[1.0], &[2.0]]); // in the column space
+        let x = solve_spd(&a, &b).unwrap();
+        let residual = crate::ops::sub(&matmul(&a, &x).unwrap(), &b).unwrap();
+        assert!(residual.frob_norm() < 1e-10);
+    }
+
+    #[test]
+    fn solve_spd_validates_shapes() {
+        assert!(solve_spd(&Mat::zeros(2, 3), &Mat::zeros(2, 1)).is_err());
+        assert!(solve_spd(&Mat::identity(2), &Mat::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn substitution_kernels() {
+        let l = Mat::from_rows(&[&[2., 0.], &[1., 3.]]);
+        let mut b = [4., 10.];
+        forward_sub(&l, &mut b); // y = [2, 8/3]
+        assert!((b[0] - 2.0).abs() < 1e-14);
+        assert!((b[1] - 8.0 / 3.0).abs() < 1e-14);
+        let mut y = [2., 3.];
+        backward_sub_t(&l, &mut y); // solves Lᵀ x = y
+        assert!((y[1] - 1.0).abs() < 1e-14);
+        assert!((y[0] - 0.5).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+//!
+//! The Gram/Hadamard matrices `H` in ALS are symmetric and at most
+//! `R × R` with `R ≈ 20`, where the classic Jacobi rotation method is both
+//! simple and accurate (it computes small eigenvalues to high relative
+//! accuracy, which matters for rank decisions in the pseudoinverse).
+
+use crate::{LinalgError, Mat, Result};
+
+/// Result of a symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `k` corresponds to `values[k]`.
+    pub vectors: Mat,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix using
+/// the cyclic Jacobi method.
+///
+/// The strict upper triangle of `a` is trusted; minor asymmetry from
+/// floating-point accumulation is tolerated by symmetrizing internally.
+///
+/// # Errors
+/// - [`LinalgError::NotSquare`] if `a` is not square.
+/// - [`LinalgError::NonFinite`] if `a` contains NaN/inf.
+/// - [`LinalgError::NoConvergence`] if off-diagonal mass does not vanish
+///   within [`MAX_SWEEPS`] sweeps (practically unreachable for `n ≤ 100`).
+pub fn eigen_sym(a: &Mat) -> Result<SymEigen> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { op: "eigen_sym", shape: a.shape() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "eigen_sym" });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymEigen { values: vec![], vectors: Mat::zeros(0, 0) });
+    }
+
+    // Work on a symmetrized copy.
+    let mut m = Mat::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Mat::identity(n);
+
+    let frob = m.frob_norm();
+    // An all-zero matrix is already diagonal.
+    let tol = if frob == 0.0 { 0.0 } else { frob * 1e-15 };
+
+    for sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            return Ok(sort_eigen(m, v));
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classical Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of M = Jᵀ M J.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+        let _ = sweep;
+    }
+    Err(LinalgError::NoConvergence { op: "jacobi", iterations: MAX_SWEEPS })
+}
+
+/// Sorts eigenpairs by descending eigenvalue.
+fn sort_eigen(m: Mat, v: Mat) -> SymEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&k| m[(k, k)]).collect();
+    let vectors = Mat::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gram, matmul};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reconstruct(e: &SymEigen) -> Mat {
+        let n = e.values.len();
+        let d = Mat::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        matmul(&matmul(&e.vectors, &d).unwrap(), &e.vectors.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Mat::from_rows(&[&[3., 0.], &[0., 1.]]);
+        let e = eigen_sym(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_rows(&[&[2., 1.], &[1., 2.]]);
+        let e = eigen_sym(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 5, 12, 20] {
+            let b = Mat::random(&mut rng, n + 3, n, 1.0);
+            let a = gram(&b);
+            let e = eigen_sym(&a).unwrap();
+            let rec = reconstruct(&e);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (rec[(i, j)] - a[(i, j)]).abs() < 1e-9 * (1.0 + a.max_abs()),
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+            // VᵀV = I
+            let vtv = gram(&e.vectors);
+            for i in 0..n {
+                for j in 0..n {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!((vtv[(i, j)] - expect).abs() < 1e-10);
+                }
+            }
+            // Values descending and non-negative (Gram matrix).
+            for k in 1..n {
+                assert!(e.values[k - 1] >= e.values[k] - 1e-12);
+            }
+            assert!(e.values[n - 1] > -1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_indefinite_matrices() {
+        let a = Mat::from_rows(&[&[0., 1.], &[1., 0.]]); // eigenvalues ±1
+        let e = eigen_sym(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_empty_matrices() {
+        let e = eigen_sym(&Mat::zeros(3, 3)).unwrap();
+        assert!(e.values.iter().all(|&v| v == 0.0));
+        let e = eigen_sym(&Mat::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(eigen_sym(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+        let mut a = Mat::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(eigen_sym(&a), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let b = Mat::random(&mut rng, 10, 8, 1.0);
+        let a = gram(&b);
+        let trace: f64 = (0..8).map(|i| a[(i, i)]).sum();
+        let e = eigen_sym(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9 * trace.max(1.0));
+    }
+}

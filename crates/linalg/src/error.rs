@@ -1,0 +1,97 @@
+//! Error type shared by all fallible linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Operation that was attempted (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A square-matrix operation received a non-square matrix.
+    NotSquare {
+        /// Operation that was attempted.
+        op: &'static str,
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization hit a non-positive pivot.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value of the failing pivot.
+        value: f64,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Routine that failed (e.g. `"jacobi"`).
+        op: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A matrix contained NaN or infinity where finite values are required.
+    NonFinite {
+        /// Operation that detected the problem.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch between {}x{} and {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { op, shape } => {
+                write!(f, "{op}: expected square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "cholesky: non-positive pivot {value:.3e} at index {pivot}")
+            }
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op}: no convergence after {iterations} iterations")
+            }
+            LinalgError::NonFinite { op } => write!(f, "{op}: non-finite value encountered"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinalgError::NotSquare { op: "eig", shape: (2, 3) };
+        assert!(e.to_string().contains("square"));
+
+        let e = LinalgError::NotPositiveDefinite { pivot: 1, value: -0.5 };
+        assert!(e.to_string().contains("pivot"));
+
+        let e = LinalgError::NoConvergence { op: "jacobi", iterations: 30 };
+        assert!(e.to_string().contains("30"));
+
+        let e = LinalgError::NonFinite { op: "pinv" };
+        assert!(e.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(LinalgError::NonFinite { op: "x" });
+    }
+}

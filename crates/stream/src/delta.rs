@@ -1,0 +1,154 @@
+//! Window change records (`ΔX` of Definition 6).
+//!
+//! Every event of the continuous tensor model changes at most two entries
+//! of the tensor window. A [`Delta`] carries those changes together with
+//! the originating tuple and the boundary count `w`, which is exactly the
+//! information Algorithm 3 of the paper consumes.
+
+use crate::tuple::StreamTuple;
+use sns_tensor::Coord;
+
+/// The kind of window event that produced a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// S.1 — the tuple just arrived (`w = 0`): `+v` at time index `W−1`.
+    Arrival,
+    /// S.2 — the tuple crossed its `w`-th unit boundary (`1 ≤ w < W`):
+    /// `−v` at time index `W−w`, `+v` at `W−w−1` (0-based).
+    Shift,
+    /// S.3 — the tuple left the window (`w = W`): `−v` at time index `0`.
+    Expiry,
+}
+
+/// Up to two `(coordinate, signed value)` changes, stored inline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Changes {
+    len: u8,
+    items: [(Coord, f64); 2],
+}
+
+impl Changes {
+    /// One-entry change set.
+    pub fn one(c: Coord, v: f64) -> Self {
+        Changes { len: 1, items: [(c, v), (c, 0.0)] }
+    }
+
+    /// Two-entry change set.
+    pub fn two(c1: Coord, v1: f64, c2: Coord, v2: f64) -> Self {
+        Changes { len: 2, items: [(c1, v1), (c2, v2)] }
+    }
+
+    /// Number of changed entries (1 or 2).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Never empty by construction, but provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The changes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[(Coord, f64)] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates over `(coord, signed value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(Coord, f64)> + '_ {
+        self.as_slice().iter()
+    }
+
+    /// The changed coordinates only (used for sampling exclusion).
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.as_slice().iter().map(|&(c, _)| c)
+    }
+}
+
+/// One atomic change of the tensor window.
+///
+/// The window applies the change *before* handing the delta to the CPD
+/// algorithm, so during an update `window == X + ΔX` in the paper's
+/// notation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delta {
+    /// Wall-clock time at which the event fired.
+    pub time: u64,
+    /// Event class (arrival / boundary shift / expiry).
+    pub kind: DeltaKind,
+    /// Boundary count `w ∈ {0,…,W}`; `0` for arrivals, `W` for expiry.
+    pub w: u32,
+    /// The originating stream tuple.
+    pub tuple: StreamTuple,
+    /// The at-most-two changed entries (full window coordinates, i.e.
+    /// including the time mode as the last mode).
+    pub changes: Changes,
+}
+
+impl Delta {
+    /// The non-time categorical coordinates `i₁,…,i_{M−1}`.
+    #[inline]
+    pub fn categorical(&self) -> &Coord {
+        &self.tuple.coords
+    }
+
+    /// The affected time-mode indices (0-based), newest-side first.
+    pub fn time_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.changes.iter().map(|(c, _)| c.get(c.order() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup() -> StreamTuple {
+        StreamTuple::new([1u32, 2], 3.0, 10)
+    }
+
+    #[test]
+    fn one_and_two_changes() {
+        let c1 = Coord::new(&[1, 2, 9]);
+        let c2 = Coord::new(&[1, 2, 8]);
+        let one = Changes::one(c1, 3.0);
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+        assert_eq!(one.as_slice(), &[(c1, 3.0)]);
+        let two = Changes::two(c1, -3.0, c2, 3.0);
+        assert_eq!(two.len(), 2);
+        let got: Vec<_> = two.iter().copied().collect();
+        assert_eq!(got, vec![(c1, -3.0), (c2, 3.0)]);
+        let coords: Vec<_> = two.coords().collect();
+        assert_eq!(coords, vec![c1, c2]);
+    }
+
+    #[test]
+    fn delta_accessors() {
+        let c1 = Coord::new(&[1, 2, 9]);
+        let d = Delta {
+            time: 10,
+            kind: DeltaKind::Arrival,
+            w: 0,
+            tuple: tup(),
+            changes: Changes::one(c1, 3.0),
+        };
+        assert_eq!(d.categorical().as_slice(), &[1, 2]);
+        assert_eq!(d.time_indices().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn delta_is_copy() {
+        let c1 = Coord::new(&[0, 0, 0]);
+        let d = Delta {
+            time: 0,
+            kind: DeltaKind::Expiry,
+            w: 3,
+            tuple: tup(),
+            changes: Changes::one(c1, -1.0),
+        };
+        let e = d; // Copy
+        assert_eq!(d, e);
+    }
+}

@@ -1,0 +1,63 @@
+//! Errors for stream processing.
+
+use std::fmt;
+
+/// Errors raised by the window models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Tuples must arrive in chronological order (Definition 1).
+    OutOfOrder {
+        /// Timestamp of the latest previously ingested tuple.
+        previous: u64,
+        /// Timestamp of the offending tuple.
+        got: u64,
+    },
+    /// A tuple's categorical coordinate order does not match the window.
+    OrderMismatch {
+        /// Expected number of categorical modes (`M − 1`).
+        expected: usize,
+        /// Received number of categorical modes.
+        got: usize,
+    },
+    /// A tuple's categorical coordinate is outside the declared shape.
+    OutOfBounds {
+        /// Offending mode.
+        mode: usize,
+        /// Offending index.
+        index: u32,
+        /// Length of that mode.
+        len: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::OutOfOrder { previous, got } => {
+                write!(f, "out-of-order tuple: time {got} after {previous}")
+            }
+            StreamError::OrderMismatch { expected, got } => {
+                write!(f, "tuple has {got} categorical modes, window expects {expected}")
+            }
+            StreamError::OutOfBounds { mode, index, len } => {
+                write!(f, "index {index} out of bounds for mode {mode} (length {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(StreamError::OutOfOrder { previous: 5, got: 3 }.to_string().contains("3"));
+        assert!(StreamError::OrderMismatch { expected: 2, got: 3 }.to_string().contains("2"));
+        assert!(StreamError::OutOfBounds { mode: 1, index: 9, len: 4 }
+            .to_string()
+            .contains("mode 1"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests pinning the event-driven continuous window
+//! (Algorithm 1) to the declarative model of Definitions 3–5, under
+//! arbitrary chronological streams.
+
+use proptest::prelude::*;
+use sns_stream::{window_from_log, ContinuousWindow, DiscreteWindow, StreamTuple};
+use sns_tensor::Coord;
+
+/// Strategy: a chronological stream of up to `n` tuples over a 4×3 base
+/// shape with inter-arrival gaps in `0..gap` and values in {1,2,3}.
+fn stream_strategy(n: usize, gap: u64) -> impl Strategy<Value = Vec<StreamTuple>> {
+    proptest::collection::vec((0u32..4, 0u32..3, 1u8..4, 0u64..gap), 0..n).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(a, b, v, dt)| {
+                t += dt;
+                StreamTuple::new([a, b], v as f64, t)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event-driven window equals the brute-force `D(t, W)` at every
+    /// arrival time and at arbitrary later times.
+    #[test]
+    fn continuous_window_matches_definition(
+        tuples in stream_strategy(120, 9),
+        window in 1usize..6,
+        period in 1u64..15,
+        extra in 0u64..80,
+    ) {
+        let mut w = ContinuousWindow::new(&[4, 3], window, period);
+        let mut out = Vec::new();
+        for tu in &tuples {
+            w.ingest(*tu, &mut out).unwrap();
+        }
+        let t_end = tuples.last().map_or(0, |tu| tu.time) + extra;
+        w.advance_to(t_end, &mut out);
+        let reference = window_from_log(&[4, 3], window, period, &tuples, t_end);
+        prop_assert_eq!(w.tensor().nnz(), reference.nnz());
+        for (c, v) in reference.iter() {
+            prop_assert_eq!(w.tensor().get(c), v);
+        }
+        w.tensor().check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Conservation: every tuple contributes exactly +v on arrival and −v
+    /// on expiry, so the sum of all window entries equals the sum of the
+    /// values of tuples still inside `(t − W·T, t]`.
+    #[test]
+    fn window_mass_conservation(
+        tuples in stream_strategy(100, 6),
+        window in 1usize..5,
+        period in 1u64..10,
+    ) {
+        let mut w = ContinuousWindow::new(&[4, 3], window, period);
+        let mut out = Vec::new();
+        for (i, tu) in tuples.iter().enumerate() {
+            w.ingest(*tu, &mut out).unwrap();
+            let t = tu.time;
+            // Only tuples ingested so far can contribute (equal timestamps
+            // later in the stream are not yet in the window).
+            let expected: f64 = tuples[..=i]
+                .iter()
+                .filter(|u| t - u.time < window as u64 * period)
+                .map(|u| u.value)
+                .sum();
+            let total: f64 = w.tensor().iter().map(|(_, v)| v).sum();
+            prop_assert!((total - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Every delta has the documented structure: arrivals add +v at the
+    /// newest unit, shifts move v between adjacent units, expiries remove
+    /// −v at unit 0; and the number of events per tuple is exactly W+1.
+    #[test]
+    fn delta_structure(
+        tuples in stream_strategy(60, 5),
+        window in 1usize..5,
+        period in 1u64..8,
+    ) {
+        use sns_stream::DeltaKind;
+        let mut w = ContinuousWindow::new(&[4, 3], window, period);
+        let mut out = Vec::new();
+        for tu in &tuples {
+            w.ingest(*tu, &mut out).unwrap();
+        }
+        // Drain everything.
+        let t_end = tuples.last().map_or(0, |tu| tu.time) + window as u64 * period + 1;
+        w.advance_to(t_end, &mut out);
+        let wsz = window as u32;
+        let mut arrivals = 0usize;
+        let mut expiries = 0usize;
+        let mut shifts = 0usize;
+        for d in &out {
+            match d.kind {
+                DeltaKind::Arrival => {
+                    arrivals += 1;
+                    prop_assert_eq!(d.changes.len(), 1);
+                    let (c, v) = d.changes.as_slice()[0];
+                    prop_assert_eq!(c.get(c.order() - 1), wsz - 1);
+                    prop_assert_eq!(v, d.tuple.value);
+                }
+                DeltaKind::Shift => {
+                    shifts += 1;
+                    prop_assert_eq!(d.changes.len(), 2);
+                    let ch = d.changes.as_slice();
+                    let tm = ch[0].0.order() - 1;
+                    prop_assert_eq!(ch[0].0.get(tm), ch[1].0.get(tm) + 1);
+                    prop_assert_eq!(ch[0].1, -d.tuple.value);
+                    prop_assert_eq!(ch[1].1, d.tuple.value);
+                }
+                DeltaKind::Expiry => {
+                    expiries += 1;
+                    prop_assert_eq!(d.changes.len(), 1);
+                    let (c, v) = d.changes.as_slice()[0];
+                    prop_assert_eq!(c.get(c.order() - 1), 0);
+                    prop_assert_eq!(v, -d.tuple.value);
+                }
+            }
+        }
+        prop_assert_eq!(arrivals, tuples.len());
+        prop_assert_eq!(expiries, tuples.len());
+        prop_assert_eq!(shifts, tuples.len() * (window - 1));
+        prop_assert_eq!(w.tensor().nnz(), 0);
+    }
+
+    /// The discrete window's slice stream partitions tuple mass: summing
+    /// all completed slices plus the pending remainder equals the total
+    /// ingested mass.
+    #[test]
+    fn discrete_window_partitions_mass(
+        tuples in stream_strategy(80, 7),
+        window in 1usize..5,
+        period in 1u64..12,
+    ) {
+        let mut w = DiscreteWindow::new(&[4, 3], window, period);
+        let mut updates = Vec::new();
+        for tu in &tuples {
+            w.ingest(*tu, &mut updates).unwrap();
+        }
+        let t_end = tuples.last().map_or(0, |tu| tu.time);
+        w.flush_to(t_end, &mut updates);
+        let sliced: f64 = updates.iter().flat_map(|u| &u.slice).map(|&(_, v)| v).sum();
+        let total: f64 = tuples.iter().map(|u| u.value).sum();
+        // Pending = tuples after the last completed boundary (all tuples,
+        // including any at time 0, when nothing has completed yet).
+        let completed_until = updates.last().map(|u| u.boundary);
+        let pending: f64 = tuples
+            .iter()
+            .filter(|u| completed_until.is_none_or(|b| u.time > b))
+            .map(|u| u.value)
+            .sum();
+        prop_assert!((sliced + pending - total).abs() < 1e-9);
+        // Slice coordinates are categorical (order M−1).
+        for u in &updates {
+            for (c, _) in &u.slice {
+                prop_assert_eq!(c.order(), 2);
+            }
+        }
+        let _ = Coord::new(&[0, 0]);
+    }
+}

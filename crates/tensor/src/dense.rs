@@ -1,0 +1,165 @@
+//! Small dense tensors — test oracles only.
+//!
+//! The streaming system never materializes dense tensors; these exist so
+//! that every sparse kernel (MTTKRP, matricization, fitness) can be checked
+//! against a brute-force dense computation on small shapes.
+
+use crate::coord::Coord;
+use crate::matricize::matricized_col;
+use crate::shape::Shape;
+use crate::sparse::SparseTensor;
+use sns_linalg::Mat;
+
+/// A dense tensor stored row-major (last mode varies fastest).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseTensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// Creates a zero tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.num_entries();
+        DenseTensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Materializes a sparse tensor densely.
+    pub fn from_sparse(sparse: &SparseTensor) -> Self {
+        let mut d = DenseTensor::zeros(sparse.shape().clone());
+        for (c, v) in sparse.iter() {
+            *d.get_mut(c) = v;
+        }
+        d
+    }
+
+    /// Converts to a sparse tensor (dropping zeros).
+    pub fn to_sparse(&self) -> SparseTensor {
+        SparseTensor::from_entries(
+            self.shape.clone(),
+            self.shape
+                .iter_coords()
+                .filter_map(|c| {
+                    let v = self.get(&c);
+                    (v != 0.0).then_some((c, v))
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn linear(&self, coord: &Coord) -> usize {
+        debug_assert!(self.shape.contains(coord));
+        let mut lin = 0usize;
+        for m in 0..self.shape.order() {
+            lin = lin * self.shape.dim(m) + coord.get(m) as usize;
+        }
+        lin
+    }
+
+    /// Value at `coord`.
+    pub fn get(&self, coord: &Coord) -> f64 {
+        self.data[self.linear(coord)]
+    }
+
+    /// Mutable value at `coord`.
+    pub fn get_mut(&mut self, coord: &Coord) -> &mut f64 {
+        let lin = self.linear(coord);
+        &mut self.data[lin]
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Mode-`mode` matricization as a dense matrix
+    /// (`N_mode × Π_{m≠mode} N_m`), Kolda–Bader column ordering.
+    pub fn matricize(&self, mode: usize) -> Mat {
+        let rows = self.shape.dim(mode);
+        let cols = self.shape.num_entries_excluding(mode);
+        let mut m = Mat::zeros(rows, cols);
+        for c in self.shape.iter_coords() {
+            let v = self.get(&c);
+            if v != 0.0 {
+                m[(c.get(mode) as usize, matricized_col(&self.shape, &c, mode))] = v;
+            }
+        }
+        m
+    }
+
+    /// Element-wise difference norm `‖self − other‖_F`.
+    pub fn dist(&self, other: &DenseTensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "dist: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &[u32]) -> Coord {
+        Coord::new(s)
+    }
+
+    #[test]
+    fn zeros_and_get_set() {
+        let mut d = DenseTensor::zeros(Shape::new(&[2, 3]));
+        assert_eq!(d.get(&c(&[1, 2])), 0.0);
+        *d.get_mut(&c(&[1, 2])) = 5.0;
+        assert_eq!(d.get(&c(&[1, 2])), 5.0);
+        assert_eq!(d.norm(), 5.0);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut s = SparseTensor::new(Shape::new(&[3, 3, 2]));
+        s.add(&c(&[0, 1, 0]), 2.0);
+        s.add(&c(&[2, 2, 1]), -3.0);
+        let d = DenseTensor::from_sparse(&s);
+        assert_eq!(d.get(&c(&[0, 1, 0])), 2.0);
+        assert_eq!(d.get(&c(&[2, 2, 1])), -3.0);
+        let s2 = d.to_sparse();
+        assert_eq!(s2.nnz(), 2);
+        assert_eq!(s2.get(&c(&[0, 1, 0])), 2.0);
+        assert!((s.norm() - d.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matricize_shapes_and_content() {
+        let mut d = DenseTensor::zeros(Shape::new(&[2, 3, 4]));
+        *d.get_mut(&c(&[1, 2, 3])) = 7.0;
+        let m0 = d.matricize(0);
+        assert_eq!(m0.shape(), (2, 12));
+        assert_eq!(m0[(1, 2 + 3 * 3)], 7.0);
+        let m1 = d.matricize(1);
+        assert_eq!(m1.shape(), (3, 8));
+        assert_eq!(m1[(2, 1 + 3 * 2)], 7.0);
+        let m2 = d.matricize(2);
+        assert_eq!(m2.shape(), (4, 6));
+        assert_eq!(m2[(3, 1 + 2 * 2)], 7.0);
+        // Matricization preserves the Frobenius norm.
+        assert!((m0.frob_norm() - d.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_is_metric_like() {
+        let mut a = DenseTensor::zeros(Shape::new(&[2, 2]));
+        let mut b = DenseTensor::zeros(Shape::new(&[2, 2]));
+        *a.get_mut(&c(&[0, 0])) = 3.0;
+        *b.get_mut(&c(&[0, 0])) = 0.0;
+        *b.get_mut(&c(&[1, 1])) = 4.0;
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+}

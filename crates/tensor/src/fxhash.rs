@@ -1,0 +1,160 @@
+//! Fast non-cryptographic hashing for small integer keys.
+//!
+//! Coordinate lookups dominate the per-event cost of the tensor window, and
+//! SipHash (the std default) is needlessly slow for 4-byte integer words.
+//! This is the well-known "Fx" multiply-rotate-xor hash used by rustc and
+//! Firefox, re-implemented here because the workspace's allowed dependency
+//! set does not include `rustc-hash`. HashDoS resistance is irrelevant:
+//! keys are tensor coordinates produced by our own generators.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Golden-ratio-derived odd multiplier (same constant as rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Hash-map with the Fx hasher; drop-in for `std::collections::HashMap`.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Hash-set with the Fx hasher; drop-in for `std::collections::HashSet`.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Convenience constructor (the `new()` inherent method is not available
+/// for non-default hashers).
+pub fn fx_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::default()
+}
+
+/// Convenience constructor for sets.
+pub fn fx_set<K>() -> FxHashSet<K> {
+    FxHashSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let bh: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        bh.hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&[1u32, 2, 3]), hash_of(&[1u32, 2, 3]));
+    }
+
+    #[test]
+    fn discriminates_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&[0u32, 1]), hash_of(&[1u32, 0]));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail() {
+        // Lengths that are not multiples of 8 exercise the remainder path.
+        for len in 0..20usize {
+            let v1: Vec<u8> = (0..len as u8).collect();
+            let mut v2 = v1.clone();
+            let h1 = hash_of(&v1);
+            assert_eq!(h1, hash_of(&v2));
+            if len > 0 {
+                v2[len - 1] ^= 0xff;
+                assert_ne!(h1, hash_of(&v2), "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m = fx_map();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+
+        let mut s = fx_set();
+        for i in 0..100u64 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn distribution_is_reasonable() {
+        // Sequential keys should spread across buckets: count collisions in
+        // the top byte; with 256 buckets and 4096 keys, a uniform hash puts
+        // ~16 per bucket. Allow generous slack.
+        let mut buckets = [0u32; 256];
+        for i in 0..4096u64 {
+            buckets[(hash_of(&i) >> 56) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 64, "suspiciously uneven distribution: max bucket {max}");
+    }
+}

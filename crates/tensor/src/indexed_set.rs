@@ -1,0 +1,219 @@
+//! A set of coordinates with O(1) insert, remove, and uniform sampling.
+//!
+//! Each `(mode, index)` fiber of the sparse tensor keeps one of these so
+//! that SNS_RND can draw `θ` non-zeros uniformly at random in O(θ) and the
+//! row update rules can enumerate a fiber in O(deg).
+
+use crate::coord::Coord;
+use crate::fxhash::FxHashMap;
+use rand::Rng;
+
+/// A swap-remove indexed set: a dense `Vec` of members plus a position map.
+#[derive(Clone, Default)]
+pub struct IndexedCoordSet {
+    members: Vec<Coord>,
+    positions: FxHashMap<Coord, u32>,
+}
+
+impl IndexedCoordSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True if `coord` is a member.
+    #[inline]
+    pub fn contains(&self, coord: &Coord) -> bool {
+        self.positions.contains_key(coord)
+    }
+
+    /// Inserts `coord`; returns `true` if it was newly added.
+    pub fn insert(&mut self, coord: Coord) -> bool {
+        if self.positions.contains_key(&coord) {
+            return false;
+        }
+        self.positions.insert(coord, self.members.len() as u32);
+        self.members.push(coord);
+        true
+    }
+
+    /// Removes `coord` by swapping with the last member; returns `true` if
+    /// it was present.
+    pub fn remove(&mut self, coord: &Coord) -> bool {
+        let Some(pos) = self.positions.remove(coord) else {
+            return false;
+        };
+        let pos = pos as usize;
+        let last = self.members.len() - 1;
+        if pos != last {
+            let moved = self.members[last];
+            self.members[pos] = moved;
+            self.positions.insert(moved, pos as u32);
+        }
+        self.members.pop();
+        true
+    }
+
+    /// Iterates over the members (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Coord> + '_ {
+        self.members.iter()
+    }
+
+    /// Members as a slice (arbitrary order, stable between mutations).
+    #[inline]
+    pub fn as_slice(&self) -> &[Coord] {
+        &self.members
+    }
+
+    /// Draws `k` distinct members uniformly at random (without
+    /// replacement), appending them to `out`. If the set has ≤ `k`
+    /// members, all of them are returned. O(k) expected time when
+    /// `k ≪ len`, O(len) otherwise.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize, out: &mut Vec<Coord>) {
+        let n = self.members.len();
+        if n <= k {
+            out.extend_from_slice(&self.members);
+            return;
+        }
+        if k * 3 >= n {
+            // Dense regime: partial Fisher–Yates over a scratch index list.
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+                out.push(self.members[idx[i] as usize]);
+            }
+        } else {
+            // Sparse regime: rejection-sample distinct positions.
+            let mut chosen = crate::fxhash::fx_set();
+            while chosen.len() < k {
+                let j = rng.gen_range(0..n);
+                if chosen.insert(j) {
+                    out.push(self.members[j]);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for IndexedCoordSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IndexedCoordSet({} members)", self.members.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn c(i: u32) -> Coord {
+        Coord::new(&[i, i + 1])
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IndexedCoordSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(c(1)));
+        assert!(!s.insert(c(1))); // duplicate
+        assert!(s.insert(c(2)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&c(1)));
+        assert!(s.remove(&c(1)));
+        assert!(!s.remove(&c(1))); // already gone
+        assert!(!s.contains(&c(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut s = IndexedCoordSet::new();
+        for i in 0..100 {
+            s.insert(c(i));
+        }
+        // Remove from the middle repeatedly; membership must stay exact.
+        for i in (0..100).step_by(3) {
+            assert!(s.remove(&c(i)));
+        }
+        for i in 0..100 {
+            assert_eq!(s.contains(&c(i)), i % 3 != 0, "i={i}");
+        }
+        // Each member is reachable through iteration exactly once.
+        let seen: Vec<_> = s.iter().copied().collect();
+        assert_eq!(seen.len(), s.len());
+        let set: std::collections::HashSet<_> = seen.iter().collect();
+        assert_eq!(set.len(), seen.len());
+    }
+
+    #[test]
+    fn sample_returns_all_when_small() {
+        let mut s = IndexedCoordSet::new();
+        for i in 0..5 {
+            s.insert(c(i));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        s.sample_distinct(&mut rng, 10, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn sample_distinct_no_duplicates_both_regimes() {
+        let mut s = IndexedCoordSet::new();
+        for i in 0..50 {
+            s.insert(c(i));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        // Dense regime: k*3 >= n
+        let mut out = Vec::new();
+        s.sample_distinct(&mut rng, 20, &mut out);
+        assert_eq!(out.len(), 20);
+        let uniq: std::collections::HashSet<_> = out.iter().collect();
+        assert_eq!(uniq.len(), 20);
+        // Sparse regime: k*3 < n
+        let mut out = Vec::new();
+        s.sample_distinct(&mut rng, 5, &mut out);
+        assert_eq!(out.len(), 5);
+        let uniq: std::collections::HashSet<_> = out.iter().collect();
+        assert_eq!(uniq.len(), 5);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let mut s = IndexedCoordSet::new();
+        for i in 0..10 {
+            s.insert(c(i));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..6000 {
+            let mut out = Vec::new();
+            s.sample_distinct(&mut rng, 1, &mut out);
+            counts[out[0].get(0) as usize] += 1;
+        }
+        // Each of the 10 members expects 600 draws; allow wide slack.
+        for (i, &n) in counts.iter().enumerate() {
+            assert!((400..800).contains(&n), "member {i} drawn {n} times");
+        }
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let s = IndexedCoordSet::new();
+        assert!(format!("{s:?}").contains("0 members"));
+    }
+}

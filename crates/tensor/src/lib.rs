@@ -1,0 +1,36 @@
+//! # sns-tensor
+//!
+//! Sparse tensor substrate for the SliceNStitch reproduction.
+//!
+//! The continuous tensor model maintains a *tensor window*
+//! `X = D(t, W) ∈ R^{N₁×…×N_{M−1}×W}` under a stream of single-entry
+//! changes, and the update algorithms need three operations to be cheap:
+//!
+//! 1. point updates `x_J += δ` (entries appear and disappear),
+//! 2. *fiber* queries: all non-zeros whose mode-`m` index equals `i`
+//!    (`deg(m, i)` in the paper) — used by the row update rules,
+//! 3. uniform random sampling of `θ` non-zeros from a fiber — used by
+//!    SNS_RND / SNS⁺_RND.
+//!
+//! [`SparseTensor`] supports all three in (amortized) constant time per
+//! element by pairing a hash map of entries with one
+//! [`indexed_set::IndexedCoordSet`] per `(mode, index)` pair.
+//!
+//! Supporting modules: [`coord`] (compact coordinates), [`shape`],
+//! [`fxhash`] (fast non-cryptographic hashing, hand-rolled per the
+//! workspace dependency policy), [`dense`] (small dense tensors used as
+//! test oracles), and [`matricize`] (Kolda–Bader unfolding maps).
+
+pub mod coord;
+pub mod dense;
+pub mod fxhash;
+pub mod indexed_set;
+pub mod matricize;
+pub mod shape;
+pub mod sparse;
+
+pub use coord::{Coord, MAX_ORDER};
+pub use dense::DenseTensor;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use shape::Shape;
+pub use sparse::SparseTensor;

@@ -1,0 +1,113 @@
+//! Mode-`n` matricization (unfolding) maps, Kolda–Bader convention.
+//!
+//! `X(n)` arranges the mode-`n` fibers of `X` as columns of an
+//! `N_n × Π_{m≠n} N_m` matrix. Entry `(i₁,…,i_M)` lands in row `i_n` and
+//! column
+//!
+//! ```text
+//! j = Σ_{k≠n} i_k · J_k,   J_k = Π_{m<k, m≠n} N_m .
+//! ```
+//!
+//! With this convention `[[A(1),…,A(M)]](n) = A(n)·(A(M)⊙…⊙A(n+1)⊙A(n−1)⊙…⊙A(1))ᵀ`
+//! where `⊙` folds so that the *highest* mode index varies slowest. The
+//! helper [`kr_ordering`] returns the factor order whose Khatri–Rao product
+//! matches [`matricized_col`]; oracle tests in `sns-core` pin the two
+//! together. Streaming algorithms never materialize these maps — they are
+//! used by dense oracles and tests.
+
+use crate::coord::Coord;
+use crate::shape::Shape;
+
+/// Column index of `coord` in the mode-`mode` unfolding of `shape`.
+pub fn matricized_col(shape: &Shape, coord: &Coord, mode: usize) -> usize {
+    debug_assert!(shape.contains(coord));
+    debug_assert!(mode < shape.order());
+    let mut col = 0usize;
+    let mut stride = 1usize;
+    for k in 0..shape.order() {
+        if k == mode {
+            continue;
+        }
+        col += coord.get(k) as usize * stride;
+        stride *= shape.dim(k);
+    }
+    col
+}
+
+/// Inverse of [`matricized_col`]: reconstructs the full coordinate from a
+/// `(row, col)` position of the mode-`mode` unfolding.
+pub fn matricized_coord(shape: &Shape, row: usize, mut col: usize, mode: usize) -> Coord {
+    debug_assert!(mode < shape.order());
+    let mut idx = [0u32; crate::coord::MAX_ORDER];
+    for (k, slot) in idx.iter_mut().enumerate().take(shape.order()) {
+        if k == mode {
+            *slot = row as u32;
+            continue;
+        }
+        *slot = (col % shape.dim(k)) as u32;
+        col /= shape.dim(k);
+    }
+    Coord::new(&idx[..shape.order()])
+}
+
+/// The factor ordering whose left-folded Khatri–Rao product
+/// (`first ⊙ second ⊙ …`, first factor varying *slowest*) matches the
+/// column indexing of [`matricized_col`] for mode `mode`: modes in
+/// *descending* order, skipping `mode`.
+pub fn kr_ordering(order: usize, mode: usize) -> Vec<usize> {
+    (0..order).rev().filter(|&m| m != mode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_roundtrip_all_modes() {
+        let shape = Shape::new(&[3, 4, 2, 5]);
+        for mode in 0..4 {
+            for coord in shape.iter_coords() {
+                let col = matricized_col(&shape, &coord, mode);
+                assert!(col < shape.num_entries_excluding(mode));
+                let back = matricized_coord(&shape, coord.get(mode) as usize, col, mode);
+                assert_eq!(back, coord, "mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn col_is_bijective() {
+        let shape = Shape::new(&[2, 3, 4]);
+        for mode in 0..3 {
+            let mut seen = vec![false; shape.num_entries_excluding(mode)];
+            for coord in shape.iter_coords() {
+                if coord.get(mode) != 0 {
+                    continue;
+                }
+                let col = matricized_col(&shape, &coord, mode);
+                assert!(!seen[col], "collision at mode {mode} col {col}");
+                seen[col] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "mode {mode} not surjective");
+        }
+    }
+
+    #[test]
+    fn known_small_example() {
+        // Kolda–Bader: for shape (I,J,K), mode-0 column of (i,j,k) is j + k·J.
+        let shape = Shape::new(&[2, 3, 4]);
+        let c = Coord::new(&[1, 2, 3]);
+        assert_eq!(matricized_col(&shape, &c, 0), 2 + 3 * 3);
+        // mode-1 column: i + k·I
+        assert_eq!(matricized_col(&shape, &c, 1), 1 + 3 * 2);
+        // mode-2 column: i + j·I
+        assert_eq!(matricized_col(&shape, &c, 2), 1 + 2 * 2);
+    }
+
+    #[test]
+    fn kr_ordering_descends_and_skips() {
+        assert_eq!(kr_ordering(4, 1), vec![3, 2, 0]);
+        assert_eq!(kr_ordering(3, 2), vec![1, 0]);
+        assert_eq!(kr_ordering(1, 0), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,596 @@
+//! Fiber-indexed sparse tensor.
+//!
+//! [`SparseTensor`] is the tensor-window representation used by every
+//! streaming algorithm in the workspace. Besides the entry map it maintains
+//! one [`IndexedCoordSet`] per `(mode, index)` pair, so that
+//!
+//! - `deg(m, i)` — the paper's count of non-zeros with mode-`m` index `i` —
+//!   is O(1),
+//! - enumerating the non-zeros of a fiber is O(deg),
+//! - sampling `θ` distinct non-zeros from a fiber is O(θ) expected,
+//!
+//! and it tracks `‖X‖²_F` incrementally so fitness evaluation never scans
+//! the window.
+
+use crate::coord::Coord;
+use crate::fxhash::{fx_map, FxHashMap};
+use crate::indexed_set::IndexedCoordSet;
+use crate::shape::Shape;
+use rand::Rng;
+
+/// A sparse tensor with per-mode fiber indexes.
+#[derive(Clone)]
+pub struct SparseTensor {
+    shape: Shape,
+    entries: FxHashMap<Coord, f64>,
+    /// `fibers[m][i]` = set of non-zero coordinates with mode-`m` index `i`.
+    fibers: Vec<FxHashMap<u32, IndexedCoordSet>>,
+    /// Incrementally maintained squared Frobenius norm.
+    norm_sq: f64,
+}
+
+impl SparseTensor {
+    /// Creates an empty tensor of the given shape.
+    pub fn new(shape: Shape) -> Self {
+        let fibers = (0..shape.order()).map(|_| fx_map()).collect();
+        SparseTensor { shape, entries: fx_map(), fibers, norm_sq: 0.0 }
+    }
+
+    /// Creates a tensor from `(coord, value)` pairs, summing duplicates.
+    pub fn from_entries(shape: Shape, items: impl IntoIterator<Item = (Coord, f64)>) -> Self {
+        let mut t = SparseTensor::new(shape);
+        for (c, v) in items {
+            t.add(&c, v);
+        }
+        t
+    }
+
+    /// Tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Order `M`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// Number of non-zero entries `|X|`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fraction of positions that are non-zero.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / self.shape.num_entries() as f64
+    }
+
+    /// Value at `coord` (zero when absent).
+    #[inline]
+    pub fn get(&self, coord: &Coord) -> f64 {
+        debug_assert!(self.shape.contains(coord), "coord {coord:?} out of {:?}", self.shape);
+        self.entries.get(coord).copied().unwrap_or(0.0)
+    }
+
+    /// Adds `delta` to the entry at `coord`, returning the new value.
+    /// Entries that reach exactly zero are removed from all indexes
+    /// (stream values are counts, so cancellation is exact).
+    pub fn add(&mut self, coord: &Coord, delta: f64) -> f64 {
+        debug_assert!(self.shape.contains(coord), "coord {coord:?} out of {:?}", self.shape);
+        if delta == 0.0 {
+            return self.get(coord);
+        }
+        match self.entries.get_mut(coord) {
+            Some(v) => {
+                let old = *v;
+                let new = old + delta;
+                self.norm_sq += new * new - old * old;
+                if new == 0.0 {
+                    self.entries.remove(coord);
+                    self.unindex(coord);
+                    0.0
+                } else {
+                    *v = new;
+                    new
+                }
+            }
+            None => {
+                self.entries.insert(*coord, delta);
+                self.index(coord);
+                self.norm_sq += delta * delta;
+                delta
+            }
+        }
+    }
+
+    /// Sets the entry at `coord` to `value` (removing it if zero).
+    pub fn set(&mut self, coord: &Coord, value: f64) {
+        let old = self.get(coord);
+        self.add(coord, value - old);
+    }
+
+    fn index(&mut self, coord: &Coord) {
+        for m in 0..self.order() {
+            self.fibers[m].entry(coord.get(m)).or_default().insert(*coord);
+        }
+    }
+
+    fn unindex(&mut self, coord: &Coord) {
+        for m in 0..self.order() {
+            if let Some(set) = self.fibers[m].get_mut(&coord.get(m)) {
+                set.remove(coord);
+                if set.is_empty() {
+                    self.fibers[m].remove(&coord.get(m));
+                }
+            }
+        }
+    }
+
+    /// `deg(m, i)`: number of non-zeros whose mode-`m` index is `i`.
+    #[inline]
+    pub fn deg(&self, mode: usize, index: u32) -> usize {
+        self.fibers[mode].get(&index).map_or(0, |s| s.len())
+    }
+
+    /// Iterates over the non-zero coordinates of the `(mode, index)` fiber.
+    pub fn fiber_coords(&self, mode: usize, index: u32) -> impl Iterator<Item = &Coord> + '_ {
+        self.fibers[mode]
+            .get(&index)
+            .map(|s| s.as_slice())
+            .unwrap_or(&[])
+            .iter()
+    }
+
+    /// Iterates over `(coord, value)` for the `(mode, index)` fiber.
+    pub fn fiber_entries(
+        &self,
+        mode: usize,
+        index: u32,
+    ) -> impl Iterator<Item = (&Coord, f64)> + '_ {
+        self.fiber_coords(mode, index).map(move |c| (c, self.entries[c]))
+    }
+
+    /// Samples up to `k` distinct non-zero coordinates from the
+    /// `(mode, index)` fiber, uniformly without replacement, appending to
+    /// `out`. Coordinates present in `exclude` are dropped *after*
+    /// sampling, so fewer than `k` results may be returned.
+    pub fn sample_fiber<R: Rng + ?Sized>(
+        &self,
+        mode: usize,
+        index: u32,
+        k: usize,
+        rng: &mut R,
+        exclude: &[Coord],
+        out: &mut Vec<Coord>,
+    ) {
+        let Some(set) = self.fibers[mode].get(&index) else {
+            return;
+        };
+        let start = out.len();
+        set.sample_distinct(rng, k, out);
+        if !exclude.is_empty() {
+            out.truncate_retain(start, |c| !exclude.contains(c));
+        }
+    }
+
+    /// Samples up to `k` distinct *positions* (coordinates of the full
+    /// index space, zero entries included) from the `(mode, index)` fiber,
+    /// uniformly without replacement. This is the sampling SNS_RND's
+    /// Eq. (16) requires — "θ indices **of X** … while fixing the m-th
+    /// mode index": correcting the model at arbitrary positions (most of
+    /// which are zeros of a sparse tensor) keeps the sampled objective an
+    /// unbiased estimate of the full one; sampling non-zeros only would
+    /// make the row fit the non-zeros and ignore the zeros entirely.
+    ///
+    /// Coordinates in `exclude` are dropped after sampling (footnote 2:
+    /// "we ignore the indices of non-zeros in ΔX even if they are
+    /// sampled"), so fewer than `k` results may be returned.
+    pub fn sample_fiber_positions<R: Rng + ?Sized>(
+        &self,
+        mode: usize,
+        index: u32,
+        k: usize,
+        rng: &mut R,
+        exclude: &[Coord],
+        out: &mut Vec<Coord>,
+    ) {
+        let order = self.order();
+        debug_assert!(mode < order);
+        let start = out.len();
+        let total = self.shape.num_entries_excluding(mode);
+        if total <= k {
+            // Tiny fiber space: enumerate every position.
+            let mut stack = Coord::new(&vec![0u32; order]);
+            stack.set(mode, index);
+            enumerate_fiber(&self.shape, mode, 0, &mut stack, out);
+        } else {
+            let mut seen = crate::fxhash::fx_set();
+            while seen.len() < k {
+                let mut idx = [0u32; crate::coord::MAX_ORDER];
+                for (m, slot) in idx.iter_mut().enumerate().take(order) {
+                    *slot = if m == mode {
+                        index
+                    } else {
+                        rng.gen_range(0..self.shape.dim(m) as u32)
+                    };
+                }
+                let c = Coord::new(&idx[..order]);
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+        }
+        if !exclude.is_empty() {
+            out.truncate_retain(start, |c| !exclude.contains(c));
+        }
+    }
+
+    /// Iterates over all `(coord, value)` entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Coord, f64)> + '_ {
+        self.entries.iter().map(|(c, &v)| (c, v))
+    }
+
+    /// Squared Frobenius norm `‖X‖²_F` (incrementally maintained).
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        // Guard against tiny negative drift from cancellation.
+        self.norm_sq.max(0.0)
+    }
+
+    /// Frobenius norm `‖X‖_F`.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Recomputes the squared norm from scratch (drift control for long
+    /// streams); returns the absolute correction applied.
+    pub fn recompute_norm(&mut self) -> f64 {
+        let fresh: f64 = self.entries.values().map(|v| v * v).sum();
+        let drift = (fresh - self.norm_sq).abs();
+        self.norm_sq = fresh;
+        drift
+    }
+
+    /// Indices along `mode` that currently have at least one non-zero.
+    pub fn used_indices(&self, mode: usize) -> impl Iterator<Item = u32> + '_ {
+        self.fibers[mode].keys().copied()
+    }
+
+    /// Removes every entry, keeping the shape.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        for f in &mut self.fibers {
+            f.clear();
+        }
+        self.norm_sq = 0.0;
+    }
+
+    /// Inner product `⟨X, Y⟩` with another sparse tensor of the same shape,
+    /// iterating over the smaller operand.
+    pub fn inner(&self, other: &SparseTensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "inner: shape mismatch");
+        let (small, big) =
+            if self.nnz() <= other.nnz() { (self, other) } else { (other, self) };
+        small.iter().map(|(c, v)| v * big.get(c)).sum()
+    }
+
+    /// Debug-only invariant check: every entry is indexed in every mode,
+    /// every fiber member exists, and the norm accumulator is accurate.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (c, &v) in &self.entries {
+            if v == 0.0 {
+                return Err(format!("stored zero at {c:?}"));
+            }
+            if !self.shape.contains(c) {
+                return Err(format!("out-of-bounds coord {c:?}"));
+            }
+            for m in 0..self.order() {
+                let ok = self.fibers[m]
+                    .get(&c.get(m))
+                    .is_some_and(|s| s.contains(c));
+                if !ok {
+                    return Err(format!("coord {c:?} missing from fiber index mode {m}"));
+                }
+            }
+        }
+        let mut count = 0usize;
+        for (m, fiber) in self.fibers.iter().enumerate() {
+            for (i, set) in fiber {
+                if set.is_empty() {
+                    return Err(format!("empty fiber set kept at mode {m} index {i}"));
+                }
+                for c in set.iter() {
+                    if !self.entries.contains_key(c) {
+                        return Err(format!("fiber ghost {c:?} at mode {m}"));
+                    }
+                }
+                count += set.len();
+            }
+        }
+        if count != self.entries.len() * self.order() {
+            return Err(format!(
+                "fiber cardinality {} != nnz*order {}",
+                count,
+                self.entries.len() * self.order()
+            ));
+        }
+        let fresh: f64 = self.entries.values().map(|v| v * v).sum();
+        if (fresh - self.norm_sq).abs() > 1e-6 * (1.0 + fresh) {
+            return Err(format!("norm drift: stored {} vs fresh {}", self.norm_sq, fresh));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SparseTensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SparseTensor{:?} nnz={} density={:.3e}",
+            self.shape.dims(),
+            self.nnz(),
+            self.density()
+        )
+    }
+}
+
+/// Recursively enumerates every position of the `(mode, fixed)` fiber
+/// (used only when the fiber space is smaller than the sample size).
+fn enumerate_fiber(shape: &Shape, mode: usize, m: usize, current: &mut Coord, out: &mut Vec<Coord>) {
+    if m == shape.order() {
+        out.push(*current);
+        return;
+    }
+    if m == mode {
+        enumerate_fiber(shape, mode, m + 1, current, out);
+        return;
+    }
+    for i in 0..shape.dim(m) as u32 {
+        current.set(m, i);
+        enumerate_fiber(shape, mode, m + 1, current, out);
+    }
+    current.set(m, 0);
+}
+
+/// Small extension trait: retain elements of the tail of a `Vec` starting
+/// at `start` (used by fiber sampling exclusion).
+trait TailRetain<T> {
+    fn truncate_retain(&mut self, start: usize, keep: impl FnMut(&T) -> bool);
+}
+
+impl<T> TailRetain<T> for Vec<T> {
+    fn truncate_retain(&mut self, start: usize, mut keep: impl FnMut(&T) -> bool) {
+        let mut write = start;
+        for read in start..self.len() {
+            if keep(&self[read]) {
+                self.swap(write, read);
+                write += 1;
+            }
+        }
+        self.truncate(write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn c(a: u32, b: u32, t: u32) -> Coord {
+        Coord::new(&[a, b, t])
+    }
+
+    fn small() -> SparseTensor {
+        SparseTensor::new(Shape::new(&[4, 5, 3]))
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = small();
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.norm(), 0.0);
+        assert_eq!(t.get(&c(0, 0, 0)), 0.0);
+        assert_eq!(t.deg(0, 0), 0);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn add_get_set_roundtrip() {
+        let mut t = small();
+        assert_eq!(t.add(&c(1, 2, 0), 3.0), 3.0);
+        assert_eq!(t.get(&c(1, 2, 0)), 3.0);
+        assert_eq!(t.add(&c(1, 2, 0), -1.0), 2.0);
+        t.set(&c(1, 2, 0), 7.0);
+        assert_eq!(t.get(&c(1, 2, 0)), 7.0);
+        assert_eq!(t.nnz(), 1);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn exact_cancellation_removes_entry() {
+        let mut t = small();
+        t.add(&c(1, 2, 0), 5.0);
+        t.add(&c(1, 2, 0), -5.0);
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.deg(0, 1), 0);
+        assert_eq!(t.deg(1, 2), 0);
+        assert_eq!(t.norm(), 0.0);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn zero_delta_is_noop() {
+        let mut t = small();
+        t.add(&c(0, 0, 0), 0.0);
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn degree_tracks_fibers() {
+        let mut t = small();
+        t.add(&c(1, 0, 0), 1.0);
+        t.add(&c(1, 1, 0), 1.0);
+        t.add(&c(1, 2, 1), 1.0);
+        t.add(&c(2, 0, 1), 1.0);
+        assert_eq!(t.deg(0, 1), 3);
+        assert_eq!(t.deg(0, 2), 1);
+        assert_eq!(t.deg(1, 0), 2);
+        assert_eq!(t.deg(2, 0), 2);
+        assert_eq!(t.deg(2, 1), 2);
+        let fiber: Vec<_> = t.fiber_entries(0, 1).collect();
+        assert_eq!(fiber.len(), 3);
+        assert!(fiber.iter().all(|&(_, v)| v == 1.0));
+    }
+
+    #[test]
+    fn norm_is_incremental_and_accurate() {
+        let mut t = small();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let coord = c(
+                rand::Rng::gen_range(&mut rng, 0..4),
+                rand::Rng::gen_range(&mut rng, 0..5),
+                rand::Rng::gen_range(&mut rng, 0..3),
+            );
+            let delta = if rand::Rng::gen_bool(&mut rng, 0.3) { -1.0 } else { 1.0 };
+            t.add(&coord, delta);
+        }
+        let stored = t.norm_sq();
+        let fresh: f64 = t.iter().map(|(_, v)| v * v).sum();
+        assert!((stored - fresh).abs() < 1e-9);
+        assert!(t.check_invariants().is_ok());
+        let drift = t.recompute_norm();
+        assert!(drift < 1e-9);
+    }
+
+    #[test]
+    fn from_entries_sums_duplicates() {
+        let t = SparseTensor::from_entries(
+            Shape::new(&[2, 2]),
+            vec![
+                (Coord::new(&[0, 0]), 1.0),
+                (Coord::new(&[0, 0]), 2.0),
+                (Coord::new(&[1, 1]), -1.0),
+            ],
+        );
+        assert_eq!(t.get(&Coord::new(&[0, 0])), 3.0);
+        assert_eq!(t.get(&Coord::new(&[1, 1])), -1.0);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    fn sampling_respects_exclusion_and_bounds() {
+        let mut t = small();
+        for b in 0..5u32 {
+            for k in 0..3u32 {
+                t.add(&c(2, b, k), 1.0);
+            }
+        }
+        assert_eq!(t.deg(0, 2), 15);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut out = Vec::new();
+        t.sample_fiber(0, 2, 4, &mut rng, &[], &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|cc| cc.get(0) == 2));
+        // Exclusion may shrink the sample but never includes the excluded.
+        let excl = [c(2, 0, 0), c(2, 1, 1)];
+        for _ in 0..50 {
+            let mut out = Vec::new();
+            t.sample_fiber(0, 2, 10, &mut rng, &excl, &mut out);
+            assert!(out.len() <= 10);
+            assert!(!out.iter().any(|cc| excl.contains(cc)));
+        }
+        // Sampling an empty fiber yields nothing.
+        let mut out = Vec::new();
+        t.sample_fiber(0, 3, 4, &mut rng, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn position_sampling_covers_zero_entries() {
+        let mut t = small(); // shape 4×5×3
+        t.add(&c(2, 0, 0), 1.0); // single non-zero in the fiber
+        let mut rng = StdRng::seed_from_u64(8);
+        // Fiber (0, 2) has 5·3 = 15 positions; ask for 10 distinct ones.
+        let mut out = Vec::new();
+        t.sample_fiber_positions(0, 2, 10, &mut rng, &[], &mut out);
+        assert_eq!(out.len(), 10);
+        let uniq: std::collections::HashSet<_> = out.iter().collect();
+        assert_eq!(uniq.len(), 10);
+        assert!(out.iter().all(|cc| cc.get(0) == 2));
+        // Most sampled positions are zeros of X — that is the point.
+        let zeros = out.iter().filter(|cc| t.get(cc) == 0.0).count();
+        assert!(zeros >= 9);
+        // Requesting at least the whole space enumerates it exactly.
+        let mut all = Vec::new();
+        t.sample_fiber_positions(0, 2, 15, &mut rng, &[], &mut all);
+        assert_eq!(all.len(), 15);
+        let uniq: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(uniq.len(), 15);
+        // Exclusion applies after sampling.
+        let mut excl = Vec::new();
+        t.sample_fiber_positions(0, 2, 15, &mut rng, &[c(2, 0, 0)], &mut excl);
+        assert_eq!(excl.len(), 14);
+        assert!(!excl.contains(&c(2, 0, 0)));
+    }
+
+    #[test]
+    fn inner_product_matches_bruteforce() {
+        let mut a = small();
+        let mut b = small();
+        a.add(&c(0, 0, 0), 2.0);
+        a.add(&c(1, 1, 1), 3.0);
+        a.add(&c(2, 2, 2), 4.0);
+        b.add(&c(1, 1, 1), 5.0);
+        b.add(&c(3, 3, 0), 7.0);
+        assert_eq!(a.inner(&b), 15.0);
+        assert_eq!(b.inner(&a), 15.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = small();
+        t.add(&c(0, 0, 0), 1.0);
+        t.clear();
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.norm(), 0.0);
+        assert_eq!(t.deg(0, 0), 0);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn used_indices_reflect_content() {
+        let mut t = small();
+        t.add(&c(1, 0, 0), 1.0);
+        t.add(&c(3, 0, 2), 1.0);
+        let mut used: Vec<u32> = t.used_indices(0).collect();
+        used.sort_unstable();
+        assert_eq!(used, vec![1, 3]);
+        let mut used_t: Vec<u32> = t.used_indices(2).collect();
+        used_t.sort_unstable();
+        assert_eq!(used_t, vec![0, 2]);
+    }
+
+    #[test]
+    fn invariant_checker_catches_corruption() {
+        let mut t = small();
+        t.add(&c(0, 0, 0), 1.0);
+        // Corrupt the norm accumulator.
+        t.norm_sq = 99.0;
+        assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
+    fn density_small_tensor() {
+        let mut t = small(); // 60 positions
+        t.add(&c(0, 0, 0), 1.0);
+        t.add(&c(1, 1, 1), 1.0);
+        t.add(&c(2, 2, 2), 1.0);
+        assert!((t.density() - 0.05).abs() < 1e-12);
+    }
+}

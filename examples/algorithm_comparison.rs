@@ -1,0 +1,53 @@
+//! Compare all five SliceNStitch variants on one stream — the
+//! practitioner's-guide trade-off (Section VI-F) in one table: SNS_MAT is
+//! most accurate but slowest; SNS⁺_RND fastest; SNS⁺_VEC in between;
+//! unclipped variants are fast but can destabilize.
+//!
+//! ```bash
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use slicenstitch::core::als::AlsOptions;
+use slicenstitch::core::{AlgorithmKind, SnsConfig, SnsEngine};
+use slicenstitch::data::{divvy_like, generate};
+use std::time::Instant;
+
+fn main() {
+    let spec = divvy_like();
+    let stream = generate(&spec.generator(12_000, 21));
+    let prefill_until = spec.window as u64 * spec.period;
+    let cut = stream.partition_point(|t| t.time <= prefill_until);
+
+    println!("{} events on a {:?} window (W={}, T={} {})", stream.len(), spec.base_dims, spec.window, spec.period, spec.tick_unit);
+    println!("\n{:<10} {:>12} {:>12} {:>10}", "method", "us/event", "fitness", "diverged");
+    println!("{}", "-".repeat(48));
+    for kind in AlgorithmKind::ALL {
+        let sns = SnsConfig {
+            rank: spec.rank,
+            theta: spec.theta,
+            eta: spec.eta,
+            ..Default::default()
+        };
+        let mut engine = SnsEngine::new(spec.base_dims, spec.window, spec.period, kind, &sns);
+        for tu in &stream[..cut] {
+            engine.prefill(*tu).unwrap();
+        }
+        engine.warm_start(&AlsOptions { max_iters: 20, ..Default::default() });
+        // SNS_MAT sweeps the whole window per event — cap its share.
+        let n = if kind == AlgorithmKind::Mat { 300 } else { stream.len() - cut };
+        let started = Instant::now();
+        for tu in stream[cut..].iter().take(n) {
+            engine.ingest(*tu).unwrap();
+        }
+        let us = started.elapsed().as_secs_f64() * 1e6 / engine.updates_applied().max(1) as f64;
+        println!(
+            "{:<10} {:>12.2} {:>12.4} {:>10}",
+            kind.name(),
+            us,
+            engine.fitness(),
+            engine.diverged()
+        );
+    }
+    println!("\nPractitioner's guide (paper VI-F): prefer SNS_MAT / SNS+_VEC / SNS+_RND;");
+    println!("pick the most accurate one that fits your per-event latency budget.");
+}

@@ -1,0 +1,86 @@
+//! Real-time anomaly detection (the paper's Section VI-G application).
+//!
+//! ```bash
+//! cargo run --release --example anomaly_detection
+//! ```
+//!
+//! Injects spikes into a taxi-like stream and flags them by the z-score
+//! of their reconstruction error the moment they arrive — no waiting for
+//! a period boundary.
+
+use slicenstitch::core::anomaly::AnomalyDetector;
+use slicenstitch::core::update::{ContinuousUpdater, Updater};
+use slicenstitch::core::{AlgorithmKind, SnsConfig};
+use slicenstitch::data::{generate, inject_anomalies, nytaxi_like};
+use slicenstitch::stream::{ContinuousWindow, DeltaKind};
+
+fn main() {
+    let spec = nytaxi_like();
+    let clean = generate(&spec.generator(15_000, 7));
+    let prefill_until = spec.window as u64 * spec.period;
+    let (stream, injected) = inject_anomalies(
+        &clean,
+        spec.base_dims,
+        10,   // number of spikes
+        5.0,  // 5× the max normal change, as in the paper
+        prefill_until + 1,
+        spec.duration(),
+        99,
+    );
+    println!("injected {} spikes of magnitude {}", injected.len(), injected[0].value);
+
+    let sns = SnsConfig { rank: spec.rank, theta: spec.theta, eta: spec.eta, ..Default::default() };
+    let mut dims = spec.base_dims.to_vec();
+    dims.push(spec.window);
+    let mut window = ContinuousWindow::new(spec.base_dims, spec.window, spec.period);
+    let mut updater = Updater::new(AlgorithmKind::PlusRnd, &dims, &sns);
+    let mut detector = AnomalyDetector::new();
+    let mut buf = Vec::new();
+    let mut warmed = false;
+
+    for tu in &stream {
+        if !warmed && tu.time > prefill_until {
+            let warm = slicenstitch::core::als::als(
+                window.tensor(),
+                spec.rank,
+                &Default::default(),
+            );
+            updater.install(warm.kruskal, warm.grams);
+            warmed = true;
+        }
+        buf.clear();
+        window.ingest(*tu, &mut buf).expect("chronological");
+        for d in &buf {
+            if warmed {
+                if d.kind == DeltaKind::Arrival {
+                    // Score BEFORE the model absorbs the event.
+                    let (coord, _) = d.changes.as_slice()[0];
+                    let ev = detector.observe(window.tensor(), updater.kruskal(), &coord, d.time);
+                    if ev.z > 10.0 {
+                        println!("t={:>7}  coord={:?}  err={:>6.1}  z={:>7.1}  <-- flagged", ev.time, ev.coord, ev.error, ev.z);
+                    }
+                }
+                updater.apply(window.tensor(), d);
+            }
+        }
+    }
+
+    // Score the run: how many of the top-10 flags were true injections?
+    let top = detector.top_k(injected.len());
+    let hits = top
+        .iter()
+        .filter(|e| {
+            injected.iter().any(|a| {
+                a.time == e.time && a.coords.as_slice() == &e.coord.as_slice()[..e.coord.order() - 1]
+            })
+        })
+        .count();
+    println!(
+        "\nprecision@{}: {:.2} ({} of {} top flags are injected spikes)",
+        injected.len(),
+        hits as f64 / injected.len() as f64,
+        hits,
+        injected.len()
+    );
+    println!("detection is immediate: spikes are scored at their own arrival event.");
+}

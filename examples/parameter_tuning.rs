@@ -1,0 +1,62 @@
+//! Hyperparameter exploration: the θ and η effects of Figs. 7–8 on a
+//! small stream, plus the rank trade-off.
+//!
+//! ```bash
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use slicenstitch::core::als::AlsOptions;
+use slicenstitch::core::{AlgorithmKind, SnsConfig, SnsEngine};
+use slicenstitch::data::{generate, GeneratorConfig};
+use slicenstitch::stream::StreamTuple;
+use std::time::Instant;
+
+fn run(stream: &[StreamTuple], cut: usize, sns: &SnsConfig, kind: AlgorithmKind) -> (f64, f64) {
+    let mut engine = SnsEngine::new(&[40, 40], 8, 500, kind, sns);
+    for tu in &stream[..cut] {
+        engine.prefill(*tu).unwrap();
+    }
+    engine.warm_start(&AlsOptions { max_iters: 20, ..Default::default() });
+    let started = Instant::now();
+    for tu in &stream[cut..] {
+        engine.ingest(*tu).unwrap();
+    }
+    let us = started.elapsed().as_secs_f64() * 1e6 / engine.updates_applied().max(1) as f64;
+    (engine.fitness(), us)
+}
+
+fn main() {
+    let config = GeneratorConfig {
+        base_dims: vec![40, 40],
+        n_components: 5,
+        events: 15_000,
+        duration: 24_000,
+        zipf_exponent: 1.6,
+        noise_fraction: 0.1,
+        day_ticks: 4_000,
+        ..Default::default()
+    };
+    let stream = generate(&config);
+    let cut = stream.partition_point(|t| t.time <= 8 * 500);
+
+    println!("-- theta sweep (SNS+_RND): fitness rises with diminishing returns, time rises linearly --");
+    for theta in [5usize, 10, 20, 40, 80] {
+        let sns = SnsConfig { rank: 10, theta, eta: 1000.0, ..Default::default() };
+        let (fit, us) = run(&stream, cut, &sns, AlgorithmKind::PlusRnd);
+        println!("theta={theta:>3}  fitness={fit:.4}  {us:>7.2} us/event");
+    }
+
+    println!("\n-- eta sweep (SNS+_RND): insensitive while eta is small enough --");
+    for eta in [32.0, 100.0, 1000.0, 10_000.0] {
+        let sns = SnsConfig { rank: 10, theta: 20, eta, ..Default::default() };
+        let (fit, us) = run(&stream, cut, &sns, AlgorithmKind::PlusRnd);
+        println!("eta={eta:>7.0}  fitness={fit:.4}  {us:>7.2} us/event");
+    }
+
+    println!("\n-- rank sweep (SNS+_VEC): more components fit better, cost more --");
+    for rank in [2usize, 5, 10, 20] {
+        let sns = SnsConfig { rank, theta: 20, eta: 1000.0, ..Default::default() };
+        let (fit, us) = run(&stream, cut, &sns, AlgorithmKind::PlusVec);
+        println!("rank={rank:>3}  fitness={fit:.4}  {us:>7.2} us/event");
+    }
+}

@@ -1,0 +1,41 @@
+//! # slicenstitch
+//!
+//! Top-level façade crate for the SliceNStitch workspace — a complete Rust
+//! reproduction of *"SliceNStitch: Continuous CP Decomposition of Sparse
+//! Tensor Streams"* (Kwon, Park, Lee, Shin — ICDE 2021).
+//!
+//! This crate simply re-exports the workspace members under stable paths so
+//! that examples and downstream users can depend on a single crate:
+//!
+//! - [`linalg`] — dense kernels (matrices, pseudoinverse, eigensolver),
+//! - [`tensor`] — sparse tensor windows with fiber indexes,
+//! - [`stream`] — the continuous tensor model (event-driven windows),
+//! - [`core`] — the SliceNStitch CPD algorithms and engine,
+//! - [`baselines`] — conventional once-per-period online CPD comparators,
+//! - [`data`] — synthetic dataset generators mirroring the paper's datasets.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+pub use sns_baselines as baselines;
+pub use sns_core as core;
+pub use sns_data as data;
+pub use sns_linalg as linalg;
+pub use sns_stream as stream;
+pub use sns_tensor as tensor;
+
+/// Workspace version string (all member crates share one version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

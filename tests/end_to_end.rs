@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the full pipeline from raw stream
+//! tuples to continuously maintained CP factors, against every algorithm
+//! and both window models.
+
+use slicenstitch::baselines::{AlsPeriodic, BaselineEngine, CpStream, NeCpd, OnlineScp};
+use slicenstitch::core::als::AlsOptions;
+use slicenstitch::core::{AlgorithmKind, SnsConfig, SnsEngine};
+use slicenstitch::data::{generate, GeneratorConfig};
+use slicenstitch::stream::StreamTuple;
+
+fn structured_stream(events: usize, seed: u64) -> Vec<StreamTuple> {
+    generate(&GeneratorConfig {
+        base_dims: vec![25, 20],
+        n_components: 4,
+        events,
+        duration: 18_000,
+        zipf_exponent: 1.6,
+        noise_fraction: 0.1,
+        day_ticks: 3_000,
+        seed,
+        ..Default::default()
+    })
+}
+
+const W: usize = 6;
+const T: u64 = 500;
+
+fn warmed_engine(kind: AlgorithmKind, stream: &[StreamTuple]) -> (SnsEngine, usize) {
+    let sns = SnsConfig { rank: 8, theta: 15, eta: 1000.0, ..Default::default() };
+    let mut engine = SnsEngine::new(&[25, 20], W, T, kind, &sns);
+    let cut = stream.partition_point(|t| t.time <= W as u64 * T);
+    for tu in &stream[..cut] {
+        engine.prefill(*tu).unwrap();
+    }
+    engine.warm_start(&AlsOptions { max_iters: 25, ..Default::default() });
+    (engine, cut)
+}
+
+#[test]
+fn every_sns_variant_tracks_a_structured_stream() {
+    let stream = structured_stream(6_000, 1);
+    for kind in AlgorithmKind::ALL {
+        let (mut engine, cut) = warmed_engine(kind, &stream);
+        let warm_fit = engine.fitness();
+        // SNS_MAT is too slow for the whole stream; a shorter run suffices.
+        let n = if kind == AlgorithmKind::Mat { 200 } else { stream.len() - cut };
+        for tu in stream[cut..].iter().take(n) {
+            engine.ingest(*tu).unwrap();
+        }
+        let fit = engine.fitness();
+        if kind.is_stable() {
+            assert!(!engine.diverged(), "{kind} diverged");
+            assert!(
+                fit > 0.4 * warm_fit,
+                "{kind}: fitness {fit} collapsed from warm {warm_fit}"
+            );
+        }
+        // Every variant keeps the parameter count constant.
+        assert_eq!(engine.num_parameters(), 8 * (25 + 20 + W));
+    }
+}
+
+#[test]
+fn continuous_beats_periodic_update_latency() {
+    // The core claim: per-event updates are far cheaper than per-period
+    // ones (the baselines re-sweep slices/windows once per period).
+    let stream = structured_stream(6_000, 2);
+    let (mut engine, cut) = warmed_engine(AlgorithmKind::PlusRnd, &stream);
+    let start = std::time::Instant::now();
+    for tu in &stream[cut..] {
+        engine.ingest(*tu).unwrap();
+    }
+    let sns_us = start.elapsed().as_secs_f64() * 1e6 / engine.updates_applied() as f64;
+
+    let mut baseline =
+        BaselineEngine::new(&[25, 20], W, T, OnlineScp::new(&[25, 20, W], 8, 3));
+    for tu in &stream[..cut] {
+        baseline.prefill(*tu).unwrap();
+    }
+    baseline.warm_start(&AlsOptions { max_iters: 25, ..Default::default() });
+    let start = std::time::Instant::now();
+    for tu in &stream[cut..] {
+        baseline.ingest(*tu).unwrap();
+    }
+    let periods = baseline.periods().max(1);
+    let base_us = start.elapsed().as_secs_f64() * 1e6 / periods as f64;
+    assert!(
+        sns_us < base_us,
+        "per-event update ({sns_us:.1} us) should beat per-period update ({base_us:.1} us)"
+    );
+}
+
+#[test]
+fn all_baselines_run_and_stay_finite() {
+    let stream = structured_stream(5_000, 3);
+    let dims = [25usize, 20, W];
+    let cut = stream.partition_point(|t| t.time <= W as u64 * T);
+    macro_rules! drive {
+        ($algo:expr, $name:expr) => {{
+            let mut e = BaselineEngine::new(&[25, 20], W, T, $algo);
+            for tu in &stream[..cut] {
+                e.prefill(*tu).unwrap();
+            }
+            e.warm_start(&AlsOptions { max_iters: 20, ..Default::default() });
+            for tu in &stream[cut..] {
+                e.ingest(*tu).unwrap();
+            }
+            let fit = e.fitness();
+            assert!(fit.is_finite(), "{} produced non-finite fitness", $name);
+            assert!(fit > -1.0, "{} fitness {} unreasonable", $name, fit);
+            fit
+        }};
+    }
+    let f1 = drive!(AlsPeriodic::new(&dims, 8, 3, 4), "ALS(3)");
+    let f2 = drive!(OnlineScp::new(&dims, 8, 4), "OnlineSCP");
+    let f3 = drive!(CpStream::new(&dims, 8, 0.99, 3, 4), "CP-stream");
+    let f4 = drive!(NeCpd::new(&dims, 8, 2, 4), "NeCPD(2)");
+    // Periodic ALS with several sweeps should be the best of the four.
+    assert!(f1 >= f2.min(f3).min(f4) - 0.05, "ALS(3)={f1} vs {f2}/{f3}/{f4}");
+}
+
+#[test]
+fn engine_survives_bursts_gaps_and_duplicates() {
+    // Stress the event machinery: bursts at one timestamp, long silences,
+    // duplicate coordinates, and values that cancel in and out.
+    let sns = SnsConfig { rank: 4, theta: 8, ..Default::default() };
+    let mut engine = SnsEngine::new(&[10, 10], 4, 100, AlgorithmKind::PlusVec, &sns);
+    let mut t = 0u64;
+    for burst in 0..50 {
+        // Burst of identical-timestamp events.
+        for i in 0..20u32 {
+            engine
+                .ingest(StreamTuple::new([i % 10, (i / 2) % 10], 1.0, t))
+                .unwrap();
+        }
+        // Long gap that expires everything every few bursts.
+        t += if burst % 5 == 4 { 1_000 } else { 37 };
+    }
+    engine.advance_to(t + 10_000);
+    assert_eq!(engine.window().nnz(), 0, "all mass must expire after a long gap");
+    assert!(engine.kruskal().is_finite());
+    engine.window().check_invariants().unwrap();
+}
+
+#[test]
+fn four_mode_streams_work_end_to_end() {
+    // Ride-Austin-shaped: src × dst × color × time.
+    let stream: Vec<StreamTuple> = generate(&GeneratorConfig {
+        base_dims: vec![12, 12, 4],
+        n_components: 3,
+        events: 4_000,
+        duration: 12_000,
+        zipf_exponent: 1.5,
+        noise_fraction: 0.1,
+        day_ticks: 2_000,
+        seed: 5,
+        ..Default::default()
+    });
+    let sns = SnsConfig { rank: 5, theta: 10, ..Default::default() };
+    let mut engine = SnsEngine::new(&[12, 12, 4], 5, 400, AlgorithmKind::PlusRnd, &sns);
+    let cut = stream.partition_point(|t| t.time <= 2_000);
+    for tu in &stream[..cut] {
+        engine.prefill(*tu).unwrap();
+    }
+    engine.warm_start(&AlsOptions { max_iters: 20, ..Default::default() });
+    for tu in &stream[cut..] {
+        engine.ingest(*tu).unwrap();
+    }
+    assert!(engine.fitness() > 0.0, "4-mode fitness {}", engine.fitness());
+    assert_eq!(engine.kruskal().order(), 4);
+}
+
+#[test]
+fn relative_fitness_of_stable_variants_in_paper_band() {
+    // Observation 4 in miniature: stable variants within 72–100%+ of the
+    // ALS reference (the generous lower end accounts for the small scale).
+    let stream = structured_stream(8_000, 6);
+    for kind in [AlgorithmKind::PlusVec, AlgorithmKind::PlusRnd] {
+        let (mut engine, cut) = warmed_engine(kind, &stream);
+        for tu in &stream[cut..] {
+            engine.ingest(*tu).unwrap();
+        }
+        let reference = slicenstitch::core::als::als(
+            engine.window(),
+            8,
+            &AlsOptions { max_iters: 30, ..Default::default() },
+        );
+        let rel = engine.fitness() / reference.fitness;
+        assert!(
+            rel > 0.55 && rel < 1.2,
+            "{kind}: relative fitness {rel} outside the plausible band"
+        );
+    }
+}

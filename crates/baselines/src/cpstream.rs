@@ -142,11 +142,9 @@ impl PeriodicCpd for CpStream {
             }
         }
         // Commit the accumulators once per period.
-        let s_outer = hadamard(
-            &Mat::from_fn(rank, rank, |i, j| s[i] * s[j]),
-            &Mat::filled(rank, rank, 1.0),
-        )
-        .expect("shape");
+        let s_outer =
+            hadamard(&Mat::from_fn(rank, rank, |i, j| s[i] * s[j]), &Mat::filled(rank, rank, 1.0))
+                .expect("shape");
         for m in 0..tm {
             let mut u = Mat::zeros(self.kruskal.factors[m].rows(), rank);
             let mut prod = vec![0.0; rank];

@@ -1,8 +1,7 @@
 //! Driver pairing a discrete window with a periodic baseline.
 
 use crate::periodic::PeriodicCpd;
-use sns_core::als::{als_from, AlsOptions, AlsResult};
-use sns_core::grams::compute_grams;
+use sns_core::als::{warm_start_from, AlsOptions, AlsResult};
 use sns_stream::{DiscreteWindow, PeriodUpdate, StreamTuple};
 use sns_tensor::SparseTensor;
 
@@ -56,12 +55,13 @@ impl<B: PeriodicCpd> BaselineEngine<B> {
         self.window.ingest(tuple, &mut self.buf)
     }
 
-    /// Runs batch ALS on the current window and installs the result.
+    /// Runs batch ALS on the current window and installs the result
+    /// (the shared warm start of `sns_core::als::warm_start_from`; when
+    /// the wrapped baseline's initial factors were drawn with
+    /// `opts.seed`, this matches a fresh `als()` on the window bitwise).
     pub fn warm_start(&mut self, opts: &AlsOptions) -> AlsResult {
-        let mut k = self.algo.kruskal().clone();
-        let mut grams = compute_grams(&k.factors);
-        let result = als_from(self.window.tensor(), &mut k, &mut grams, opts);
-        self.algo.install(k, grams);
+        let result = warm_start_from(self.window.tensor(), self.algo.kruskal(), opts);
+        self.algo.install(result.kruskal.clone(), result.grams.clone());
         result
     }
 
@@ -97,8 +97,8 @@ mod tests {
         let mut e = BaselineEngine::new(&[4, 4], 3, 10, alg);
         let mut n = 0;
         for t in 0..100u64 {
-            n += e.ingest(StreamTuple::new([(t % 4) as u32, ((t / 4) % 4) as u32], 1.0, t))
-                .unwrap();
+            n +=
+                e.ingest(StreamTuple::new([(t % 4) as u32, ((t / 4) % 4) as u32], 1.0, t)).unwrap();
         }
         n += e.flush_to(100);
         assert_eq!(n as u64, e.periods());
@@ -111,7 +111,7 @@ mod tests {
         let alg = AlsPeriodic::new(&[4, 4, 3], 2, 1, 2);
         let mut e = BaselineEngine::new(&[4, 4], 3, 10, alg);
         for t in 0..60u64 {
-            e.prefill(StreamTuple::new([(t % 4) as u32, (t % 3) as u32, ], 1.0, t)).unwrap();
+            e.prefill(StreamTuple::new([(t % 4) as u32, (t % 3) as u32], 1.0, t)).unwrap();
         }
         let r = e.warm_start(&AlsOptions { max_iters: 20, ..Default::default() });
         assert!((e.fitness() - r.fitness).abs() < 1e-9);

@@ -32,6 +32,34 @@ pub trait PeriodicCpd {
     }
 }
 
+/// Boxed baselines are baselines too, so `BaselineEngine<Box<dyn
+/// PeriodicCpd>>` can wrap a runtime-chosen algorithm.
+impl<P: PeriodicCpd + ?Sized> PeriodicCpd for Box<P> {
+    fn on_period(&mut self, window: &SparseTensor, update: &PeriodUpdate) {
+        (**self).on_period(window, update)
+    }
+
+    fn kruskal(&self) -> &KruskalTensor {
+        (**self).kruskal()
+    }
+
+    fn grams(&self) -> &[Mat] {
+        (**self).grams()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn install(&mut self, kruskal: KruskalTensor, grams: Vec<Mat>) {
+        (**self).install(kruskal, grams)
+    }
+
+    fn fitness(&self, window: &SparseTensor) -> f64 {
+        (**self).fitness(window)
+    }
+}
+
 /// Shifts the time factor one row up (window slide) and refreshes its
 /// Gram: row `k ← k+1`, last row zeroed. Shared by every baseline.
 pub fn slide_time_factor(kruskal: &mut KruskalTensor, grams: &mut [Mat], time_mode: usize) {

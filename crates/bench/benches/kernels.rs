@@ -33,11 +33,8 @@ fn bench_window(c: &mut Criterion) {
             let mut t = 0u64;
             for _ in 0..iters {
                 t += rng.gen_range(0..5);
-                let tu = StreamTuple::new(
-                    [rng.gen_range(0..150u32), rng.gen_range(0..150u32)],
-                    1.0,
-                    t,
-                );
+                let tu =
+                    StreamTuple::new([rng.gen_range(0..150u32), rng.gen_range(0..150u32)], 1.0, t);
                 buf.clear();
                 w.ingest(tu, &mut buf).unwrap();
             }
@@ -76,13 +73,10 @@ fn bench_kernels(c: &mut Criterion) {
             std::hint::black_box(out[0])
         })
     });
-    group.bench_function("pinv_sym_r20", |b| {
-        b.iter(|| std::hint::black_box(pinv_sym(&h).unwrap()))
-    });
+    group
+        .bench_function("pinv_sym_r20", |b| b.iter(|| std::hint::black_box(pinv_sym(&h).unwrap())));
     group.bench_function("fitness_10k_nnz_r20", |b| {
-        b.iter(|| {
-            std::hint::black_box(sns_core::fitness::fitness_with_grams(&x, &k, &grams))
-        })
+        b.iter(|| std::hint::black_box(sns_core::fitness::fitness_with_grams(&x, &k, &grams)))
     });
     group.bench_function("als_sweep_10k_nnz_r20", |b| {
         b.iter_batched(

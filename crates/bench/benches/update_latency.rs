@@ -17,12 +17,9 @@ fn bench_updates(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("update_latency");
     group.sample_size(10);
-    for kind in [
-        AlgorithmKind::Vec,
-        AlgorithmKind::Rnd,
-        AlgorithmKind::PlusVec,
-        AlgorithmKind::PlusRnd,
-    ] {
+    for kind in
+        [AlgorithmKind::Vec, AlgorithmKind::Rnd, AlgorithmKind::PlusVec, AlgorithmKind::PlusRnd]
+    {
         group.bench_function(BenchmarkId::new("per_event", kind.name()), |b| {
             b.iter_custom(|iters| {
                 // Fresh engine; warm-started per measurement.

@@ -110,8 +110,7 @@ fn run_conventional(
 
     // Measure over a capped span.
     let end = span + measured_span;
-    let measured: Vec<&StreamTuple> =
-        stream[cut..].iter().take_while(|t| t.time <= end).collect();
+    let measured: Vec<&StreamTuple> = stream[cut..].iter().take_while(|t| t.time <= end).collect();
     let marks = checkpoint_indices(measured.len(), 3);
     let mut next_mark = 0;
     let mut total = std::time::Duration::ZERO;
@@ -133,11 +132,8 @@ fn run_conventional(
             next_mark += 1;
         }
     }
-    let fitness = if fits.is_empty() {
-        f64::NAN
-    } else {
-        fits.iter().sum::<f64>() / fits.len() as f64
-    };
+    let fitness =
+        if fits.is_empty() { f64::NAN } else { fits.iter().sum::<f64>() / fits.len() as f64 };
     let params = spec.rank * (spec.base_dims.iter().sum::<usize>() + fine_w);
     let update_us = if updates > 0 { total.as_secs_f64() * 1e6 / updates as f64 } else { 0.0 };
     ConvResult { fitness, params, update_us }
@@ -149,7 +145,10 @@ pub fn run(scale: f64) -> String {
     let events = ((spec.default_events as f64 * scale * 0.6) as usize).max(2_000);
     let stream = generate(&spec.generator(events, 0xf161));
     let mut out = banner("Fig 1 — continuous CPD vs conventional CPD (New York Taxi-like)");
-    out.push_str(&format!("events = {events}, span = W*T = {} s\n\n", spec.window as u64 * spec.period));
+    out.push_str(&format!(
+        "events = {events}, span = W*T = {} s\n\n",
+        spec.window as u64 * spec.period
+    ));
 
     // Continuous CPD: SNS_RND at T = 1 hour.
     let params = ExperimentParams::from_spec(&spec);
@@ -172,7 +171,13 @@ pub fn run(scale: f64) -> String {
     let measured_span = (1.5 * spec.window as f64 * spec.period as f64) as u64;
     let methods = [Method::AlsPeriodic(1), Method::OnlineScp, Method::CpStream];
 
-    let mut t = Table::new(&["Method", "Update interval (s)", "Avg fitness (hourly)", "#Params", "us/update"]);
+    let mut t = Table::new(&[
+        "Method",
+        "Update interval (s)",
+        "Avg fitness (hourly)",
+        "#Params",
+        "us/update",
+    ]);
     t.row(vec![
         "SNS_RND (continuous)".to_string(),
         "per event".to_string(),

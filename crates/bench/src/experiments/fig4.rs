@@ -66,7 +66,11 @@ pub fn render(runs: &[DatasetRuns]) -> String {
                     None => "-".into(),
                 });
             }
-            cells.push(if r.diverged { format!("{} (diverged)", f(r.avg_relative_fitness)) } else { f(r.avg_relative_fitness) });
+            cells.push(if r.diverged {
+                format!("{} (diverged)", f(r.avg_relative_fitness))
+            } else {
+                f(r.avg_relative_fitness)
+            });
             t.row(cells);
         }
         out.push_str(&t.render());
@@ -89,9 +93,7 @@ pub fn render(runs: &[DatasetRuns]) -> String {
                 {
                     stable_ok = false;
                 }
-                "SNS_VEC" | "SNS_RND"
-                    if r.diverged || !r.avg_relative_fitness.is_finite() =>
-                {
+                "SNS_VEC" | "SNS_RND" if r.diverged || !r.avg_relative_fitness.is_finite() => {
                     any_unstable_collapse = true;
                 }
                 _ => {}

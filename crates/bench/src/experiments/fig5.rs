@@ -13,7 +13,8 @@ use crate::report::{banner, f, observation, Table};
 /// Renders Fig. 5 from collected lineup runs.
 pub fn render(runs: &[DatasetRuns]) -> String {
     let mut out = banner("Fig 5 — runtime per update and average relative fitness");
-    let mut t = Table::new(&["Dataset", "Method", "us/update", "avg rel fitness", "speedup vs CP-stream"]);
+    let mut t =
+        Table::new(&["Dataset", "Method", "us/update", "avg rel fitness", "speedup vs CP-stream"]);
     let mut speedup_ok = true;
     for dr in runs {
         let cpstream_us = dr
@@ -33,7 +34,11 @@ pub fn render(runs: &[DatasetRuns]) -> String {
                 } else {
                     f(r.avg_relative_fitness)
                 },
-                if r.method == "CP-stream" { "1.0 (ref)".into() } else { format!("{:.1}x", speedup) },
+                if r.method == "CP-stream" {
+                    "1.0 (ref)".into()
+                } else {
+                    format!("{:.1}x", speedup)
+                },
             ]);
         }
         // Obs. 2: the fast SNS variants must beat every baseline's update

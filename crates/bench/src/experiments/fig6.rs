@@ -16,12 +16,8 @@ pub fn run(scale: f64) -> String {
     let spec = nytaxi_like();
     let base = ((10_000.0 * scale) as usize).max(800);
     let grid: Vec<usize> = (1..=5).map(|k| k * base).collect();
-    let variants = [
-        AlgorithmKind::Vec,
-        AlgorithmKind::Rnd,
-        AlgorithmKind::PlusVec,
-        AlgorithmKind::PlusRnd,
-    ];
+    let variants =
+        [AlgorithmKind::Vec, AlgorithmKind::Rnd, AlgorithmKind::PlusVec, AlgorithmKind::PlusRnd];
 
     let mut out = banner("Fig 6 — total runtime vs number of events (New York Taxi-like)");
     out.push_str(&format!("event grid: {grid:?} (SNS_MAT omitted, as in the paper)\n\n"));
@@ -38,10 +34,9 @@ pub fn run(scale: f64) -> String {
             // would starve the window and destabilize the unclipped
             // variants through ill-conditioned Gram systems.)
             let mut gen_cfg = spec.generator(events, 0xf166);
-            gen_cfg.duration = (spec.duration() as u128 * events as u128
-                / spec.default_events as u128)
-                .max(2 * spec.window as u128 * spec.period as u128)
-                as u64;
+            gen_cfg.duration =
+                (spec.duration() as u128 * events as u128 / spec.default_events as u128)
+                    .max(2 * spec.window as u128 * spec.period as u128) as u64;
             let stream = generate(&gen_cfg);
             let params = ExperimentParams::from_spec(&spec);
             let cfg = RunConfig { checkpoints: 0, ..Default::default() };

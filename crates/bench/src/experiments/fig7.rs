@@ -21,8 +21,7 @@ pub fn run(scale: f64) -> String {
         let events = ((spec.default_events as f64 * scale * 0.5) as usize).max(1_500);
         let stream = generate(&spec.generator(events, 0xf177));
         out.push_str(&format!("\n--- {} (default theta = {}) ---\n", spec.name, spec.theta));
-        let mut t =
-            Table::new(&["Method", "theta", "avg rel fitness", "us/update"]);
+        let mut t = Table::new(&["Method", "theta", "avg rel fitness", "us/update"]);
         for kind in [AlgorithmKind::Rnd, AlgorithmKind::PlusRnd] {
             let mut series = Vec::new();
             for &frac in &fractions {

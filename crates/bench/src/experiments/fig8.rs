@@ -8,7 +8,7 @@ use crate::method::Method;
 use crate::report::{banner, f, observation, Table};
 use crate::runner::{run_method, ExperimentParams, RunConfig};
 use sns_core::config::AlgorithmKind;
-use sns_data::{generate, chicago_crime_like, nytaxi_like};
+use sns_data::{chicago_crime_like, generate, nytaxi_like};
 
 /// Renders Fig. 8.
 pub fn run(scale: f64) -> String {
@@ -28,7 +28,11 @@ pub fn run(scale: f64) -> String {
                 params.eta = eta;
                 let cfg = RunConfig { checkpoints: 4, ..Default::default() };
                 let r = run_method(&params, &stream, Method::Sns(kind), &cfg);
-                t.row(vec![kind.name().to_string(), format!("{eta:.0}"), f(r.avg_relative_fitness)]);
+                t.row(vec![
+                    kind.name().to_string(),
+                    format!("{eta:.0}"),
+                    f(r.avg_relative_fitness),
+                ]);
                 fits.push(r.avg_relative_fitness);
             }
             // "Insensitive as long as small enough": the spread across the

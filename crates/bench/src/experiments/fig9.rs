@@ -67,7 +67,7 @@ fn outcome(
 
 /// Continuous detector: SNS+_RND scoring each arrival *before* the factor
 /// update absorbs it.
-fn run_continuous(
+fn detect_continuous(
     params: &ExperimentParams,
     stream: &[StreamTuple],
     injected: &[InjectedAnomaly],
@@ -116,7 +116,7 @@ fn run_continuous(
 
 /// Periodic detector: scores every slice entry at the period boundary,
 /// before the baseline's factor update.
-fn run_periodic(
+fn detect_periodic(
     params: &ExperimentParams,
     stream: &[StreamTuple],
     injected: &[InjectedAnomaly],
@@ -174,19 +174,24 @@ pub fn run(scale: f64) -> String {
     );
 
     let mut out = banner("Fig 9 — anomaly detection (New York Taxi-like, 20 injected spikes)");
-    let mut t = Table::new(&["Method", "Precision@20", "Mean occurrence->detection gap (s)", "Events scored"]);
+    let mut t = Table::new(&[
+        "Method",
+        "Precision@20",
+        "Mean occurrence->detection gap (s)",
+        "Events scored",
+    ]);
 
-    let cont = run_continuous(&params, &stream, &injected, 0x99);
+    let cont = detect_continuous(&params, &stream, &injected, 0x99);
     let mut dims = params.base_dims.clone();
     dims.push(params.window);
-    let scp = run_periodic(
+    let scp = detect_periodic(
         &params,
         &stream,
         &injected,
         Box::new(OnlineScp::new(&dims, params.rank, 0x99)),
         "OnlineSCP",
     );
-    let cps = run_periodic(
+    let cps = detect_periodic(
         &params,
         &stream,
         &injected,
@@ -196,12 +201,7 @@ pub fn run(scale: f64) -> String {
 
     let mut gap_ok = true;
     for o in [&cont, &scp, &cps] {
-        t.row(vec![
-            o.method.clone(),
-            f(o.precision),
-            f(o.mean_gap),
-            o.scored.to_string(),
-        ]);
+        t.row(vec![o.method.clone(), f(o.precision), f(o.mean_gap), o.scored.to_string()]);
     }
     if !(cont.mean_gap == 0.0 || cont.mean_gap.is_nan()) {
         gap_ok = false;

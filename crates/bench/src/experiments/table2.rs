@@ -10,12 +10,7 @@ pub fn run(scale: f64) -> String {
     let mut out = banner("Table II — real-world datasets (paper) vs synthetic twins (ours)");
     let mut paper = Table::new(&["Name", "Size (paper)", "#Non-zeros", "Density"]);
     for d in all_datasets() {
-        let dims = d
-            .paper_dims
-            .iter()
-            .map(|x| x.to_string())
-            .collect::<Vec<_>>()
-            .join(" x ");
+        let dims = d.paper_dims.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" x ");
         paper.row(vec![
             d.name.to_string(),
             dims,
@@ -25,7 +20,9 @@ pub fn run(scale: f64) -> String {
     }
     out.push_str(&paper.render());
 
-    out.push_str("\nSynthetic twins at current scale (window statistics after one full prefill):\n");
+    out.push_str(
+        "\nSynthetic twins at current scale (window statistics after one full prefill):\n",
+    );
     let mut ours = Table::new(&[
         "Name",
         "Base dims",

@@ -1,7 +1,11 @@
 //! Unified method selector: the five SliceNStitch variants plus the four
 //! conventional baselines.
 
-use sns_core::config::AlgorithmKind;
+use crate::runner::{ExperimentParams, RunConfig};
+use sns_baselines::{AlsPeriodic, BaselineEngine, CpStream, NeCpd, OnlineScp, PeriodicCpd};
+use sns_core::config::{AlgorithmKind, SnsConfig};
+use sns_core::engine::SnsEngine;
+use sns_runtime::StreamingCpd;
 
 /// A method under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +37,58 @@ impl Method {
     /// True for per-event (continuous) methods.
     pub fn is_continuous(&self) -> bool {
         matches!(self, Method::Sns(_))
+    }
+
+    /// Builds the engine that runs this method, replacing the runner's
+    /// old continuous/periodic match-dispatch: every method becomes a
+    /// `Box<dyn StreamingCpd>` and one generic drive loop serves all.
+    ///
+    /// Seeding: SNS engines draw factors and samples from `cfg.seed` (as
+    /// the paper's runner always did). Periodic baselines draw their
+    /// initial factors from `cfg.als.seed`, which makes the unified warm
+    /// start — batch ALS from the engine's initial factors — bitwise
+    /// identical to the protocol's former fresh `als()` call on the
+    /// initial window *at the default `cfg.als.init_scale = 1.0`* (the
+    /// scale the baseline constructors fix; see the parity suite in
+    /// `tests/end_to_end.rs`). Two knowing deviations: a non-unit
+    /// `init_scale` changes the baselines' starting factors relative to
+    /// the old fresh `als()`, and NeCPD's live SGD sampler is now seeded
+    /// by `cfg.als.seed` instead of `cfg.seed` — statistically, not
+    /// bitwise, equivalent.
+    pub fn build(&self, params: &ExperimentParams, cfg: &RunConfig) -> Box<dyn StreamingCpd> {
+        match *self {
+            Method::Sns(kind) => {
+                let sns_config = SnsConfig {
+                    rank: params.rank,
+                    theta: params.theta,
+                    eta: params.eta,
+                    init_scale: 1.0,
+                    seed: cfg.seed,
+                };
+                Box::new(SnsEngine::new(
+                    &params.base_dims,
+                    params.window,
+                    params.period,
+                    kind,
+                    &sns_config,
+                ))
+            }
+            _ => {
+                let mut dims = params.base_dims.clone();
+                dims.push(params.window);
+                let seed = cfg.als.seed;
+                let algo: Box<dyn PeriodicCpd> = match *self {
+                    Method::AlsPeriodic(sweeps) => {
+                        Box::new(AlsPeriodic::new(&dims, params.rank, sweeps, seed))
+                    }
+                    Method::OnlineScp => Box::new(OnlineScp::new(&dims, params.rank, seed)),
+                    Method::CpStream => Box::new(CpStream::new(&dims, params.rank, 0.99, 3, seed)),
+                    Method::NeCpd(epochs) => Box::new(NeCpd::new(&dims, params.rank, epochs, seed)),
+                    Method::Sns(_) => unreachable!("handled by the continuous arm"),
+                };
+                Box::new(BaselineEngine::new(&params.base_dims, params.window, params.period, algo))
+            }
+        }
     }
 
     /// The method line-up of Figs. 4–5.

@@ -38,7 +38,10 @@ impl Table {
                 }
                 let cell = &cells[c];
                 // Right-align numbers, left-align text.
-                if cell.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '+')
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '+')
                 {
                     line.push_str(&" ".repeat(widths[c].saturating_sub(cell.len())));
                     line.push_str(cell);

@@ -2,14 +2,17 @@
 //! (Section VI-A): ALS initialization on the first full window, then
 //! stream processing over `5·W·T` with per-update timing and periodic
 //! relative-fitness checkpoints.
+//!
+//! There is exactly **one** drive loop, [`drive`], generic over
+//! `Box<dyn StreamingCpd>`: the continuous SliceNStitch engines and the
+//! once-per-period baselines run through identical code, differing only
+//! in the engine [`Method::build`] hands back.
 
 use crate::method::Method;
-use sns_baselines::{AlsPeriodic, CpStream, NeCpd, OnlineScp, PeriodicCpd};
 use sns_core::als::{als, AlsOptions};
-use sns_core::config::{AlgorithmKind, SnsConfig};
-use sns_core::engine::SnsEngine;
 use sns_data::spec::DatasetSpec;
-use sns_stream::{DiscreteWindow, StreamTuple};
+use sns_runtime::StreamingCpd;
+use sns_stream::StreamTuple;
 use std::time::Instant;
 
 /// Tensor-window parameters for one experiment (a [`DatasetSpec`] with
@@ -100,7 +103,9 @@ pub struct RunResult {
     /// Method display name.
     pub method: String,
     /// Mean wall time per factor update, microseconds. For continuous
-    /// methods an update is one event; for baselines, one period.
+    /// methods an update is one event; for baselines, one period. The
+    /// measured span is the whole drive loop (window maintenance
+    /// included, checkpoint evaluation excluded).
     pub avg_update_us: f64,
     /// Number of factor updates performed.
     pub updates: u64,
@@ -138,46 +143,34 @@ pub fn checkpoint_indices(n: usize, k: usize) -> Vec<usize> {
     (1..=k).map(|j| (j * n) / k - 1).collect()
 }
 
-fn reference_fitness(
-    window: &sns_tensor::SparseTensor,
-    rank: usize,
-    als_opts: &AlsOptions,
-) -> f64 {
+fn reference_fitness(window: &sns_tensor::SparseTensor, rank: usize, als_opts: &AlsOptions) -> f64 {
     als(window, rank, als_opts).fitness
 }
 
-/// Runs one method over one pre-generated stream.
+/// Runs one method over one pre-generated stream: builds its engine via
+/// [`Method::build`] and hands it to the generic [`drive`] loop.
 pub fn run_method(
     params: &ExperimentParams,
     stream: &[StreamTuple],
     method: Method,
     cfg: &RunConfig,
 ) -> RunResult {
-    match method {
-        Method::Sns(kind) => run_continuous(params, stream, kind, cfg),
-        _ => run_periodic(params, stream, method, cfg),
-    }
+    drive(params, stream, method.build(params, cfg), cfg)
 }
 
-fn run_continuous(
+/// The single drive loop of the experiment protocol, shared by every
+/// method: prefill the first window, ALS warm start, then ingest the
+/// measured stream with timing chunks between relative-fitness
+/// checkpoints. The engine decides *when* factors update; the loop
+/// neither knows nor cares.
+pub fn drive(
     params: &ExperimentParams,
     stream: &[StreamTuple],
-    kind: AlgorithmKind,
+    mut engine: Box<dyn StreamingCpd>,
     cfg: &RunConfig,
 ) -> RunResult {
-    let sns_config = SnsConfig {
-        rank: params.rank,
-        theta: params.theta,
-        eta: params.eta,
-        init_scale: 1.0,
-        seed: cfg.seed,
-    };
-    let mut engine =
-        SnsEngine::new(&params.base_dims, params.window, params.period, kind, &sns_config);
     let (prefill, measured) = split_prefill(params, stream);
-    for tu in prefill {
-        engine.prefill(*tu).expect("chronological stream");
-    }
+    engine.prefill_all(prefill).expect("chronological stream");
     engine.warm_start(&cfg.als);
 
     let measured = match cfg.max_measured_tuples {
@@ -202,87 +195,14 @@ fn run_continuous(
     }
     total += chunk_start.elapsed();
 
-    let updates = engine.updates_applied();
     finish_result(
-        kind.name().to_string(),
+        engine.name(),
         total.as_secs_f64(),
-        updates,
+        engine.updates_applied(),
         measured.len(),
         series,
         engine.diverged(),
         engine.num_parameters(),
-    )
-}
-
-fn run_periodic(
-    params: &ExperimentParams,
-    stream: &[StreamTuple],
-    method: Method,
-    cfg: &RunConfig,
-) -> RunResult {
-    let mut dims = params.base_dims.clone();
-    dims.push(params.window);
-    let mut algo: Box<dyn PeriodicCpd> = match method {
-        Method::AlsPeriodic(sweeps) => {
-            Box::new(AlsPeriodic::new(&dims, params.rank, sweeps, cfg.seed))
-        }
-        Method::OnlineScp => Box::new(OnlineScp::new(&dims, params.rank, cfg.seed)),
-        Method::CpStream => Box::new(CpStream::new(&dims, params.rank, 0.99, 3, cfg.seed)),
-        Method::NeCpd(epochs) => Box::new(NeCpd::new(&dims, params.rank, epochs, cfg.seed)),
-        Method::Sns(_) => unreachable!("continuous methods use run_continuous"),
-    };
-
-    let mut window = DiscreteWindow::new(&params.base_dims, params.window, params.period);
-    let (prefill, measured) = split_prefill(params, stream);
-    let mut updates_buf = Vec::new();
-    for tu in prefill {
-        updates_buf.clear();
-        window.ingest(*tu, &mut updates_buf).expect("chronological stream");
-        // Prefill periods complete without factor updates — mirrors the
-        // continuous engines' prefill.
-    }
-    {
-        let warm = als(window.tensor(), params.rank, &cfg.als);
-        algo.install(warm.kruskal, warm.grams);
-    }
-
-    let measured = match cfg.max_measured_tuples {
-        Some(cap) => &measured[..measured.len().min(cap)],
-        None => measured,
-    };
-    let marks = checkpoint_indices(measured.len(), cfg.checkpoints);
-    let mut series = Vec::with_capacity(marks.len());
-    let mut next_mark = 0usize;
-    let mut total = std::time::Duration::ZERO;
-    let mut updates = 0u64;
-    for (i, tu) in measured.iter().enumerate() {
-        updates_buf.clear();
-        window.ingest(*tu, &mut updates_buf).expect("chronological stream");
-        if !updates_buf.is_empty() {
-            let start = Instant::now();
-            for u in &updates_buf {
-                algo.on_period(window.tensor(), u);
-            }
-            total += start.elapsed();
-            updates += updates_buf.len() as u64;
-        }
-        if next_mark < marks.len() && i == marks[next_mark] {
-            let fitness = algo.fitness(window.tensor());
-            let reference = reference_fitness(window.tensor(), params.rank, &cfg.als);
-            series.push(Checkpoint { tuple_idx: i, time: tu.time, fitness, reference });
-            next_mark += 1;
-        }
-    }
-
-    let parameters = params.rank * (params.base_dims.iter().sum::<usize>() + params.window);
-    finish_result(
-        method.name(),
-        total.as_secs_f64(),
-        updates,
-        measured.len(),
-        series,
-        !algo.kruskal().is_finite(),
-        parameters,
     )
 }
 
@@ -295,18 +215,10 @@ fn finish_result(
     diverged: bool,
     parameters: usize,
 ) -> RunResult {
-    let avg_update_us =
-        if updates > 0 { total_seconds * 1e6 / updates as f64 } else { 0.0 };
-    let rels: Vec<f64> = series
-        .iter()
-        .map(|c| c.relative())
-        .filter(|r| r.is_finite())
-        .collect();
-    let avg_relative_fitness = if rels.is_empty() {
-        f64::NAN
-    } else {
-        rels.iter().sum::<f64>() / rels.len() as f64
-    };
+    let avg_update_us = if updates > 0 { total_seconds * 1e6 / updates as f64 } else { 0.0 };
+    let rels: Vec<f64> = series.iter().map(|c| c.relative()).filter(|r| r.is_finite()).collect();
+    let avg_relative_fitness =
+        if rels.is_empty() { f64::NAN } else { rels.iter().sum::<f64>() / rels.len() as f64 };
     let final_fitness = series.last().map_or(f64::NAN, |c| c.fitness);
     RunResult {
         method,
@@ -325,6 +237,7 @@ fn finish_result(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sns_core::config::AlgorithmKind;
     use sns_data::generator::generate;
 
     fn tiny_params() -> ExperimentParams {
@@ -401,11 +314,7 @@ mod tests {
     fn measured_cap_limits_tuples() {
         let p = tiny_params();
         let s = tiny_stream(&p);
-        let cfg = RunConfig {
-            checkpoints: 2,
-            max_measured_tuples: Some(50),
-            ..Default::default()
-        };
+        let cfg = RunConfig { checkpoints: 2, max_measured_tuples: Some(50), ..Default::default() };
         let r = run_method(&p, &s, Method::Sns(AlgorithmKind::Mat), &cfg);
         assert_eq!(r.tuples, 50);
     }

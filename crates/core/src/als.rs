@@ -80,7 +80,18 @@ pub fn als_sweep(x: &SparseTensor, k: &mut KruskalTensor, grams: &mut [sns_linal
 pub fn als(x: &SparseTensor, rank: usize, opts: &AlsOptions) -> AlsResult {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let dims = x.shape().dims().to_vec();
-    let mut k = KruskalTensor::random(&mut rng, &dims, rank, opts.init_scale);
+    let start = KruskalTensor::random(&mut rng, &dims, rank, opts.init_scale);
+    warm_start_from(x, &start, opts)
+}
+
+/// The shared warm-start every engine uses (paper §VI-A initialization):
+/// batch ALS on `x` starting from a clone of `start`, Grams recomputed
+/// from scratch. [`als`] is exactly this applied to a seeded random
+/// start, so an engine whose initial factors were drawn with
+/// `AlsOptions::seed` warm-starts bitwise-identically to a fresh
+/// [`als`] call.
+pub fn warm_start_from(x: &SparseTensor, start: &KruskalTensor, opts: &AlsOptions) -> AlsResult {
+    let mut k = start.clone();
     let mut grams = compute_grams(&k.factors);
     als_from(x, &mut k, &mut grams, opts)
 }
@@ -207,11 +218,12 @@ mod tests {
         // Warm start from the converged model: one sweep should suffice.
         let mut k = cold.kruskal.clone();
         let mut grams = cold.grams.clone();
-        let warm = als_from(&x, &mut k, &mut grams, &AlsOptions {
-            max_iters: 100,
-            tol: 1e-7,
-            ..Default::default()
-        });
+        let warm = als_from(
+            &x,
+            &mut k,
+            &mut grams,
+            &AlsOptions { max_iters: 100, tol: 1e-7, ..Default::default() },
+        );
         assert!(
             warm.iters <= cold.iters,
             "warm start took {} iters vs cold {}",

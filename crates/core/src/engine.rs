@@ -4,10 +4,9 @@
 //! This is the object a downstream user instantiates: feed it the raw
 //! multi-aspect data stream, read back an always-current CP decomposition.
 
-use crate::als::{als_from, AlsOptions, AlsResult};
+use crate::als::{warm_start_from, AlsOptions, AlsResult};
 use crate::config::{AlgorithmKind, SnsConfig};
 use crate::fitness::fitness_with_grams;
-use crate::grams::compute_grams;
 use crate::kruskal::KruskalTensor;
 use crate::update::{ContinuousUpdater, Updater};
 use sns_stream::{ContinuousWindow, Delta, StreamTuple};
@@ -54,10 +53,8 @@ impl SnsEngine {
     /// mirroring the paper's "initialized factor matrices using ALS on
     /// the initial tensor window".
     pub fn warm_start(&mut self, opts: &AlsOptions) -> AlsResult {
-        let mut k = self.updater.kruskal().clone();
-        let mut grams = compute_grams(&k.factors);
-        let result = als_from(self.window.tensor(), &mut k, &mut grams, opts);
-        self.updater.install(k, grams);
+        let result = warm_start_from(self.window.tensor(), self.updater.kruskal(), opts);
+        self.updater.install(result.kruskal.clone(), result.grams.clone());
         result
     }
 

@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn compute_grams_shapes() {
         let mut rng = StdRng::seed_from_u64(5);
-        let f = vec![
-            Mat::random(&mut rng, 3, 2, 1.0),
-            Mat::random(&mut rng, 5, 2, 1.0),
-        ];
+        let f = vec![Mat::random(&mut rng, 3, 2, 1.0), Mat::random(&mut rng, 5, 2, 1.0)];
         let g = compute_grams(&f);
         assert_eq!(g.len(), 2);
         assert_eq!(g[0].shape(), (2, 2));

@@ -191,10 +191,8 @@ mod tests {
         let c = Coord::new(&[2, 1, 0]);
         let mut expect = 0.0;
         for r in 0..5 {
-            expect += k.lambda[r]
-                * k.factors[0][(2, r)]
-                * k.factors[1][(1, r)]
-                * k.factors[2][(0, r)];
+            expect +=
+                k.lambda[r] * k.factors[0][(2, r)] * k.factors[1][(1, r)] * k.factors[2][(0, r)];
         }
         assert!((k.eval(&c) - expect).abs() < 1e-12);
     }
@@ -206,10 +204,7 @@ mod tests {
         let from_grams = k.norm_sq_from_grams(&grams);
         let dense = k.reconstruct_dense();
         let direct = dense.norm().powi(2);
-        assert!(
-            (from_grams - direct).abs() < 1e-9 * (1.0 + direct),
-            "{from_grams} vs {direct}"
-        );
+        assert!((from_grams - direct).abs() < 1e-9 * (1.0 + direct), "{from_grams} vs {direct}");
     }
 
     #[test]

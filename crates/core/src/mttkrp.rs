@@ -74,11 +74,7 @@ pub fn mttkrp_row_from_entries(
 /// Dense-oracle MTTKRP: materializes `X(m)` and the full Khatri–Rao
 /// product and multiplies them. Small shapes only; used to pin the sparse
 /// kernels in tests.
-pub fn mttkrp_dense_oracle(
-    x: &sns_tensor::DenseTensor,
-    factors: &[Mat],
-    mode: usize,
-) -> Mat {
+pub fn mttkrp_dense_oracle(x: &sns_tensor::DenseTensor, factors: &[Mat], mode: usize) -> Mat {
     use sns_linalg::ops::{khatri_rao_all, matmul};
     use sns_tensor::matricize::kr_ordering;
     let ordering = kr_ordering(factors.len(), mode);
@@ -217,10 +213,8 @@ mod tests {
         let k = KruskalTensor::random(&mut rng, &dims, 3, 1.0);
         let dense_x = DenseTensor::from_sparse(&x);
         let dense_k = k.reconstruct_dense();
-        let brute: f64 = Shape::new(&dims)
-            .iter_coords()
-            .map(|c| dense_x.get(&c) * dense_k.get(&c))
-            .sum();
+        let brute: f64 =
+            Shape::new(&dims).iter_coords().map(|c| dense_x.get(&c) * dense_k.get(&c)).sum();
         assert!((inner_with_kruskal(&x, &k) - brute).abs() < 1e-9);
     }
 

@@ -317,11 +317,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut out = Vec::new();
         for t in 0..30u64 {
-            let tu = StreamTuple::new(
-                [rng.gen_range(0..4u32), rng.gen_range(0..3u32)],
-                1.0,
-                t,
-            );
+            let tu = StreamTuple::new([rng.gen_range(0..4u32), rng.gen_range(0..3u32)], 1.0, t);
             w.ingest(tu, &mut out).unwrap();
         }
         let mut s = FactorState::random(&[4, 3, 5], 3, 0.5, 9);

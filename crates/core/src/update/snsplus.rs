@@ -122,13 +122,7 @@ impl SnsPlusVec {
                 &mut self.scratch.prod,
             );
         }
-        descend_row(
-            &mut self.state.kruskal.factors[mode],
-            index,
-            &g,
-            &self.scratch.acc,
-            self.eta,
-        );
+        descend_row(&mut self.state.kruskal.factors[mode], index, &g, &self.scratch.acc, self.eta);
         let new_row = self.state.kruskal.factors[mode].row(index as usize).to_vec();
         gram_row_update(&mut self.state.grams[mode], &self.scratch.old, &new_row);
     }
@@ -247,13 +241,7 @@ impl SnsPlusRnd {
             );
             sns_linalg::ops::axpy(1.0, &sampled, &mut self.scratch.acc);
         }
-        descend_row(
-            &mut self.state.kruskal.factors[mode],
-            index,
-            &g,
-            &self.scratch.acc,
-            self.eta,
-        );
+        descend_row(&mut self.state.kruskal.factors[mode], index, &g, &self.scratch.acc, self.eta);
         let new_row = self.state.kruskal.factors[mode].row(index as usize).to_vec();
         gram_row_update(&mut self.state.grams[mode], &self.scratch.old, &new_row);
         prev_gram_row_update(&mut self.prev_grams[mode], &self.scratch.old, &new_row);
@@ -355,8 +343,7 @@ mod tests {
         let tuples = stream(71, 200);
         // θ must cover a reasonable share of the fiber degrees (here ~30)
         // for the sampled rule to track an unstructured stream.
-        let config =
-            SnsConfig { rank: 3, theta: 12, eta: 1000.0, seed: 72, ..Default::default() };
+        let config = SnsConfig { rank: 3, theta: 12, eta: 1000.0, seed: 72, ..Default::default() };
         let mut alg = SnsPlusRnd::new(&[5, 4, 5], &config);
         let w = drive(&mut alg, &tuples);
         let fit = fitness_with_grams(w.tensor(), alg.kruskal(), alg.grams());
@@ -439,10 +426,7 @@ mod tests {
             let scale = 1.0 + fresh.max_abs();
             for i in 0..3 {
                 for j in 0..3 {
-                    assert!(
-                        (g[(i, j)] - fresh[(i, j)]).abs() < 1e-6 * scale,
-                        "mode {m} ({i},{j})"
-                    );
+                    assert!((g[(i, j)] - fresh[(i, j)]).abs() < 1e-6 * scale, "mode {m} ({i},{j})");
                 }
             }
         }

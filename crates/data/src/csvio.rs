@@ -75,12 +75,9 @@ pub fn read_stream<R: Read>(reader: R) -> Result<Vec<StreamTuple>, CsvError> {
         }
         let parse_err = || CsvError::Parse { line: lineno + 1, content: line.clone() };
         let time: u64 = fields[0].trim().parse().map_err(|_| parse_err())?;
-        let value: f64 =
-            fields[fields.len() - 1].trim().parse().map_err(|_| parse_err())?;
-        let coords: Result<Vec<u32>, _> = fields[1..fields.len() - 1]
-            .iter()
-            .map(|f| f.trim().parse::<u32>())
-            .collect();
+        let value: f64 = fields[fields.len() - 1].trim().parse().map_err(|_| parse_err())?;
+        let coords: Result<Vec<u32>, _> =
+            fields[1..fields.len() - 1].iter().map(|f| f.trim().parse::<u32>()).collect();
         let coords = coords.map_err(|_| parse_err())?;
         out.push(StreamTuple::new(Coord::new(&coords), value, time));
     }

@@ -163,8 +163,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Vec<StreamTuple> {
             cfg.base_dims.iter().map(|&n| rng.gen_range(0..n as u32)).collect()
         } else {
             // Pick a component by its activity at this time of "day".
-            let day_fraction =
-                (t % cfg.day_ticks.max(1)) as f64 / cfg.day_ticks.max(1) as f64;
+            let day_fraction = (t % cfg.day_ticks.max(1)) as f64 / cfg.day_ticks.max(1) as f64;
             // Weekend damping: every 6th and 7th synthetic day is quieter
             // for even components, busier for odd ones (weekly texture).
             let day_index = t / cfg.day_ticks.max(1);

@@ -41,8 +41,7 @@ pub fn inject_anomalies(
 
     let mut injected: Vec<InjectedAnomaly> = (0..count)
         .map(|_| {
-            let coords: Vec<u32> =
-                base_dims.iter().map(|&n| rng.gen_range(0..n as u32)).collect();
+            let coords: Vec<u32> = base_dims.iter().map(|&n| rng.gen_range(0..n as u32)).collect();
             InjectedAnomaly {
                 time: rng.gen_range(t_min..t_max),
                 coords: Coord::new(&coords),

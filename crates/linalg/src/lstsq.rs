@@ -116,9 +116,7 @@ mod tests {
     fn exact_system_recovered() {
         let a = Mat::from_rows(&[&[1., 0.], &[0., 2.], &[1., 1.]]);
         let x_true = [3.0, -1.0];
-        let b: Vec<f64> = (0..3)
-            .map(|i| a[(i, 0)] * x_true[0] + a[(i, 1)] * x_true[1])
-            .collect();
+        let b: Vec<f64> = (0..3).map(|i| a[(i, 0)] * x_true[0] + a[(i, 1)] * x_true[1]).collect();
         let x = lstsq(&a, &b).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-10);
         assert!((x[1] + 1.0).abs() < 1e-10);

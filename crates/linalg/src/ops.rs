@@ -10,7 +10,11 @@ use crate::{LinalgError, Mat, Result};
 /// `C = A · B`.
 pub fn matmul(a: &Mat, b: &Mat) -> Result<Mat> {
     if a.cols() != b.rows() {
-        return Err(LinalgError::DimensionMismatch { op: "matmul", lhs: a.shape(), rhs: b.shape() });
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     let mut c = Mat::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {

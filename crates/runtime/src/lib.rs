@@ -1,0 +1,65 @@
+//! # sns-runtime
+//!
+//! The unified drive layer of the SliceNStitch workspace: one interface
+//! over every engine, and a sharded runtime that serves many independent
+//! tensor streams from a single process.
+//!
+//! ## Why this crate exists
+//!
+//! The paper's central observation is that the continuous per-event loop
+//! (SliceNStitch) and the conventional once-per-period loop differ only
+//! in *when* factors update — yet the workspace used to implement that
+//! drive loop separately for `SnsEngine`, `BaselineEngine`, and again
+//! inside the benchmark runner. This crate collapses all of them behind
+//! the [`StreamingCpd`] trait: feed tuples in, read an always-current CP
+//! decomposition out, regardless of the update cadence behind it.
+//!
+//! ## Design principles
+//!
+//! - **One seam:** every consumer (benchmark runner, examples, the
+//!   multi-stream pool, future ingestion services) drives engines only
+//!   through `dyn StreamingCpd`. New update rules plug in by implementing
+//!   the trait, not by teaching each driver a new loop.
+//! - **Deterministic by construction:** nothing in this crate draws
+//!   randomness of its own. Engines are built from explicit seeds;
+//!   [`pool::EnginePool`] derives per-stream seeds with
+//!   [`pool::stream_seed`] and pins each stream to exactly one worker, so
+//!   a pooled run is bitwise-identical to driving the same engines
+//!   serially.
+//! - **No external broker:** the pool is plain `std::thread` + channels,
+//!   in-process. The same command protocol can later be backed by a
+//!   socket or queue without touching engine code.
+//!
+//! ## Layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`streaming`] | the [`StreamingCpd`] trait + impls for `SnsEngine` and `BaselineEngine` |
+//! | [`pool`] | [`pool::EnginePool`]: sharded multi-stream runtime with per-stream reports |
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sns_core::als::AlsOptions;
+//! use sns_core::config::{AlgorithmKind, SnsConfig};
+//! use sns_core::engine::SnsEngine;
+//! use sns_runtime::StreamingCpd;
+//! use sns_stream::StreamTuple;
+//!
+//! // Any engine behind the one interface.
+//! let config = SnsConfig { rank: 2, seed: 7, ..Default::default() };
+//! let mut engine: Box<dyn StreamingCpd> =
+//!     Box::new(SnsEngine::new(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config));
+//! for t in 0..40u64 {
+//!     engine.prefill(StreamTuple::new([(t % 4) as u32, (t % 3) as u32], 1.0, t)).unwrap();
+//! }
+//! engine.warm_start(&AlsOptions { max_iters: 10, ..Default::default() });
+//! engine.ingest(StreamTuple::new([0u32, 0], 1.0, 41)).unwrap();
+//! assert!(engine.fitness().is_finite());
+//! ```
+
+pub mod pool;
+pub mod streaming;
+
+pub use pool::{EnginePool, PoolConfig, StreamReport};
+pub use streaming::StreamingCpd;

@@ -1,0 +1,494 @@
+//! A sharded multi-stream runtime: many independent tensor streams, one
+//! process, `N` worker threads.
+//!
+//! ## Model
+//!
+//! Every stream (a tenant's sensor feed, one city's traffic matrix, …)
+//! is an independent [`StreamingCpd`] engine identified by a `u64`
+//! stream id. The pool pins each id to exactly one worker thread
+//! (`shard = hash(id) % workers`) and forwards commands over a
+//! per-worker channel, so:
+//!
+//! - commands for one stream execute **in submission order** on one
+//!   thread — no locks around engine state, no cross-thread movement of
+//!   engines (they are built *on* their worker and die there, so engine
+//!   types need not be `Send`);
+//! - different streams proceed **concurrently** across workers;
+//! - results are bitwise-identical to driving each engine serially,
+//!   because engines are deterministic given their seed and input order;
+//! - failures stay **per-stream**: an engine that returns an error has
+//!   it recorded in its [`StreamReport`]; an engine that *panics* is
+//!   quarantined (its stream keeps reporting the panic message) while
+//!   every other stream on the shard — and the calling thread — keep
+//!   running.
+//!
+//! ## Determinism contract
+//!
+//! [`EnginePool::open_stream`] hands the factory a seed derived by
+//! [`stream_seed`]`(base_seed, id)` — a pure function, independent of
+//! shard count and worker scheduling. A serial reference run that builds
+//! its engines with the same derived seeds reproduces pooled results
+//! exactly (see `tests/engine_pool.rs`).
+
+use crate::streaming::StreamingCpd;
+use sns_core::als::AlsOptions;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+
+/// Pool sizing and seeding.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker (shard) count. Streams are hashed across workers.
+    pub shards: usize,
+    /// Base seed that per-stream seeds are derived from.
+    pub base_seed: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+        PoolConfig { shards, base_seed: 0x5eed }
+    }
+}
+
+/// Deterministic per-stream seed: a SplitMix64 mix of the pool's base
+/// seed and the stream id. Pure — independent of shard count, worker
+/// scheduling, and stream open order.
+pub fn stream_seed(base_seed: u64, stream_id: u64) -> u64 {
+    let mut z = base_seed ^ stream_id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds a stream's engine on its worker thread from the derived seed.
+type EngineFactory = Box<dyn FnOnce(u64) -> Box<dyn StreamingCpd> + Send>;
+
+/// Snapshot of one stream's state, produced on its worker.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The stream id the report describes.
+    pub stream_id: u64,
+    /// Engine display name.
+    pub name: String,
+    /// Fitness against the stream's current window.
+    pub fitness: f64,
+    /// Factor updates applied so far.
+    pub updates_applied: u64,
+    /// Model parameter count.
+    pub num_parameters: usize,
+    /// Whether the model diverged.
+    pub diverged: bool,
+    /// First command error observed on this stream, if any.
+    pub error: Option<String>,
+}
+
+enum Command {
+    Open { id: u64, seed: u64, build: EngineFactory },
+    Prefill { id: u64, tuple: sns_stream::StreamTuple },
+    WarmStart { id: u64, opts: AlsOptions },
+    Ingest { id: u64, tuple: sns_stream::StreamTuple },
+    AdvanceTo { id: u64, t: u64 },
+    Report { id: u64, reply: Sender<StreamReport> },
+    Shutdown,
+}
+
+struct StreamSlot {
+    name: String,
+    /// `None` once the engine is quarantined after a panic (its state is
+    /// no longer trustworthy); the slot keeps reporting the error.
+    engine: Option<Box<dyn StreamingCpd>>,
+    error: Option<String>,
+}
+
+impl StreamSlot {
+    /// Runs an engine command with panic isolation: an engine that
+    /// returns `Err` records the error; an engine that *panics* is
+    /// quarantined (dropped) and the panic message recorded — the worker
+    /// thread, its other streams, and the calling thread all survive.
+    fn guard<T>(
+        &mut self,
+        f: impl FnOnce(&mut dyn StreamingCpd) -> Result<T, String>,
+    ) -> Option<T> {
+        let engine = self.engine.as_mut()?;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(engine.as_mut()))) {
+            Ok(Ok(v)) => Some(v),
+            Ok(Err(e)) => {
+                self.error.get_or_insert(e);
+                None
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic payload".to_string());
+                self.error.get_or_insert(format!("engine panicked: {msg}"));
+                self.engine = None;
+                None
+            }
+        }
+    }
+}
+
+/// Shards many independent [`StreamingCpd`] streams across worker
+/// threads. See the module docs for the threading and determinism model.
+pub struct EnginePool {
+    senders: Vec<Sender<Command>>,
+    workers: Vec<JoinHandle<()>>,
+    base_seed: u64,
+}
+
+impl EnginePool {
+    /// Spawns the worker threads.
+    pub fn new(cfg: PoolConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = channel::<Command>();
+            let handle = std::thread::Builder::new()
+                .name(format!("sns-pool-{i}"))
+                .spawn(move || {
+                    let mut slots: HashMap<u64, StreamSlot> = HashMap::new();
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            Command::Open { id, seed, build } => {
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    build(seed)
+                                })) {
+                                    Ok(engine) => {
+                                        let name = engine.name();
+                                        slots.insert(
+                                            id,
+                                            StreamSlot { name, engine: Some(engine), error: None },
+                                        );
+                                    }
+                                    Err(_) => {
+                                        slots.insert(
+                                            id,
+                                            StreamSlot {
+                                                name: String::new(),
+                                                engine: None,
+                                                error: Some("engine factory panicked".to_string()),
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                            Command::Prefill { id, tuple } => {
+                                if let Some(s) = slots.get_mut(&id) {
+                                    s.guard(|e| e.prefill(tuple).map_err(|e| e.to_string()));
+                                }
+                            }
+                            Command::WarmStart { id, opts } => {
+                                if let Some(s) = slots.get_mut(&id) {
+                                    s.guard(|e| {
+                                        e.warm_start(&opts);
+                                        Ok(())
+                                    });
+                                }
+                            }
+                            Command::Ingest { id, tuple } => {
+                                if let Some(s) = slots.get_mut(&id) {
+                                    s.guard(|e| {
+                                        e.ingest(tuple).map(|_| ()).map_err(|e| e.to_string())
+                                    });
+                                }
+                            }
+                            Command::AdvanceTo { id, t } => {
+                                if let Some(s) = slots.get_mut(&id) {
+                                    s.guard(|e| {
+                                        e.advance_to(t);
+                                        Ok(())
+                                    });
+                                }
+                            }
+                            Command::Report { id, reply } => {
+                                let report = match slots.get_mut(&id) {
+                                    Some(s) => {
+                                        let snapshot = s.guard(|e| {
+                                            Ok((
+                                                e.fitness(),
+                                                e.updates_applied(),
+                                                e.num_parameters(),
+                                                e.diverged(),
+                                            ))
+                                        });
+                                        let (fitness, updates_applied, num_parameters, diverged) =
+                                            snapshot.unwrap_or((f64::NAN, 0, 0, false));
+                                        StreamReport {
+                                            stream_id: id,
+                                            name: s.name.clone(),
+                                            fitness,
+                                            updates_applied,
+                                            num_parameters,
+                                            diverged,
+                                            error: s.error.clone(),
+                                        }
+                                    }
+                                    None => StreamReport {
+                                        stream_id: id,
+                                        name: String::new(),
+                                        fitness: f64::NAN,
+                                        updates_applied: 0,
+                                        num_parameters: 0,
+                                        diverged: false,
+                                        error: Some(format!("unknown stream id {id}")),
+                                    },
+                                };
+                                // The requester may have hung up; that's fine.
+                                let _ = reply.send(report);
+                            }
+                            Command::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn engine pool worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        EnginePool { senders, workers, base_seed: cfg.base_seed }
+    }
+
+    /// Number of worker threads.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Which worker serves a stream id (stable for the pool's lifetime).
+    pub fn shard_of(&self, stream_id: u64) -> usize {
+        // Re-mix so adjacent ids spread across shards.
+        (stream_seed(0, stream_id) % self.senders.len() as u64) as usize
+    }
+
+    fn send(&self, stream_id: u64, cmd: Command) {
+        self.senders[self.shard_of(stream_id)].send(cmd).expect("engine pool worker alive");
+    }
+
+    /// Registers a stream: `build` runs on the stream's worker thread
+    /// with the deterministic seed [`stream_seed`]`(base_seed, id)`.
+    /// Re-opening an id replaces the previous engine.
+    pub fn open_stream<F>(&self, stream_id: u64, build: F)
+    where
+        F: FnOnce(u64) -> Box<dyn StreamingCpd> + Send + 'static,
+    {
+        let seed = stream_seed(self.base_seed, stream_id);
+        self.send(stream_id, Command::Open { id: stream_id, seed, build: Box::new(build) });
+    }
+
+    /// Queues a prefill tuple for a stream (no factor update).
+    pub fn prefill(&self, stream_id: u64, tuple: sns_stream::StreamTuple) {
+        self.send(stream_id, Command::Prefill { id: stream_id, tuple });
+    }
+
+    /// Queues a warm start for a stream.
+    pub fn warm_start(&self, stream_id: u64, opts: &AlsOptions) {
+        self.send(stream_id, Command::WarmStart { id: stream_id, opts: opts.clone() });
+    }
+
+    /// Queues one live tuple for a stream.
+    pub fn ingest(&self, stream_id: u64, tuple: sns_stream::StreamTuple) {
+        self.send(stream_id, Command::Ingest { id: stream_id, tuple });
+    }
+
+    /// Queues a clock advance for a stream.
+    pub fn advance_to(&self, stream_id: u64, t: u64) {
+        self.send(stream_id, Command::AdvanceTo { id: stream_id, t });
+    }
+
+    /// Blocks until the stream's worker has drained every previously
+    /// queued command for it, then returns its state snapshot.
+    pub fn report(&self, stream_id: u64) -> StreamReport {
+        let (tx, rx) = channel();
+        self.send(stream_id, Command::Report { id: stream_id, reply: tx });
+        rx.recv().expect("engine pool worker alive")
+    }
+
+    /// Shuts the workers down and waits for them to finish.
+    pub fn join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        for tx in &self.senders {
+            // Workers that already exited are fine to ignore.
+            let _ = tx.send(Command::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_core::config::{AlgorithmKind, SnsConfig};
+    use sns_core::engine::SnsEngine;
+    use sns_stream::StreamTuple;
+
+    fn build_engine(seed: u64) -> Box<dyn StreamingCpd> {
+        let config = SnsConfig { rank: 2, theta: 8, seed, ..Default::default() };
+        Box::new(SnsEngine::new(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config))
+    }
+
+    fn tuples_for(id: u64) -> Vec<StreamTuple> {
+        (0..120u64)
+            .map(|t| StreamTuple::new([((t + id) % 4) as u32, ((t * 3 + id) % 3) as u32], 1.0, t))
+            .collect()
+    }
+
+    #[test]
+    fn stream_seed_is_pure_and_spreads() {
+        assert_eq!(stream_seed(1, 2), stream_seed(1, 2));
+        assert_ne!(stream_seed(1, 2), stream_seed(1, 3));
+        assert_ne!(stream_seed(1, 2), stream_seed(2, 2));
+    }
+
+    #[test]
+    fn pooled_equals_serial() {
+        let ids = [0u64, 1, 2, 3, 4, 5, 6, 7];
+        let base_seed = 0xabcd;
+
+        // Serial reference.
+        let mut serial = Vec::new();
+        for &id in &ids {
+            let mut e = build_engine(stream_seed(base_seed, id));
+            for tu in tuples_for(id) {
+                e.ingest(tu).unwrap();
+            }
+            serial.push((e.fitness(), e.updates_applied()));
+        }
+
+        // Pooled run over 3 workers, tuples interleaved across streams.
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed });
+        for &id in &ids {
+            pool.open_stream(id, build_engine);
+        }
+        for i in 0..120 {
+            for &id in &ids {
+                pool.ingest(id, tuples_for(id)[i]);
+            }
+        }
+        for (&id, (fit, updates)) in ids.iter().zip(&serial) {
+            let r = pool.report(id);
+            assert_eq!(r.error, None);
+            assert_eq!(r.fitness.to_bits(), fit.to_bits(), "stream {id} fitness differs");
+            assert_eq!(r.updates_applied, *updates, "stream {id} updates differ");
+        }
+        pool.join();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1 });
+        pool.open_stream(9, build_engine);
+        pool.ingest(9, StreamTuple::new([0u32, 0], 1.0, 50));
+        pool.ingest(9, StreamTuple::new([0u32, 0], 1.0, 10)); // out of order
+        let r = pool.report(9);
+        assert!(r.error.is_some(), "out-of-order ingest must surface");
+        // The stream stays usable.
+        pool.ingest(9, StreamTuple::new([1u32, 1], 1.0, 60));
+        let r = pool.report(9);
+        assert!(r.fitness.is_nan() || r.fitness.is_finite());
+        assert_eq!(pool.report(777).error.as_deref(), Some("unknown stream id 777"));
+    }
+
+    /// Trait stub whose `ingest` panics at a chosen timestamp.
+    struct Grenade {
+        kruskal: sns_core::kruskal::KruskalTensor,
+        window: sns_tensor::SparseTensor,
+        boom_at: u64,
+        updates: u64,
+    }
+
+    impl Grenade {
+        fn boxed(boom_at: u64) -> Box<dyn StreamingCpd> {
+            Box::new(Grenade {
+                kruskal: sns_core::kruskal::KruskalTensor::zeros(&[2, 2], 1),
+                window: sns_tensor::SparseTensor::new(sns_tensor::Shape::new(&[2, 2])),
+                boom_at,
+                updates: 0,
+            })
+        }
+    }
+
+    impl StreamingCpd for Grenade {
+        fn prefill(&mut self, _tuple: StreamTuple) -> sns_stream::Result<()> {
+            Ok(())
+        }
+        fn warm_start(&mut self, opts: &AlsOptions) -> sns_core::als::AlsResult {
+            sns_core::als::als(&self.window, 1, opts)
+        }
+        fn ingest(&mut self, tuple: StreamTuple) -> sns_stream::Result<usize> {
+            assert!(tuple.time != self.boom_at, "boom");
+            self.updates += 1;
+            Ok(1)
+        }
+        fn advance_to(&mut self, _t: u64) -> usize {
+            0
+        }
+        fn window(&self) -> &sns_tensor::SparseTensor {
+            &self.window
+        }
+        fn kruskal(&self) -> &sns_core::kruskal::KruskalTensor {
+            &self.kruskal
+        }
+        fn fitness(&self) -> f64 {
+            1.0
+        }
+        fn diverged(&self) -> bool {
+            false
+        }
+        fn updates_applied(&self) -> u64 {
+            self.updates
+        }
+        fn num_parameters(&self) -> usize {
+            self.kruskal.num_parameters()
+        }
+        fn name(&self) -> String {
+            "grenade".to_string()
+        }
+    }
+
+    #[test]
+    fn panicking_engine_is_quarantined_not_fatal() {
+        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 0 });
+        pool.open_stream(1, |_| Grenade::boxed(5));
+        pool.open_stream(2, |_| Grenade::boxed(u64::MAX));
+        for t in 0..10u64 {
+            pool.ingest(1, StreamTuple::new([0u32, 0], 1.0, t));
+            pool.ingest(2, StreamTuple::new([0u32, 0], 1.0, t));
+        }
+        // Stream 1 blew up at t = 5: quarantined, error recorded, but the
+        // shared worker and the calling thread survive.
+        let r1 = pool.report(1);
+        assert!(r1.error.as_deref().unwrap_or("").contains("panicked"), "{:?}", r1.error);
+        assert!(r1.fitness.is_nan());
+        // Stream 2 on the same shard is untouched.
+        let r2 = pool.report(2);
+        assert_eq!(r2.error, None);
+        assert_eq!(r2.updates_applied, 10);
+        // The pool still accepts new streams afterwards.
+        pool.open_stream(3, |_| Grenade::boxed(u64::MAX));
+        pool.ingest(3, StreamTuple::new([0u32, 0], 1.0, 1));
+        assert_eq!(pool.report(3).updates_applied, 1);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable() {
+        let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: 0 });
+        for id in 0..50u64 {
+            assert_eq!(pool.shard_of(id), pool.shard_of(id));
+            assert!(pool.shard_of(id) < 4);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The [`StreamingCpd`] trait: one interface over the continuous
+//! SliceNStitch engine and the once-per-period baseline engines.
+
+use sns_baselines::{BaselineEngine, PeriodicCpd};
+use sns_core::als::{AlsOptions, AlsResult};
+use sns_core::engine::SnsEngine;
+use sns_core::kruskal::KruskalTensor;
+use sns_stream::StreamTuple;
+use sns_tensor::SparseTensor;
+
+/// A continuously maintained CP decomposition of one sparse tensor
+/// stream, independent of *when* the model updates (per event for
+/// SliceNStitch, per period for the conventional baselines).
+///
+/// The trait is dyn-compatible: drivers hold `Box<dyn StreamingCpd>` and
+/// never know which update rule runs behind it. The protocol every
+/// implementation shares (the paper's §VI-A):
+///
+/// 1. [`prefill`](StreamingCpd::prefill) the first full window without
+///    touching factors,
+/// 2. [`warm_start`](StreamingCpd::warm_start) with batch ALS on that
+///    window,
+/// 3. [`ingest`](StreamingCpd::ingest) the live stream (factor updates
+///    fire at each engine's own cadence),
+/// 4. read [`fitness`](StreamingCpd::fitness) /
+///    [`kruskal`](StreamingCpd::kruskal) at any point.
+pub trait StreamingCpd {
+    /// Ingests a tuple into the window **without** updating factors
+    /// (initialization phase).
+    fn prefill(&mut self, tuple: StreamTuple) -> sns_stream::Result<()>;
+
+    /// Runs batch ALS on the current window from the engine's current
+    /// factors and installs the result (`sns_core::als::warm_start_from`).
+    fn warm_start(&mut self, opts: &AlsOptions) -> AlsResult;
+
+    /// Ingests one stream tuple, applying every factor update it
+    /// triggers. Returns the number of updates applied.
+    fn ingest(&mut self, tuple: StreamTuple) -> sns_stream::Result<usize>;
+
+    /// Advances the clock without an arrival; due boundary work still
+    /// fires. Returns the number of updates applied.
+    fn advance_to(&mut self, t: u64) -> usize;
+
+    /// The current window tensor fitness is measured on.
+    fn window(&self) -> &SparseTensor;
+
+    /// The current factorization.
+    fn kruskal(&self) -> &KruskalTensor;
+
+    /// Fitness of the current factorization against the current window.
+    fn fitness(&self) -> f64;
+
+    /// True if the model hit non-finite values.
+    fn diverged(&self) -> bool;
+
+    /// Total factor updates applied since construction (events for
+    /// continuous engines, periods for baselines).
+    fn updates_applied(&self) -> u64;
+
+    /// Model parameter count (`R · Σ N_m`, Fig. 1d).
+    fn num_parameters(&self) -> usize;
+
+    /// Display name matching the paper's figures.
+    fn name(&self) -> String;
+
+    /// Prefills a whole slice of tuples, returning how many were
+    /// accepted. Default-implemented so every engine shares the
+    /// initialization loop instead of re-rolling it per driver.
+    fn prefill_all(&mut self, tuples: &[StreamTuple]) -> sns_stream::Result<usize> {
+        for tu in tuples {
+            self.prefill(*tu)?;
+        }
+        Ok(tuples.len())
+    }
+}
+
+impl StreamingCpd for SnsEngine {
+    fn prefill(&mut self, tuple: StreamTuple) -> sns_stream::Result<()> {
+        SnsEngine::prefill(self, tuple)
+    }
+
+    fn warm_start(&mut self, opts: &AlsOptions) -> AlsResult {
+        SnsEngine::warm_start(self, opts)
+    }
+
+    fn ingest(&mut self, tuple: StreamTuple) -> sns_stream::Result<usize> {
+        SnsEngine::ingest(self, tuple)
+    }
+
+    fn advance_to(&mut self, t: u64) -> usize {
+        SnsEngine::advance_to(self, t)
+    }
+
+    fn window(&self) -> &SparseTensor {
+        SnsEngine::window(self)
+    }
+
+    fn kruskal(&self) -> &KruskalTensor {
+        SnsEngine::kruskal(self)
+    }
+
+    fn fitness(&self) -> f64 {
+        SnsEngine::fitness(self)
+    }
+
+    fn diverged(&self) -> bool {
+        SnsEngine::diverged(self)
+    }
+
+    fn updates_applied(&self) -> u64 {
+        SnsEngine::updates_applied(self)
+    }
+
+    fn num_parameters(&self) -> usize {
+        SnsEngine::num_parameters(self)
+    }
+
+    fn name(&self) -> String {
+        self.kind().name().to_string()
+    }
+}
+
+/// Periodic engines speak the same interface: an "update" is one
+/// completed period, and `advance_to` flushes due periods.
+impl<B: PeriodicCpd> StreamingCpd for BaselineEngine<B> {
+    fn prefill(&mut self, tuple: StreamTuple) -> sns_stream::Result<()> {
+        BaselineEngine::prefill(self, tuple)
+    }
+
+    fn warm_start(&mut self, opts: &AlsOptions) -> AlsResult {
+        BaselineEngine::warm_start(self, opts)
+    }
+
+    fn ingest(&mut self, tuple: StreamTuple) -> sns_stream::Result<usize> {
+        BaselineEngine::ingest(self, tuple)
+    }
+
+    fn advance_to(&mut self, t: u64) -> usize {
+        self.flush_to(t)
+    }
+
+    fn window(&self) -> &SparseTensor {
+        BaselineEngine::window(self)
+    }
+
+    fn kruskal(&self) -> &KruskalTensor {
+        self.algo().kruskal()
+    }
+
+    fn fitness(&self) -> f64 {
+        BaselineEngine::fitness(self)
+    }
+
+    fn diverged(&self) -> bool {
+        !self.algo().kruskal().is_finite()
+    }
+
+    fn updates_applied(&self) -> u64 {
+        self.periods()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.algo().kruskal().num_parameters()
+    }
+
+    fn name(&self) -> String {
+        self.algo().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_baselines::AlsPeriodic;
+    use sns_core::config::{AlgorithmKind, SnsConfig};
+
+    fn drive(engine: &mut dyn StreamingCpd) -> (f64, u64) {
+        let tuples: Vec<StreamTuple> = (0..200u64)
+            .map(|t| StreamTuple::new([(t % 5) as u32, (t % 4) as u32], 1.0, t))
+            .collect();
+        engine.prefill_all(&tuples[..100]).unwrap();
+        engine.warm_start(&AlsOptions { max_iters: 15, ..Default::default() });
+        for tu in &tuples[100..] {
+            engine.ingest(*tu).unwrap();
+        }
+        engine.advance_to(400);
+        (engine.fitness(), engine.updates_applied())
+    }
+
+    #[test]
+    fn both_engine_families_speak_the_trait() {
+        let config = SnsConfig { rank: 3, seed: 3, ..Default::default() };
+        let mut sns: Box<dyn StreamingCpd> =
+            Box::new(SnsEngine::new(&[5, 4], 4, 10, AlgorithmKind::PlusVec, &config));
+        let (fit_c, updates_c) = drive(sns.as_mut());
+        assert!(fit_c.is_finite());
+        // Continuous: every tuple is at least one event.
+        assert!(updates_c >= 100, "{updates_c} continuous updates");
+        assert_eq!(sns.name(), "SNS+_VEC");
+        assert_eq!(sns.num_parameters(), 3 * (5 + 4 + 4));
+
+        let algo: Box<dyn PeriodicCpd> = Box::new(AlsPeriodic::new(&[5, 4, 4], 3, 2, 3));
+        let mut base: Box<dyn StreamingCpd> = Box::new(BaselineEngine::new(&[5, 4], 4, 10, algo));
+        let (fit_p, updates_p) = drive(base.as_mut());
+        assert!(fit_p.is_finite());
+        // Periodic: one update per completed period — far fewer.
+        assert!(updates_p < updates_c, "{updates_p} vs {updates_c}");
+        assert_eq!(base.name(), "ALS(2)");
+        assert_eq!(base.num_parameters(), 3 * (5 + 4 + 4));
+        assert!(!base.diverged());
+    }
+
+    #[test]
+    fn out_of_order_errors_surface_through_the_trait() {
+        let config = SnsConfig { rank: 2, seed: 4, ..Default::default() };
+        let mut e: Box<dyn StreamingCpd> =
+            Box::new(SnsEngine::new(&[3, 3], 3, 10, AlgorithmKind::Vec, &config));
+        e.ingest(StreamTuple::new([0u32, 0], 1.0, 10)).unwrap();
+        assert!(e.ingest(StreamTuple::new([0u32, 0], 1.0, 5)).is_err());
+    }
+}

@@ -43,10 +43,8 @@ impl Coord {
     /// Panics if any index exceeds `u32::MAX` or the order exceeds
     /// [`MAX_ORDER`].
     pub fn from_usizes(indices: &[usize]) -> Self {
-        let v: Vec<u32> = indices
-            .iter()
-            .map(|&i| u32::try_from(i).expect("index fits in u32"))
-            .collect();
+        let v: Vec<u32> =
+            indices.iter().map(|&i| u32::try_from(i).expect("index fits in u32")).collect();
         Coord::new(&v)
     }
 

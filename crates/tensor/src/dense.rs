@@ -95,12 +95,7 @@ impl DenseTensor {
     /// Element-wise difference norm `‖self − other‖_F`.
     pub fn dist(&self, other: &DenseTensor) -> f64 {
         assert_eq!(self.shape, other.shape, "dist: shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 }
 

@@ -45,22 +45,13 @@ impl Shape {
 
     /// Total number of positions excluding mode `skip` (`Π_{m≠skip} N_m`).
     pub fn num_entries_excluding(&self, skip: usize) -> usize {
-        self.dims
-            .iter()
-            .enumerate()
-            .filter(|&(m, _)| m != skip)
-            .map(|(_, &d)| d)
-            .product()
+        self.dims.iter().enumerate().filter(|&(m, _)| m != skip).map(|(_, &d)| d).product()
     }
 
     /// True if `coord` has the right order and every index is in bounds.
     pub fn contains(&self, coord: &Coord) -> bool {
         coord.order() == self.order()
-            && coord
-                .as_slice()
-                .iter()
-                .zip(&self.dims)
-                .all(|(&i, &d)| (i as usize) < d)
+            && coord.as_slice().iter().zip(&self.dims).all(|(&i, &d)| (i as usize) < d)
     }
 
     /// Iterates over every coordinate of the (small!) dense index space, in

@@ -137,11 +137,7 @@ impl SparseTensor {
 
     /// Iterates over the non-zero coordinates of the `(mode, index)` fiber.
     pub fn fiber_coords(&self, mode: usize, index: u32) -> impl Iterator<Item = &Coord> + '_ {
-        self.fibers[mode]
-            .get(&index)
-            .map(|s| s.as_slice())
-            .unwrap_or(&[])
-            .iter()
+        self.fibers[mode].get(&index).map(|s| s.as_slice()).unwrap_or(&[]).iter()
     }
 
     /// Iterates over `(coord, value)` for the `(mode, index)` fiber.
@@ -211,11 +207,8 @@ impl SparseTensor {
             while seen.len() < k {
                 let mut idx = [0u32; crate::coord::MAX_ORDER];
                 for (m, slot) in idx.iter_mut().enumerate().take(order) {
-                    *slot = if m == mode {
-                        index
-                    } else {
-                        rng.gen_range(0..self.shape.dim(m) as u32)
-                    };
+                    *slot =
+                        if m == mode { index } else { rng.gen_range(0..self.shape.dim(m) as u32) };
                 }
                 let c = Coord::new(&idx[..order]);
                 if seen.insert(c) {
@@ -273,8 +266,7 @@ impl SparseTensor {
     /// iterating over the smaller operand.
     pub fn inner(&self, other: &SparseTensor) -> f64 {
         assert_eq!(self.shape, other.shape, "inner: shape mismatch");
-        let (small, big) =
-            if self.nnz() <= other.nnz() { (self, other) } else { (other, self) };
+        let (small, big) = if self.nnz() <= other.nnz() { (self, other) } else { (other, self) };
         small.iter().map(|(c, v)| v * big.get(c)).sum()
     }
 
@@ -289,9 +281,7 @@ impl SparseTensor {
                 return Err(format!("out-of-bounds coord {c:?}"));
             }
             for m in 0..self.order() {
-                let ok = self.fibers[m]
-                    .get(&c.get(m))
-                    .is_some_and(|s| s.contains(c));
+                let ok = self.fibers[m].get(&c.get(m)).is_some_and(|s| s.contains(c));
                 if !ok {
                     return Err(format!("coord {c:?} missing from fiber index mode {m}"));
                 }
@@ -340,7 +330,13 @@ impl std::fmt::Debug for SparseTensor {
 
 /// Recursively enumerates every position of the `(mode, fixed)` fiber
 /// (used only when the fiber space is smaller than the sample size).
-fn enumerate_fiber(shape: &Shape, mode: usize, m: usize, current: &mut Coord, out: &mut Vec<Coord>) {
+fn enumerate_fiber(
+    shape: &Shape,
+    mode: usize,
+    m: usize,
+    current: &mut Coord,
+    out: &mut Vec<Coord>,
+) {
     if m == shape.order() {
         out.push(*current);
         return;

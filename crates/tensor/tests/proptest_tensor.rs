@@ -10,9 +10,8 @@ use sns_tensor::{Coord, DenseTensor, Shape, SparseTensor};
 
 /// A random edit: coordinate within a fixed 4×5×3 shape plus an integer delta.
 fn edit_strategy() -> impl Strategy<Value = (Coord, f64)> {
-    (0u32..4, 0u32..5, 0u32..3, -3i32..=3).prop_map(|(a, b, t, d)| {
-        (Coord::new(&[a, b, t]), d as f64)
-    })
+    (0u32..4, 0u32..5, 0u32..3, -3i32..=3)
+        .prop_map(|(a, b, t, d)| (Coord::new(&[a, b, t]), d as f64))
 }
 
 proptest! {

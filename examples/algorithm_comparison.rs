@@ -18,16 +18,19 @@ fn main() {
     let prefill_until = spec.window as u64 * spec.period;
     let cut = stream.partition_point(|t| t.time <= prefill_until);
 
-    println!("{} events on a {:?} window (W={}, T={} {})", stream.len(), spec.base_dims, spec.window, spec.period, spec.tick_unit);
+    println!(
+        "{} events on a {:?} window (W={}, T={} {})",
+        stream.len(),
+        spec.base_dims,
+        spec.window,
+        spec.period,
+        spec.tick_unit
+    );
     println!("\n{:<10} {:>12} {:>12} {:>10}", "method", "us/event", "fitness", "diverged");
     println!("{}", "-".repeat(48));
     for kind in AlgorithmKind::ALL {
-        let sns = SnsConfig {
-            rank: spec.rank,
-            theta: spec.theta,
-            eta: spec.eta,
-            ..Default::default()
-        };
+        let sns =
+            SnsConfig { rank: spec.rank, theta: spec.theta, eta: spec.eta, ..Default::default() };
         let mut engine = SnsEngine::new(spec.base_dims, spec.window, spec.period, kind, &sns);
         for tu in &stream[..cut] {
             engine.prefill(*tu).unwrap();

@@ -21,8 +21,8 @@ fn main() {
     let (stream, injected) = inject_anomalies(
         &clean,
         spec.base_dims,
-        10,   // number of spikes
-        5.0,  // 5× the max normal change, as in the paper
+        10,  // number of spikes
+        5.0, // 5× the max normal change, as in the paper
         prefill_until + 1,
         spec.duration(),
         99,
@@ -40,11 +40,8 @@ fn main() {
 
     for tu in &stream {
         if !warmed && tu.time > prefill_until {
-            let warm = slicenstitch::core::als::als(
-                window.tensor(),
-                spec.rank,
-                &Default::default(),
-            );
+            let warm =
+                slicenstitch::core::als::als(window.tensor(), spec.rank, &Default::default());
             updater.install(warm.kruskal, warm.grams);
             warmed = true;
         }
@@ -57,7 +54,10 @@ fn main() {
                     let (coord, _) = d.changes.as_slice()[0];
                     let ev = detector.observe(window.tensor(), updater.kruskal(), &coord, d.time);
                     if ev.z > 10.0 {
-                        println!("t={:>7}  coord={:?}  err={:>6.1}  z={:>7.1}  <-- flagged", ev.time, ev.coord, ev.error, ev.z);
+                        println!(
+                            "t={:>7}  coord={:?}  err={:>6.1}  z={:>7.1}  <-- flagged",
+                            ev.time, ev.coord, ev.error, ev.z
+                        );
                     }
                 }
                 updater.apply(window.tensor(), d);
@@ -71,7 +71,8 @@ fn main() {
         .iter()
         .filter(|e| {
             injected.iter().any(|a| {
-                a.time == e.time && a.coords.as_slice() == &e.coord.as_slice()[..e.coord.order() - 1]
+                a.time == e.time
+                    && a.coords.as_slice() == &e.coord.as_slice()[..e.coord.order() - 1]
             })
         })
         .count();

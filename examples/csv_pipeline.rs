@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_stream(std::fs::File::create(&path)?, &stream)?;
     let size = std::fs::metadata(&path)?.len();
     let back = read_stream(std::fs::File::open(&path)?)?;
-    println!("wrote {} events ({} bytes) to {} and read them back", back.len(), size, path.display());
+    println!(
+        "wrote {} events ({} bytes) to {} and read them back",
+        back.len(),
+        size,
+        path.display()
+    );
     assert_eq!(back, stream, "CSV round trip must be lossless");
 
     // Decompose the re-loaded stream.

@@ -39,7 +39,9 @@ fn main() {
     let stream = generate(&config);
     let cut = stream.partition_point(|t| t.time <= 8 * 500);
 
-    println!("-- theta sweep (SNS+_RND): fitness rises with diminishing returns, time rises linearly --");
+    println!(
+        "-- theta sweep (SNS+_RND): fitness rises with diminishing returns, time rises linearly --"
+    );
     for theta in [5usize, 10, 20, 40, 80] {
         let sns = SnsConfig { rank: 10, theta, eta: 1000.0, ..Default::default() };
         let (fit, us) = run(&stream, cut, &sns, AlgorithmKind::PlusRnd);

@@ -25,7 +25,10 @@ fn main() {
         engine.prefill(*tu).unwrap();
     }
     engine.warm_start(&AlsOptions::default());
-    println!("monitoring {}x{} taxi traffic, one report per simulated hour\n", spec.base_dims[0], spec.base_dims[1]);
+    println!(
+        "monitoring {}x{} taxi traffic, one report per simulated hour\n",
+        spec.base_dims[0], spec.base_dims[1]
+    );
 
     let mut next_report = prefill_until + spec.period;
     for tu in &stream[cut..] {

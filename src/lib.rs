@@ -12,7 +12,22 @@
 //! - [`stream`] — the continuous tensor model (event-driven windows),
 //! - [`core`] — the SliceNStitch CPD algorithms and engine,
 //! - [`baselines`] — conventional once-per-period online CPD comparators,
-//! - [`data`] — synthetic dataset generators mirroring the paper's datasets.
+//! - [`data`] — synthetic dataset generators mirroring the paper's datasets,
+//! - [`runtime`] — the unified drive layer: every engine behind one
+//!   `StreamingCpd` trait, plus the sharded `EnginePool` multi-stream
+//!   runtime.
+//!
+//! ## Architecture
+//!
+//! Engines (continuous [`core::SnsEngine`], periodic
+//! [`baselines::BaselineEngine`]) all implement
+//! [`runtime::StreamingCpd`] — prefill, ALS warm start, ingest, read
+//! fitness/factors — so drivers are written once against
+//! `Box<dyn StreamingCpd>`. To serve many independent tensor streams
+//! from one process, [`runtime::EnginePool`] shards streams across
+//! worker threads with deterministic per-stream seeds; pooled results
+//! are bitwise-identical to serial runs (see `examples/multi_stream.rs`
+//! and `tests/engine_pool.rs`).
 //!
 //! ## Quickstart
 //!
@@ -26,6 +41,7 @@ pub use sns_baselines as baselines;
 pub use sns_core as core;
 pub use sns_data as data;
 pub use sns_linalg as linalg;
+pub use sns_runtime as runtime;
 pub use sns_stream as stream;
 pub use sns_tensor as tensor;
 

@@ -1,0 +1,138 @@
+//! EnginePool concurrency contract: N streams sharded across worker
+//! threads produce per-stream results bitwise-identical to the same N
+//! engines run serially with the same derived seeds — for both engine
+//! families, under interleaved ingestion and the full prefill → warm
+//! start → live-stream protocol.
+
+use slicenstitch::baselines::{BaselineEngine, OnlineScp, PeriodicCpd};
+use slicenstitch::core::als::AlsOptions;
+use slicenstitch::core::{AlgorithmKind, SnsConfig, SnsEngine};
+use slicenstitch::data::{generate, GeneratorConfig};
+use slicenstitch::runtime::pool::stream_seed;
+use slicenstitch::runtime::{EnginePool, PoolConfig, StreamingCpd};
+use slicenstitch::stream::StreamTuple;
+
+const BASE_DIMS: [usize; 2] = [12, 10];
+const W: usize = 4;
+const T: u64 = 50;
+const BASE_SEED: u64 = 0x900d;
+
+/// Streams 0..N: even ids run a continuous SNS engine, odd ids a
+/// periodic OnlineSCP baseline — the pool serves both families at once.
+fn build_engine(id: u64) -> impl FnOnce(u64) -> Box<dyn StreamingCpd> + Send + 'static {
+    move |seed| {
+        if id % 2 == 0 {
+            let config = SnsConfig { rank: 3, theta: 10, seed, ..Default::default() };
+            Box::new(SnsEngine::new(&BASE_DIMS, W, T, AlgorithmKind::PlusRnd, &config))
+        } else {
+            let algo: Box<dyn PeriodicCpd> =
+                Box::new(OnlineScp::new(&[BASE_DIMS[0], BASE_DIMS[1], W], 3, seed));
+            Box::new(BaselineEngine::new(&BASE_DIMS, W, T, algo))
+        }
+    }
+}
+
+fn tuples_for(id: u64) -> Vec<StreamTuple> {
+    generate(&GeneratorConfig {
+        base_dims: BASE_DIMS.to_vec(),
+        n_components: 3,
+        events: 900,
+        duration: 5 * W as u64 * T,
+        day_ticks: 40,
+        seed: 0xfeed + id,
+        ..Default::default()
+    })
+}
+
+fn als_opts() -> AlsOptions {
+    AlsOptions { max_iters: 15, tol: 1e-4, ..Default::default() }
+}
+
+/// Serial reference: one engine per stream, full protocol, same seeds.
+fn run_serial(id: u64) -> (String, f64, u64) {
+    let mut engine = build_engine(id)(stream_seed(BASE_SEED, id));
+    let tuples = tuples_for(id);
+    let cut = tuples.partition_point(|t| t.time <= W as u64 * T);
+    engine.prefill_all(&tuples[..cut]).unwrap();
+    engine.warm_start(&als_opts());
+    for tu in &tuples[cut..] {
+        engine.ingest(*tu).unwrap();
+    }
+    engine.advance_to(6 * W as u64 * T);
+    (engine.name(), engine.fitness(), engine.updates_applied())
+}
+
+#[test]
+fn pooled_streams_match_serial_execution_bitwise() {
+    let ids: Vec<u64> = (0..6).collect();
+    let serial: Vec<(String, f64, u64)> = ids.iter().map(|&id| run_serial(id)).collect();
+
+    let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED });
+    for &id in &ids {
+        pool.open_stream(id, build_engine(id));
+    }
+    // Interleave commands across streams so shards genuinely run
+    // concurrently rather than one stream at a time.
+    let streams: Vec<Vec<StreamTuple>> = ids.iter().map(|&id| tuples_for(id)).collect();
+    let cuts: Vec<usize> =
+        streams.iter().map(|s| s.partition_point(|t| t.time <= W as u64 * T)).collect();
+    let max_prefill = cuts.iter().copied().max().unwrap();
+    for i in 0..max_prefill {
+        for (&id, (s, &cut)) in ids.iter().zip(streams.iter().zip(&cuts)) {
+            if i < cut {
+                pool.prefill(id, s[i]);
+            }
+        }
+    }
+    for &id in &ids {
+        pool.warm_start(id, &als_opts());
+    }
+    let max_live = streams.iter().zip(&cuts).map(|(s, &c)| s.len() - c).max().unwrap();
+    for i in 0..max_live {
+        for (&id, (s, &cut)) in ids.iter().zip(streams.iter().zip(&cuts)) {
+            if cut + i < s.len() {
+                pool.ingest(id, s[cut + i]);
+            }
+        }
+    }
+    for &id in &ids {
+        pool.advance_to(id, 6 * W as u64 * T);
+    }
+
+    for (&id, (name, fitness, updates)) in ids.iter().zip(&serial) {
+        let report = pool.report(id);
+        assert_eq!(report.error, None, "stream {id} errored");
+        assert_eq!(&report.name, name, "stream {id} engine family");
+        assert_eq!(
+            report.fitness.to_bits(),
+            fitness.to_bits(),
+            "stream {id}: pooled fitness {} vs serial {fitness}",
+            report.fitness
+        );
+        assert_eq!(report.updates_applied, *updates, "stream {id} update count");
+        assert!(!report.diverged, "stream {id} diverged");
+    }
+    pool.join();
+}
+
+#[test]
+fn pool_serves_more_streams_than_shards() {
+    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 7 });
+    let ids: Vec<u64> = (100..116).collect();
+    for &id in &ids {
+        pool.open_stream(id, build_engine(id));
+        // Spread arrivals across several periods so the periodic
+        // engines (odd ids) complete window slides too.
+        for t in 0..40u64 {
+            pool.ingest(
+                id,
+                StreamTuple::new([(t % 12) as u32, ((t + id) % 10) as u32], 1.0, t * 10),
+            );
+        }
+    }
+    for &id in &ids {
+        let r = pool.report(id);
+        assert_eq!(r.error, None);
+        assert!(r.updates_applied > 0, "stream {id} applied no updates");
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! See `vendor/README.md`. The shim runs each benchmark a fixed number of
+//! warmup + measurement iterations and prints mean wall time per
+//! iteration. There is no statistical analysis, HTML report, or baseline
+//! comparison — it exists so `cargo bench` runs offline with unmodified
+//! bench sources.
+
+use std::time::{Duration, Instant};
+
+/// How many timed iterations each measurement performs.
+const MEASURE_ITERS: u64 = 50;
+const WARMUP_ITERS: u64 = 5;
+
+/// Top-level benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample sizing.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &BenchmarkId, mut f: F) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let per_iter = if b.iters > 0 { b.total.as_secs_f64() / b.iters as f64 } else { f64::NAN };
+    println!("  {:<40} {:>12.3} us/iter ({} iters)", id.0, per_iter * 1e6, b.iters);
+}
+
+/// Names one benchmark; `From<&str>` plus the two-part constructor.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Two-part id, rendered `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; ignored by the shim.
+pub enum BatchSize {
+    /// Mirrors `criterion::BatchSize::SmallInput`.
+    SmallInput,
+    /// Mirrors `criterion::BatchSize::LargeInput`.
+    LargeInput,
+    /// Mirrors `criterion::BatchSize::PerIteration`.
+    PerIteration,
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += MEASURE_ITERS;
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Hands the routine an iteration count and trusts its measurement.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = MEASURE_ITERS * 20;
+        self.total += routine(iters);
+        self.iters += iters;
+    }
+}
+
+/// Identity function that defeats constant-propagation, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::new("id", "param"), |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(2 * 2);
+                }
+                start.elapsed()
+            })
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_every_style() {
+        benches();
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! See `vendor/README.md`. Supported surface: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(...)]` header), `prop_assert!`,
+//! `prop_assert_eq!`, numeric range strategies, tuple strategies,
+//! [`strategy::Strategy::prop_map`], and [`collection::vec`]. Sampling is
+//! deterministic per test name; failing inputs are **not** shrunk — the
+//! failing case's debug output is the diagnostic.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a normal test that samples its strategies
+/// `ProptestConfig::cases` times and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                // The immediately-called closure scopes `?` to this case.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = outcome {
+                    panic!("property {} failed at case {case}: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a property; on failure panics with the formatted message (no
+/// shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality of two expressions within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0u32..10, y in -5i32..=5, f in 0.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0u32..4, 0u32..3).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(v <= 32);
+            prop_assert_eq!(v, v);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u8..255, 0..20)) {
+            prop_assert!(v.len() < 20);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in 0usize..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn cases_vary_across_runs_of_one_test() {
+        let mut rng = crate::test_runner::TestRng::for_case("a", 0);
+        let mut rng2 = crate::test_runner::TestRng::for_case("a", 1);
+        let a = Strategy::sample(&(0u64..u64::MAX), &mut rng);
+        let b = Strategy::sample(&(0u64..u64::MAX), &mut rng2);
+        assert_ne!(a, b);
+    }
+}

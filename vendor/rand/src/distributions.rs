@@ -1,0 +1,49 @@
+//! Standard distributions backing `Rng::gen`.
+
+use crate::RngCore;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The type's "natural" uniform distribution: `[0, 1)` for floats, the
+/// full value range for integers, fair coin for `bool`.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1) on the float lattice.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -2,10 +2,8 @@
 //! conventional baselines.
 
 use crate::runner::{ExperimentParams, RunConfig};
-use sns_baselines::{AlsPeriodic, BaselineEngine, CpStream, NeCpd, OnlineScp, PeriodicCpd};
 use sns_core::config::{AlgorithmKind, SnsConfig};
-use sns_core::engine::SnsEngine;
-use sns_runtime::StreamingCpd;
+use sns_runtime::{BaselineKind, EngineSpec, StreamingCpd};
 
 /// A method under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,9 +37,47 @@ impl Method {
         matches!(self, Method::Sns(_))
     }
 
-    /// Builds the engine that runs this method, replacing the runner's
-    /// old continuous/periodic match-dispatch: every method becomes a
-    /// `Box<dyn StreamingCpd>` and one generic drive loop serves all.
+    /// The declarative [`EngineSpec`] describing this method over the
+    /// experiment's tensor-window geometry — the single construction
+    /// path shared with the pooled runtime. The spec carries no seed;
+    /// [`Method::build`] supplies one.
+    pub fn spec(&self, params: &ExperimentParams) -> EngineSpec {
+        match *self {
+            Method::Sns(kind) => EngineSpec::sns(
+                &params.base_dims,
+                params.window,
+                params.period,
+                kind,
+                &SnsConfig {
+                    rank: params.rank,
+                    theta: params.theta,
+                    eta: params.eta,
+                    init_scale: 1.0,
+                    seed: 0, // not captured by the spec
+                },
+            ),
+            _ => {
+                let algo = match *self {
+                    Method::AlsPeriodic(sweeps) => BaselineKind::AlsPeriodic { sweeps },
+                    Method::OnlineScp => BaselineKind::OnlineScp,
+                    Method::CpStream => BaselineKind::CpStream { decay: 0.99, iters: 3 },
+                    Method::NeCpd(epochs) => BaselineKind::NeCpd { epochs },
+                    Method::Sns(_) => unreachable!("handled by the continuous arm"),
+                };
+                EngineSpec::baseline(
+                    &params.base_dims,
+                    params.window,
+                    params.period,
+                    params.rank,
+                    algo,
+                )
+            }
+        }
+    }
+
+    /// Builds the engine that runs this method by materializing
+    /// [`Method::spec`]: every method becomes a `Box<dyn StreamingCpd>`
+    /// and one generic drive loop serves all.
     ///
     /// Seeding: SNS engines draw factors and samples from `cfg.seed` (as
     /// the paper's runner always did). Periodic baselines draw their
@@ -56,39 +92,8 @@ impl Method {
     /// by `cfg.als.seed` instead of `cfg.seed` — statistically, not
     /// bitwise, equivalent.
     pub fn build(&self, params: &ExperimentParams, cfg: &RunConfig) -> Box<dyn StreamingCpd> {
-        match *self {
-            Method::Sns(kind) => {
-                let sns_config = SnsConfig {
-                    rank: params.rank,
-                    theta: params.theta,
-                    eta: params.eta,
-                    init_scale: 1.0,
-                    seed: cfg.seed,
-                };
-                Box::new(SnsEngine::new(
-                    &params.base_dims,
-                    params.window,
-                    params.period,
-                    kind,
-                    &sns_config,
-                ))
-            }
-            _ => {
-                let mut dims = params.base_dims.clone();
-                dims.push(params.window);
-                let seed = cfg.als.seed;
-                let algo: Box<dyn PeriodicCpd> = match *self {
-                    Method::AlsPeriodic(sweeps) => {
-                        Box::new(AlsPeriodic::new(&dims, params.rank, sweeps, seed))
-                    }
-                    Method::OnlineScp => Box::new(OnlineScp::new(&dims, params.rank, seed)),
-                    Method::CpStream => Box::new(CpStream::new(&dims, params.rank, 0.99, 3, seed)),
-                    Method::NeCpd(epochs) => Box::new(NeCpd::new(&dims, params.rank, epochs, seed)),
-                    Method::Sns(_) => unreachable!("handled by the continuous arm"),
-                };
-                Box::new(BaselineEngine::new(&params.base_dims, params.window, params.period, algo))
-            }
-        }
+        let seed = if self.is_continuous() { cfg.seed } else { cfg.als.seed };
+        self.spec(params).build(seed)
     }
 
     /// The method line-up of Figs. 4–5.

@@ -13,6 +13,12 @@ use sns_stream::{ContinuousWindow, Delta, StreamTuple};
 use sns_tensor::SparseTensor;
 
 /// A continuously maintained CP decomposition of a sparse tensor stream.
+///
+/// `Clone` captures the complete engine state — window tensor, pending
+/// boundary events, factors, Gram matrices, sampling RNG, and clock —
+/// so a clone continues bitwise-identically to the original. The
+/// runtime's snapshot/restore (shard migration) is built on this.
+#[derive(Clone)]
 pub struct SnsEngine {
     window: ContinuousWindow,
     updater: Updater,
@@ -74,6 +80,30 @@ impl SnsEngine {
         }
         self.updates_applied += self.buf.len() as u64;
         Ok(self.buf.len())
+    }
+
+    /// Ingests a whole slice of chronological tuples, applying every
+    /// factor update the batch triggers. Returns the total number of
+    /// events processed.
+    ///
+    /// Bitwise-identical to calling [`SnsEngine::ingest`] per tuple; the
+    /// batch entry point lets `dyn StreamingCpd` drivers pay one virtual
+    /// call per batch instead of one per tuple.
+    ///
+    /// # Errors
+    /// Short-circuits at the first failing tuple with
+    /// [`SnsError::BatchAborted`](sns_stream::SnsError::BatchAborted):
+    /// tuples before it **were** applied and stay applied; the window is
+    /// untouched by the failing tuple itself.
+    pub fn ingest_all(&mut self, tuples: &[StreamTuple]) -> sns_stream::Result<u64> {
+        let mut updates = 0u64;
+        for (i, tu) in tuples.iter().enumerate() {
+            match self.ingest(*tu) {
+                Ok(n) => updates += n as u64,
+                Err(e) => return Err(e.aborted_at(i, updates)),
+            }
+        }
+        Ok(updates)
     }
 
     /// Advances the clock without an arrival (boundary events still fire
@@ -233,6 +263,82 @@ mod tests {
             e.ingest(tu).unwrap();
         }
         assert_eq!(e.num_parameters(), expected);
+    }
+
+    #[test]
+    fn ingest_all_matches_per_tuple_ingest_bitwise() {
+        for kind in AlgorithmKind::ALL {
+            let config =
+                SnsConfig { rank: 3, theta: 2, seed: 17, init_scale: 0.3, ..Default::default() };
+            let mut a = SnsEngine::new(&[5, 4], 4, 10, kind, &config);
+            let mut b = SnsEngine::new(&[5, 4], 4, 10, kind, &config);
+            let tuples = stream(23, 150, (5, 4));
+            let mut per_tuple = 0u64;
+            for tu in &tuples {
+                per_tuple += a.ingest(*tu).unwrap() as u64;
+            }
+            let batched = b.ingest_all(&tuples).unwrap();
+            assert_eq!(per_tuple, batched, "{kind}: update counts differ");
+            assert_eq!(a.updates_applied(), b.updates_applied());
+            for m in 0..3 {
+                assert_eq!(
+                    a.kruskal().factors[m],
+                    b.kruskal().factors[m],
+                    "{kind}: mode {m} factors differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_all_reports_partial_progress_on_error() {
+        let config = SnsConfig { rank: 2, seed: 3, ..Default::default() };
+        let mut e = SnsEngine::new(&[3, 3], 3, 10, AlgorithmKind::PlusVec, &config);
+        let tuples = [
+            StreamTuple::new([0u32, 0], 1.0, 5),
+            StreamTuple::new([1u32, 1], 1.0, 8),
+            StreamTuple::new([2u32, 2], 1.0, 4), // out of order
+            StreamTuple::new([0u32, 1], 1.0, 9),
+        ];
+        let err = e.ingest_all(&tuples).unwrap_err();
+        match err {
+            sns_stream::SnsError::BatchAborted { accepted, applied, source } => {
+                assert_eq!(accepted, 2);
+                assert_eq!(applied, 2); // two arrivals, no boundary crossings
+                assert!(matches!(*source, sns_stream::SnsError::OutOfOrder { .. }));
+            }
+            other => panic!("expected BatchAborted, got {other:?}"),
+        }
+        // The accepted prefix stays applied; the engine remains usable.
+        assert_eq!(e.updates_applied(), 2);
+        assert_eq!(e.window().nnz(), 2);
+        e.ingest(StreamTuple::new([0u32, 2], 1.0, 12)).unwrap();
+    }
+
+    #[test]
+    fn cloned_engine_continues_bitwise_identically() {
+        // Clone mid-stream (live window, pending events, mid-state RNG)
+        // and drive both copies forward: they must agree bit for bit.
+        for kind in [AlgorithmKind::PlusRnd, AlgorithmKind::Rnd, AlgorithmKind::PlusVec] {
+            let config =
+                SnsConfig { rank: 3, theta: 2, seed: 29, init_scale: 0.3, ..Default::default() };
+            let mut original = SnsEngine::new(&[5, 4], 4, 10, kind, &config);
+            let tuples = stream(31, 160, (5, 4));
+            let (half, rest) = tuples.split_at(80);
+            for tu in half {
+                original.ingest(*tu).unwrap();
+            }
+            let mut clone = original.clone();
+            for tu in rest {
+                original.ingest(*tu).unwrap();
+                clone.ingest(*tu).unwrap();
+            }
+            assert_eq!(original.updates_applied(), clone.updates_applied(), "{kind}");
+            assert_eq!(original.fitness().to_bits(), clone.fitness().to_bits(), "{kind}");
+            for m in 0..3 {
+                assert_eq!(original.kruskal().factors[m], clone.kruskal().factors[m], "{kind}");
+            }
+        }
     }
 
     #[test]

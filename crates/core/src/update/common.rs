@@ -66,7 +66,7 @@ impl FactorState {
 }
 
 /// Reusable buffers for per-event updates — no allocation in steady state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Scratch {
     /// Khatri–Rao row product buffer (`R`).
     pub prod: Vec<f64>,

@@ -16,6 +16,7 @@ use sns_stream::Delta;
 use sns_tensor::SparseTensor;
 
 /// The SNS_MAT updater.
+#[derive(Clone)]
 pub struct SnsMat {
     kruskal: KruskalTensor,
     grams: Vec<Mat>,

@@ -35,6 +35,7 @@ use sns_stream::Delta;
 use sns_tensor::{Coord, SparseTensor};
 
 /// The SNS_RND updater.
+#[derive(Clone)]
 pub struct SnsRnd {
     state: FactorState,
     /// `U(m) = A_prev(m)ᵀ A(m)` — refreshed from `Q` at each event start.

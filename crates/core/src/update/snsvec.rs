@@ -19,6 +19,7 @@ use sns_stream::Delta;
 use sns_tensor::SparseTensor;
 
 /// The SNS_VEC updater.
+#[derive(Clone)]
 pub struct SnsVec {
     state: FactorState,
     scratch: Scratch,

@@ -1,0 +1,236 @@
+//! # sns-error
+//!
+//! The single error surface of the SliceNStitch workspace: every fallible
+//! operation a client can reach — window-model validation, batched
+//! ingestion, the pooled session runtime — reports one [`SnsError`], so
+//! results stay typed end to end instead of degrading to strings at crate
+//! boundaries.
+//!
+//! The enum has three families of variants:
+//!
+//! - **Stream-model errors** ([`SnsError::OutOfOrder`],
+//!   [`SnsError::OrderMismatch`], [`SnsError::OutOfBounds`]) — a tuple
+//!   violated the continuous tensor model's input contract
+//!   (Definition 1 of the paper).
+//! - **Batch errors** ([`SnsError::BatchAborted`]) — a batched
+//!   `prefill_all`/`ingest_all` short-circuited mid-slice; the variant
+//!   carries how far it got so callers can resume or account precisely.
+//! - **Session/runtime errors** ([`SnsError::Backpressure`],
+//!   [`SnsError::StreamClosed`], …) — flow control and lifecycle of the
+//!   sharded `EnginePool` runtime.
+//!
+//! The crate is dependency-free so every workspace member (including
+//! `sns-stream`, at the bottom of the graph) can use it.
+
+use std::fmt;
+
+/// Unified error type for stream ingestion, batched updates, and the
+/// pooled session runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnsError {
+    /// Tuples must arrive in chronological order (Definition 1).
+    OutOfOrder {
+        /// Timestamp of the latest previously ingested tuple.
+        previous: u64,
+        /// Timestamp of the offending tuple.
+        got: u64,
+    },
+    /// A tuple's categorical coordinate order does not match the window.
+    OrderMismatch {
+        /// Expected number of categorical modes (`M − 1`).
+        expected: usize,
+        /// Received number of categorical modes.
+        got: usize,
+    },
+    /// A tuple's categorical coordinate is outside the declared shape.
+    OutOfBounds {
+        /// Offending mode.
+        mode: usize,
+        /// Offending index.
+        index: u32,
+        /// Length of that mode.
+        len: usize,
+    },
+    /// A batched operation stopped at its first failing tuple. Tuples
+    /// before the failing one **were** applied and stay applied; `source`
+    /// is the per-tuple error that stopped the batch.
+    BatchAborted {
+        /// Tuples accepted before the failure (= index of the bad tuple).
+        accepted: usize,
+        /// Factor updates applied by the accepted tuples.
+        applied: u64,
+        /// The error the failing tuple produced.
+        source: Box<SnsError>,
+    },
+    /// A non-blocking submit found the stream's bounded command queue
+    /// full. Nothing was enqueued; retry later or use the blocking call.
+    Backpressure {
+        /// The stream whose shard queue is full.
+        stream_id: u64,
+        /// Configured queue depth (commands) of the shard.
+        depth: usize,
+    },
+    /// The stream's worker is gone or the stream was closed/replaced;
+    /// the session can no longer be used.
+    StreamClosed {
+        /// The stream the session was bound to.
+        stream_id: u64,
+    },
+    /// The engine factory failed while building a stream's engine on its
+    /// worker (e.g. a constructor panic from invalid dimensions).
+    EngineBuildFailed {
+        /// The stream whose engine could not be built.
+        stream_id: u64,
+        /// Panic payload or constructor error, as text.
+        message: String,
+    },
+    /// The engine panicked while processing a command and has been
+    /// quarantined; the stream keeps reporting this error.
+    EnginePanicked {
+        /// The stream whose engine panicked.
+        stream_id: u64,
+        /// Panic payload, as text.
+        message: String,
+    },
+    /// The engine does not implement state capture; only engines with a
+    /// bitwise-faithful snapshot (currently the continuous `SnsEngine`)
+    /// can migrate between shards.
+    SnapshotUnsupported {
+        /// Display name of the engine.
+        engine: String,
+    },
+    /// A shard index was out of range for the pool.
+    ShardOutOfRange {
+        /// Requested shard.
+        shard: usize,
+        /// Number of shards in the pool.
+        shards: usize,
+    },
+}
+
+impl SnsError {
+    /// Wraps a per-tuple error into a [`SnsError::BatchAborted`] carrying
+    /// the batch progress made before the failure.
+    pub fn aborted_at(self, accepted: usize, applied: u64) -> SnsError {
+        SnsError::BatchAborted { accepted, applied, source: Box::new(self) }
+    }
+
+    /// For batch errors, how many tuples were accepted before the
+    /// failure; `None` for non-batch errors.
+    pub fn accepted(&self) -> Option<usize> {
+        match self {
+            SnsError::BatchAborted { accepted, .. } => Some(*accepted),
+            _ => None,
+        }
+    }
+
+    /// The innermost non-batch error (itself, if not a batch error).
+    pub fn root_cause(&self) -> &SnsError {
+        match self {
+            SnsError::BatchAborted { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+
+    /// True for errors a client can retry verbatim later (currently only
+    /// [`SnsError::Backpressure`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SnsError::Backpressure { .. })
+    }
+}
+
+impl fmt::Display for SnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnsError::OutOfOrder { previous, got } => {
+                write!(f, "out-of-order tuple: time {got} after {previous}")
+            }
+            SnsError::OrderMismatch { expected, got } => {
+                write!(f, "tuple has {got} categorical modes, window expects {expected}")
+            }
+            SnsError::OutOfBounds { mode, index, len } => {
+                write!(f, "index {index} out of bounds for mode {mode} (length {len})")
+            }
+            SnsError::BatchAborted { accepted, applied, source } => {
+                write!(
+                    f,
+                    "batch aborted after {accepted} accepted tuples \
+                     ({applied} updates applied): {source}"
+                )
+            }
+            SnsError::Backpressure { stream_id, depth } => {
+                write!(f, "stream {stream_id}: shard queue full (depth {depth})")
+            }
+            SnsError::StreamClosed { stream_id } => {
+                write!(f, "stream {stream_id} is closed")
+            }
+            SnsError::EngineBuildFailed { stream_id, message } => {
+                write!(f, "stream {stream_id}: engine build failed: {message}")
+            }
+            SnsError::EnginePanicked { stream_id, message } => {
+                write!(f, "stream {stream_id}: engine panicked: {message}")
+            }
+            SnsError::SnapshotUnsupported { engine } => {
+                write!(f, "engine {engine} does not support snapshots")
+            }
+            SnsError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} out of range (pool has {shards})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnsError::BatchAborted { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        assert!(SnsError::OutOfOrder { previous: 5, got: 3 }.to_string().contains('3'));
+        assert!(SnsError::OrderMismatch { expected: 2, got: 3 }.to_string().contains('2'));
+        assert!(SnsError::OutOfBounds { mode: 1, index: 9, len: 4 }.to_string().contains("mode 1"));
+        let batch = SnsError::OutOfOrder { previous: 7, got: 2 }.aborted_at(11, 30);
+        assert!(batch.to_string().contains("11 accepted"));
+        assert!(batch.to_string().contains("after 7"));
+        assert!(SnsError::Backpressure { stream_id: 1, depth: 4 }.to_string().contains("full"));
+        assert!(SnsError::StreamClosed { stream_id: 8 }.to_string().contains("closed"));
+        assert!(SnsError::EngineBuildFailed { stream_id: 1, message: "w=0".into() }
+            .to_string()
+            .contains("build failed"));
+        assert!(SnsError::EnginePanicked { stream_id: 1, message: "boom".into() }
+            .to_string()
+            .contains("boom"));
+        assert!(SnsError::SnapshotUnsupported { engine: "ALS(1)".into() }
+            .to_string()
+            .contains("snapshot"));
+        assert!(SnsError::ShardOutOfRange { shard: 7, shards: 4 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn batch_helpers() {
+        let inner = SnsError::OutOfOrder { previous: 9, got: 1 };
+        let e = inner.clone().aborted_at(3, 12);
+        assert_eq!(e.accepted(), Some(3));
+        assert_eq!(e.root_cause(), &inner);
+        assert_eq!(inner.accepted(), None);
+        assert!(SnsError::Backpressure { stream_id: 0, depth: 1 }.is_retryable());
+        assert!(!inner.is_retryable());
+    }
+
+    #[test]
+    fn error_source_chains() {
+        use std::error::Error;
+        let e = SnsError::OutOfOrder { previous: 2, got: 1 }.aborted_at(0, 0);
+        assert!(e.source().is_some());
+        assert!(SnsError::StreamClosed { stream_id: 0 }.source().is_none());
+    }
+}

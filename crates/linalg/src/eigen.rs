@@ -29,7 +29,7 @@ const MAX_SWEEPS: usize = 64;
 /// - [`LinalgError::NotSquare`] if `a` is not square.
 /// - [`LinalgError::NonFinite`] if `a` contains NaN/inf.
 /// - [`LinalgError::NoConvergence`] if off-diagonal mass does not vanish
-///   within [`MAX_SWEEPS`] sweeps (practically unreachable for `n ≤ 100`).
+///   within `MAX_SWEEPS` (64) sweeps (practically unreachable for `n ≤ 100`).
 pub fn eigen_sym(a: &Mat) -> Result<SymEigen> {
     if a.rows() != a.cols() {
         return Err(LinalgError::NotSquare { op: "eigen_sym", shape: a.shape() });

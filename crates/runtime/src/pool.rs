@@ -1,54 +1,77 @@
 //! A sharded multi-stream runtime: many independent tensor streams, one
-//! process, `N` worker threads.
+//! process, `N` worker threads, session-based clients.
 //!
 //! ## Model
 //!
 //! Every stream (a tenant's sensor feed, one city's traffic matrix, …)
 //! is an independent [`StreamingCpd`] engine identified by a `u64`
-//! stream id. The pool pins each id to exactly one worker thread
-//! (`shard = hash(id) % workers`) and forwards commands over a
-//! per-worker channel, so:
+//! stream id. [`EnginePool::open`] pins the id to one worker thread
+//! (`shard = hash(id) % workers`), builds its engine *on* that worker
+//! from a declarative [`EngineSpec`], and hands back a [`StreamSession`]
+//! — the only way to talk to the stream:
 //!
 //! - commands for one stream execute **in submission order** on one
 //!   thread — no locks around engine state, no cross-thread movement of
-//!   engines (they are built *on* their worker and die there, so engine
-//!   types need not be `Send`);
+//!   live engines;
 //! - different streams proceed **concurrently** across workers;
-//! - results are bitwise-identical to driving each engine serially,
-//!   because engines are deterministic given their seed and input order;
-//! - failures stay **per-stream**: an engine that returns an error has
-//!   it recorded in its [`StreamReport`]; an engine that *panics* is
-//!   quarantined (its stream keeps reporting the panic message) while
-//!   every other stream on the shard — and the calling thread — keep
-//!   running.
+//! - every shard's command queue is **bounded**
+//!   ([`PoolConfig::queue_depth`]): [`StreamSession::ingest_batch`]
+//!   blocks when the shard is saturated,
+//!   [`StreamSession::try_ingest_batch`] surfaces
+//!   [`SnsError::Backpressure`] instead — memory stays bounded either
+//!   way;
+//! - ingestion is **batched** and **acknowledged**: each batch yields a
+//!   [`BatchReceipt`] reporting tuples accepted and factor updates
+//!   applied, and failures are typed [`SnsError`]s carrying how far the
+//!   batch got;
+//! - a live stream can **migrate**: [`StreamSession::snapshot`] captures
+//!   the complete engine state ([`EngineSnapshot`]) and
+//!   [`EnginePool::restore`] resumes it on any shard (or another pool),
+//!   bitwise-identically;
+//! - failures stay **per-stream**: an engine error is returned on that
+//!   batch's receipt and recorded in the stream's [`StreamReport`]; an
+//!   engine that *panics* is quarantined while every other stream on the
+//!   shard keeps running.
 //!
 //! ## Determinism contract
 //!
-//! [`EnginePool::open_stream`] hands the factory a seed derived by
-//! [`stream_seed`]`(base_seed, id)` — a pure function, independent of
-//! shard count and worker scheduling. A serial reference run that builds
-//! its engines with the same derived seeds reproduces pooled results
-//! exactly (see `tests/engine_pool.rs`).
+//! A stream's engine is built from `spec.build(seed)` with
+//! `seed = `[`stream_seed`]`(base_seed, id)` — a pure function,
+//! independent of shard count and worker scheduling. A serial reference
+//! run that builds its engines from the same specs and derived seeds
+//! reproduces pooled results exactly, batched or not (see
+//! `tests/engine_pool.rs`).
 
-use crate::streaming::StreamingCpd;
+use crate::snapshot::EngineSnapshot;
+use crate::spec::EngineSpec;
+use crate::streaming::{BatchOutcome, StreamingCpd};
 use sns_core::als::AlsOptions;
-use std::collections::HashMap;
-use std::sync::mpsc::{channel, Sender};
+use sns_stream::{SnsError, StreamTuple};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{TryRecvError, TrySendError};
 use std::thread::JoinHandle;
 
-/// Pool sizing and seeding.
+/// Pool sizing, seeding, and flow control.
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Worker (shard) count. Streams are hashed across workers.
     pub shards: usize,
     /// Base seed that per-stream seeds are derived from.
     pub base_seed: u64,
+    /// Bound of each shard's command queue, in commands. Sessions block
+    /// ([`StreamSession::ingest_batch`]) or see
+    /// [`SnsError::Backpressure`] ([`StreamSession::try_ingest_batch`])
+    /// once their shard has this many commands in flight.
+    pub queue_depth: usize,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
         let shards = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-        PoolConfig { shards, base_seed: 0x5eed }
+        PoolConfig { shards, base_seed: 0x5eed, queue_depth: 512 }
     }
 }
 
@@ -62,10 +85,22 @@ pub fn stream_seed(base_seed: u64, stream_id: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Builds a stream's engine on its worker thread from the derived seed.
-type EngineFactory = Box<dyn FnOnce(u64) -> Box<dyn StreamingCpd> + Send>;
+/// Acknowledgment for one session command: what the engine actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchReceipt {
+    /// The stream the batch went to.
+    pub stream_id: u64,
+    /// The session-local ticket this receipt acknowledges (the value
+    /// [`StreamSession::try_ingest_batch`] returned).
+    pub ticket: u64,
+    /// Tuples accepted by the engine.
+    pub accepted: usize,
+    /// Factor updates the batch triggered (events for continuous
+    /// engines, periods for baselines).
+    pub updates: u64,
+}
 
-/// Snapshot of one stream's state, produced on its worker.
+/// Snapshot of one stream's model health, produced on its worker.
 #[derive(Debug, Clone)]
 pub struct StreamReport {
     /// The stream id the report describes.
@@ -81,175 +116,321 @@ pub struct StreamReport {
     /// Whether the model diverged.
     pub diverged: bool,
     /// First command error observed on this stream, if any.
-    pub error: Option<String>,
+    pub error: Option<SnsError>,
 }
 
 enum Command {
-    Open { id: u64, seed: u64, build: EngineFactory },
-    Prefill { id: u64, tuple: sns_stream::StreamTuple },
-    WarmStart { id: u64, opts: AlsOptions },
-    Ingest { id: u64, tuple: sns_stream::StreamTuple },
-    AdvanceTo { id: u64, t: u64 },
-    Report { id: u64, reply: Sender<StreamReport> },
+    Open {
+        id: u64,
+        token: u64,
+        ticket: u64,
+        seed: u64,
+        spec: EngineSpec,
+        replies: Sender<SessionReply>,
+    },
+    Restore {
+        id: u64,
+        token: u64,
+        ticket: u64,
+        snapshot: Box<EngineSnapshot>,
+        replies: Sender<SessionReply>,
+    },
+    Prefill {
+        id: u64,
+        token: u64,
+        ticket: u64,
+        tuples: Vec<StreamTuple>,
+    },
+    WarmStart {
+        id: u64,
+        token: u64,
+        ticket: u64,
+        opts: AlsOptions,
+    },
+    Ingest {
+        id: u64,
+        token: u64,
+        ticket: u64,
+        tuples: Vec<StreamTuple>,
+    },
+    AdvanceTo {
+        id: u64,
+        token: u64,
+        ticket: u64,
+        t: u64,
+    },
+    Report {
+        id: u64,
+        token: u64,
+        ticket: u64,
+    },
+    Snapshot {
+        id: u64,
+        token: u64,
+        ticket: u64,
+    },
+    Close {
+        id: u64,
+        token: u64,
+    },
+    /// Unconditional slot removal (any token): open/restore send this to
+    /// every *other* shard so a stream id lives on at most one shard.
+    Evict {
+        id: u64,
+    },
     Shutdown,
+}
+
+enum ReplyBody {
+    Receipt(Result<BatchReceipt, SnsError>),
+    Report(Box<StreamReport>),
+    Snapshot(Box<Result<EngineSnapshot, SnsError>>),
+}
+
+struct SessionReply {
+    ticket: u64,
+    body: ReplyBody,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string())
 }
 
 struct StreamSlot {
     name: String,
+    /// Session epoch: commands from a replaced (stale) session carry an
+    /// older token and are dropped instead of mutating the new engine.
+    token: u64,
+    spec: EngineSpec,
+    seed: u64,
     /// `None` once the engine is quarantined after a panic (its state is
     /// no longer trustworthy); the slot keeps reporting the error.
     engine: Option<Box<dyn StreamingCpd>>,
-    error: Option<String>,
+    error: Option<SnsError>,
+    replies: Sender<SessionReply>,
 }
 
 impl StreamSlot {
     /// Runs an engine command with panic isolation: an engine that
-    /// returns `Err` records the error; an engine that *panics* is
-    /// quarantined (dropped) and the panic message recorded — the worker
-    /// thread, its other streams, and the calling thread all survive.
+    /// returns `Err` records the (first) error and passes it through; an
+    /// engine that *panics* is quarantined (dropped) and the panic
+    /// recorded — the worker thread, its other streams, and the calling
+    /// session all survive.
     fn guard<T>(
         &mut self,
-        f: impl FnOnce(&mut dyn StreamingCpd) -> Result<T, String>,
-    ) -> Option<T> {
-        let engine = self.engine.as_mut()?;
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(engine.as_mut()))) {
-            Ok(Ok(v)) => Some(v),
+        id: u64,
+        f: impl FnOnce(&mut dyn StreamingCpd) -> Result<T, SnsError>,
+    ) -> Result<T, SnsError> {
+        let Some(engine) = self.engine.as_mut() else {
+            return Err(self.error.clone().unwrap_or(SnsError::StreamClosed { stream_id: id }));
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(engine.as_mut()))) {
+            Ok(Ok(v)) => Ok(v),
             Ok(Err(e)) => {
-                self.error.get_or_insert(e);
-                None
+                self.error.get_or_insert(e.clone());
+                Err(e)
             }
             Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic payload".to_string());
-                self.error.get_or_insert(format!("engine panicked: {msg}"));
+                let e = SnsError::EnginePanicked { stream_id: id, message: panic_message(payload) };
+                self.error.get_or_insert(e.clone());
                 self.engine = None;
-                None
+                Err(e)
             }
+        }
+    }
+
+    /// Sends a batch acknowledgment; the session may have hung up.
+    fn acknowledge(&self, id: u64, ticket: u64, outcome: Result<BatchOutcome, SnsError>) {
+        let receipt = outcome.map(|o| BatchReceipt {
+            stream_id: id,
+            ticket,
+            accepted: o.accepted,
+            updates: o.updates,
+        });
+        let _ = self.replies.send(SessionReply { ticket, body: ReplyBody::Receipt(receipt) });
+    }
+
+    fn report(&mut self, id: u64) -> StreamReport {
+        let metrics = self
+            .guard(id, |e| Ok((e.fitness(), e.updates_applied(), e.num_parameters(), e.diverged())))
+            .ok();
+        let (fitness, updates_applied, num_parameters, diverged) =
+            metrics.unwrap_or((f64::NAN, 0, 0, false));
+        StreamReport {
+            stream_id: id,
+            name: self.name.clone(),
+            fitness,
+            updates_applied,
+            num_parameters,
+            diverged,
+            error: self.error.clone(),
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Command>) {
+    let mut slots: HashMap<u64, StreamSlot> = HashMap::new();
+    // Commands from a replaced session (stale token) are dropped: the
+    // stale session's reply channel is already disconnected, so its
+    // blocked calls observe `StreamClosed` rather than hanging.
+    fn live(slots: &mut HashMap<u64, StreamSlot>, id: u64, token: u64) -> Option<&mut StreamSlot> {
+        slots.get_mut(&id).filter(|s| s.token == token)
+    }
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Open { id, token, ticket, seed, spec, replies } => {
+                let effective = spec.effective_seed(seed);
+                let (engine, name, outcome) =
+                    match catch_unwind(AssertUnwindSafe(|| spec.build(seed))) {
+                        Ok(engine) => {
+                            let name = engine.name();
+                            (Some(engine), name, Ok(BatchOutcome { accepted: 0, updates: 0 }))
+                        }
+                        Err(payload) => {
+                            let e = SnsError::EngineBuildFailed {
+                                stream_id: id,
+                                message: panic_message(payload),
+                            };
+                            (None, String::new(), Err(e))
+                        }
+                    };
+                let slot = StreamSlot {
+                    name,
+                    token,
+                    spec,
+                    seed: effective,
+                    engine,
+                    error: outcome.as_ref().err().cloned(),
+                    replies,
+                };
+                slot.acknowledge(id, ticket, outcome);
+                slots.insert(id, slot);
+            }
+            Command::Restore { id, token, ticket, snapshot, replies } => {
+                let EngineSnapshot { spec, seed, state, .. } = *snapshot;
+                let engine = state.into_engine();
+                let slot = StreamSlot {
+                    name: engine.name(),
+                    token,
+                    spec,
+                    seed,
+                    engine: Some(engine),
+                    error: None,
+                    replies,
+                };
+                slot.acknowledge(id, ticket, Ok(BatchOutcome { accepted: 0, updates: 0 }));
+                slots.insert(id, slot);
+            }
+            Command::Prefill { id, token, ticket, tuples } => {
+                if let Some(s) = live(&mut slots, id, token) {
+                    let outcome = s.guard(id, |e| {
+                        e.prefill_all(&tuples).map(|n| BatchOutcome { accepted: n, updates: 0 })
+                    });
+                    s.acknowledge(id, ticket, outcome);
+                }
+            }
+            Command::WarmStart { id, token, ticket, opts } => {
+                if let Some(s) = live(&mut slots, id, token) {
+                    let outcome = s.guard(id, |e| {
+                        e.warm_start(&opts);
+                        Ok(BatchOutcome { accepted: 0, updates: 0 })
+                    });
+                    s.acknowledge(id, ticket, outcome);
+                }
+            }
+            Command::Ingest { id, token, ticket, tuples } => {
+                if let Some(s) = live(&mut slots, id, token) {
+                    let outcome = s.guard(id, |e| e.ingest_all(&tuples));
+                    s.acknowledge(id, ticket, outcome);
+                }
+            }
+            Command::AdvanceTo { id, token, ticket, t } => {
+                if let Some(s) = live(&mut slots, id, token) {
+                    let outcome = s.guard(id, |e| {
+                        Ok(BatchOutcome { accepted: 0, updates: e.advance_to(t) as u64 })
+                    });
+                    s.acknowledge(id, ticket, outcome);
+                }
+            }
+            Command::Report { id, token, ticket } => {
+                if let Some(s) = live(&mut slots, id, token) {
+                    let report = s.report(id);
+                    let _ = s
+                        .replies
+                        .send(SessionReply { ticket, body: ReplyBody::Report(Box::new(report)) });
+                }
+            }
+            Command::Snapshot { id, token, ticket } => {
+                if let Some(s) = live(&mut slots, id, token) {
+                    // Deliberately not `guard`ed: a snapshot failure (e.g.
+                    // an engine without capture support) must not be
+                    // recorded as a stream error.
+                    let result = match (&s.engine, &s.error) {
+                        (Some(engine), _) => engine.snapshot().map(|state| EngineSnapshot {
+                            stream_id: id,
+                            spec: s.spec.clone(),
+                            seed: s.seed,
+                            state,
+                        }),
+                        (None, Some(err)) => Err(err.clone()),
+                        (None, None) => Err(SnsError::StreamClosed { stream_id: id }),
+                    };
+                    let _ = s
+                        .replies
+                        .send(SessionReply { ticket, body: ReplyBody::Snapshot(Box::new(result)) });
+                }
+            }
+            Command::Close { id, token } => {
+                if slots.get(&id).is_some_and(|s| s.token == token) {
+                    slots.remove(&id);
+                }
+            }
+            Command::Evict { id } => {
+                slots.remove(&id);
+            }
+            Command::Shutdown => break,
         }
     }
 }
 
 /// Shards many independent [`StreamingCpd`] streams across worker
-/// threads. See the module docs for the threading and determinism model.
+/// threads behind bounded queues. See the module docs for the threading,
+/// flow-control, and determinism model.
 pub struct EnginePool {
-    senders: Vec<Sender<Command>>,
+    senders: Vec<SyncSender<Command>>,
     workers: Vec<JoinHandle<()>>,
     base_seed: u64,
+    queue_depth: usize,
+    next_token: AtomicU64,
 }
 
 impl EnginePool {
     /// Spawns the worker threads.
     pub fn new(cfg: PoolConfig) -> Self {
         let shards = cfg.shards.max(1);
+        let queue_depth = cfg.queue_depth.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (tx, rx) = channel::<Command>();
+            let (tx, rx) = sync_channel::<Command>(queue_depth);
             let handle = std::thread::Builder::new()
                 .name(format!("sns-pool-{i}"))
-                .spawn(move || {
-                    let mut slots: HashMap<u64, StreamSlot> = HashMap::new();
-                    while let Ok(cmd) = rx.recv() {
-                        match cmd {
-                            Command::Open { id, seed, build } => {
-                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    build(seed)
-                                })) {
-                                    Ok(engine) => {
-                                        let name = engine.name();
-                                        slots.insert(
-                                            id,
-                                            StreamSlot { name, engine: Some(engine), error: None },
-                                        );
-                                    }
-                                    Err(_) => {
-                                        slots.insert(
-                                            id,
-                                            StreamSlot {
-                                                name: String::new(),
-                                                engine: None,
-                                                error: Some("engine factory panicked".to_string()),
-                                            },
-                                        );
-                                    }
-                                }
-                            }
-                            Command::Prefill { id, tuple } => {
-                                if let Some(s) = slots.get_mut(&id) {
-                                    s.guard(|e| e.prefill(tuple).map_err(|e| e.to_string()));
-                                }
-                            }
-                            Command::WarmStart { id, opts } => {
-                                if let Some(s) = slots.get_mut(&id) {
-                                    s.guard(|e| {
-                                        e.warm_start(&opts);
-                                        Ok(())
-                                    });
-                                }
-                            }
-                            Command::Ingest { id, tuple } => {
-                                if let Some(s) = slots.get_mut(&id) {
-                                    s.guard(|e| {
-                                        e.ingest(tuple).map(|_| ()).map_err(|e| e.to_string())
-                                    });
-                                }
-                            }
-                            Command::AdvanceTo { id, t } => {
-                                if let Some(s) = slots.get_mut(&id) {
-                                    s.guard(|e| {
-                                        e.advance_to(t);
-                                        Ok(())
-                                    });
-                                }
-                            }
-                            Command::Report { id, reply } => {
-                                let report = match slots.get_mut(&id) {
-                                    Some(s) => {
-                                        let snapshot = s.guard(|e| {
-                                            Ok((
-                                                e.fitness(),
-                                                e.updates_applied(),
-                                                e.num_parameters(),
-                                                e.diverged(),
-                                            ))
-                                        });
-                                        let (fitness, updates_applied, num_parameters, diverged) =
-                                            snapshot.unwrap_or((f64::NAN, 0, 0, false));
-                                        StreamReport {
-                                            stream_id: id,
-                                            name: s.name.clone(),
-                                            fitness,
-                                            updates_applied,
-                                            num_parameters,
-                                            diverged,
-                                            error: s.error.clone(),
-                                        }
-                                    }
-                                    None => StreamReport {
-                                        stream_id: id,
-                                        name: String::new(),
-                                        fitness: f64::NAN,
-                                        updates_applied: 0,
-                                        num_parameters: 0,
-                                        diverged: false,
-                                        error: Some(format!("unknown stream id {id}")),
-                                    },
-                                };
-                                // The requester may have hung up; that's fine.
-                                let _ = reply.send(report);
-                            }
-                            Command::Shutdown => break,
-                        }
-                    }
-                })
+                .spawn(move || worker_loop(rx))
                 .expect("spawn engine pool worker");
             senders.push(tx);
             workers.push(handle);
         }
-        EnginePool { senders, workers, base_seed: cfg.base_seed }
+        EnginePool {
+            senders,
+            workers,
+            base_seed: cfg.base_seed,
+            queue_depth,
+            next_token: AtomicU64::new(0),
+        }
     }
 
     /// Number of worker threads.
@@ -263,50 +444,93 @@ impl EnginePool {
         (stream_seed(0, stream_id) % self.senders.len() as u64) as usize
     }
 
-    fn send(&self, stream_id: u64, cmd: Command) {
-        self.senders[self.shard_of(stream_id)].send(cmd).expect("engine pool worker alive");
-    }
-
-    /// Registers a stream: `build` runs on the stream's worker thread
-    /// with the deterministic seed [`stream_seed`]`(base_seed, id)`.
-    /// Re-opening an id replaces the previous engine.
-    pub fn open_stream<F>(&self, stream_id: u64, build: F)
-    where
-        F: FnOnce(u64) -> Box<dyn StreamingCpd> + Send + 'static,
-    {
+    /// Opens a stream: the engine described by `spec` is built on the
+    /// stream's worker with the deterministic seed
+    /// [`stream_seed`]`(base_seed, id)` (unless the spec pins one) and a
+    /// [`StreamSession`] for it is returned. Blocks until the engine is
+    /// built; a constructor panic surfaces as
+    /// [`SnsError::EngineBuildFailed`].
+    ///
+    /// Re-opening an id replaces the previous engine and invalidates the
+    /// previous session (its calls return [`SnsError::StreamClosed`]).
+    pub fn open(&self, stream_id: u64, spec: EngineSpec) -> Result<StreamSession, SnsError> {
+        let shard = self.shard_of(stream_id);
         let seed = stream_seed(self.base_seed, stream_id);
-        self.send(stream_id, Command::Open { id: stream_id, seed, build: Box::new(build) });
+        self.start_session(stream_id, shard, |token, replies| Command::Open {
+            id: stream_id,
+            token,
+            ticket: 0,
+            seed,
+            spec,
+            replies,
+        })
     }
 
-    /// Queues a prefill tuple for a stream (no factor update).
-    pub fn prefill(&self, stream_id: u64, tuple: sns_stream::StreamTuple) {
-        self.send(stream_id, Command::Prefill { id: stream_id, tuple });
+    /// Resumes a snapshotted stream on an explicit shard — possibly of a
+    /// different pool — continuing bitwise-identically from the captured
+    /// state. Blocks until the stream is installed.
+    ///
+    /// Restoring over a still-open session of the same id replaces it,
+    /// exactly like [`EnginePool::open`].
+    pub fn restore(
+        &self,
+        snapshot: EngineSnapshot,
+        shard: usize,
+    ) -> Result<StreamSession, SnsError> {
+        if shard >= self.senders.len() {
+            return Err(SnsError::ShardOutOfRange { shard, shards: self.senders.len() });
+        }
+        let stream_id = snapshot.stream_id;
+        self.start_session(stream_id, shard, |token, replies| Command::Restore {
+            id: stream_id,
+            token,
+            ticket: 0,
+            snapshot: Box::new(snapshot),
+            replies,
+        })
     }
 
-    /// Queues a warm start for a stream.
-    pub fn warm_start(&self, stream_id: u64, opts: &AlsOptions) {
-        self.send(stream_id, Command::WarmStart { id: stream_id, opts: opts.clone() });
+    fn start_session(
+        &self,
+        stream_id: u64,
+        shard: usize,
+        make: impl FnOnce(u64, Sender<SessionReply>) -> Command,
+    ) -> Result<StreamSession, SnsError> {
+        // A stream id lives on at most one shard: evict it everywhere
+        // else (a previous `restore` may have moved it off its hash
+        // shard), so a still-open session of the same id is invalidated
+        // no matter where its slot sits. The target shard's own insert
+        // replaces locally.
+        for (i, tx) in self.senders.iter().enumerate() {
+            if i != shard {
+                let _ = tx.send(Command::Evict { id: stream_id });
+            }
+        }
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel();
+        let tx = self.senders[shard].clone();
+        tx.send(make(token, reply_tx)).map_err(|_| SnsError::StreamClosed { stream_id })?;
+        let mut session = StreamSession {
+            stream_id,
+            shard,
+            token,
+            queue_depth: self.queue_depth,
+            tx,
+            rx: reply_rx,
+            next_ticket: 1,
+            buffered: VecDeque::new(),
+            unclaimed: 0,
+            closed: false,
+        };
+        match session.wait_for(0)? {
+            ReplyBody::Receipt(Ok(_)) => Ok(session),
+            ReplyBody::Receipt(Err(e)) => Err(e),
+            _ => unreachable!("open/restore acknowledge with a receipt"),
+        }
     }
 
-    /// Queues one live tuple for a stream.
-    pub fn ingest(&self, stream_id: u64, tuple: sns_stream::StreamTuple) {
-        self.send(stream_id, Command::Ingest { id: stream_id, tuple });
-    }
-
-    /// Queues a clock advance for a stream.
-    pub fn advance_to(&self, stream_id: u64, t: u64) {
-        self.send(stream_id, Command::AdvanceTo { id: stream_id, t });
-    }
-
-    /// Blocks until the stream's worker has drained every previously
-    /// queued command for it, then returns its state snapshot.
-    pub fn report(&self, stream_id: u64) -> StreamReport {
-        let (tx, rx) = channel();
-        self.send(stream_id, Command::Report { id: stream_id, reply: tx });
-        rx.recv().expect("engine pool worker alive")
-    }
-
-    /// Shuts the workers down and waits for them to finish.
+    /// Shuts the workers down and waits for them to finish. Sessions
+    /// outliving the pool observe [`SnsError::StreamClosed`].
     pub fn join(mut self) {
         self.shutdown();
     }
@@ -328,16 +552,280 @@ impl Drop for EnginePool {
     }
 }
 
+/// A client handle to one pooled stream: batched, acknowledged,
+/// flow-controlled ingestion plus state capture.
+///
+/// Obtained from [`EnginePool::open`] / [`EnginePool::restore`]. All
+/// commands for the stream flow through its shard's **bounded** queue in
+/// submission order. Two ingestion disciplines compose freely:
+///
+/// - **Synchronous**: [`StreamSession::ingest_batch`] submits and blocks
+///   for the batch's [`BatchReceipt`] (waiting first for queue space if
+///   the shard is saturated — flow control by blocking).
+/// - **Pipelined**: [`StreamSession::try_ingest_batch`] submits without
+///   blocking and returns a ticket, or [`SnsError::Backpressure`] when
+///   the shard queue is full; receipts are collected later with
+///   [`StreamSession::recv_receipt`] / [`StreamSession::try_recv_receipt`]
+///   in submission order.
+///
+/// Dropping the session closes the stream (best-effort; [`StreamSession::close`]
+/// is the reliable way).
+pub struct StreamSession {
+    stream_id: u64,
+    shard: usize,
+    token: u64,
+    queue_depth: usize,
+    tx: SyncSender<Command>,
+    rx: Receiver<SessionReply>,
+    next_ticket: u64,
+    /// Receipts for pipelined batches that arrived while a blocking call
+    /// was waiting for its own reply; handed out FIFO by `recv_receipt`.
+    buffered: VecDeque<Result<BatchReceipt, SnsError>>,
+    /// Pipelined batches whose receipts the caller has not collected.
+    unclaimed: usize,
+    closed: bool,
+}
+
+impl StreamSession {
+    /// The stream this session controls.
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+
+    /// The worker shard serving this stream.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Pipelined batches whose receipts have not been collected yet.
+    pub fn in_flight(&self) -> usize {
+        self.unclaimed
+    }
+
+    fn bump_ticket(&mut self) -> u64 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        t
+    }
+
+    fn closed_err(&self) -> SnsError {
+        SnsError::StreamClosed { stream_id: self.stream_id }
+    }
+
+    /// Blocking submit (waits for queue space — flow control).
+    fn submit(&mut self, cmd: Command) -> Result<(), SnsError> {
+        self.tx.send(cmd).map_err(|_| self.closed_err())
+    }
+
+    /// Waits for the reply to `ticket`, buffering receipts of earlier
+    /// pipelined batches for later [`StreamSession::recv_receipt`] calls.
+    fn wait_for(&mut self, ticket: u64) -> Result<ReplyBody, SnsError> {
+        loop {
+            let reply = self.rx.recv().map_err(|_| self.closed_err())?;
+            if reply.ticket == ticket {
+                return Ok(reply.body);
+            }
+            if let ReplyBody::Receipt(r) = reply.body {
+                self.buffered.push_back(r);
+            }
+        }
+    }
+
+    fn await_receipt(&mut self, ticket: u64) -> Result<BatchReceipt, SnsError> {
+        match self.wait_for(ticket)? {
+            ReplyBody::Receipt(r) => r,
+            _ => unreachable!("batch commands acknowledge with receipts"),
+        }
+    }
+
+    /// Ingests a batch into the window **without** factor updates
+    /// (initialization phase). Blocks for the receipt; on error, tuples
+    /// before the failing one stay applied (see
+    /// [`StreamingCpd::prefill_all`]).
+    pub fn prefill_batch(&mut self, tuples: &[StreamTuple]) -> Result<BatchReceipt, SnsError> {
+        let ticket = self.bump_ticket();
+        self.submit(Command::Prefill {
+            id: self.stream_id,
+            token: self.token,
+            ticket,
+            tuples: tuples.to_vec(),
+        })?;
+        self.await_receipt(ticket)
+    }
+
+    /// Runs batch ALS on the stream's current window from its current
+    /// factors and installs the result. Blocks until done.
+    pub fn warm_start(&mut self, opts: &AlsOptions) -> Result<BatchReceipt, SnsError> {
+        let ticket = self.bump_ticket();
+        self.submit(Command::WarmStart {
+            id: self.stream_id,
+            token: self.token,
+            ticket,
+            opts: opts.clone(),
+        })?;
+        self.await_receipt(ticket)
+    }
+
+    /// Ingests a batch of live tuples, blocking for its
+    /// [`BatchReceipt`] (and first for queue space if the shard is
+    /// saturated). On error the receipt is a typed [`SnsError`] carrying
+    /// the accepted prefix (see [`StreamingCpd::ingest_all`]).
+    pub fn ingest_batch(&mut self, tuples: &[StreamTuple]) -> Result<BatchReceipt, SnsError> {
+        let ticket = self.bump_ticket();
+        self.submit(Command::Ingest {
+            id: self.stream_id,
+            token: self.token,
+            ticket,
+            tuples: tuples.to_vec(),
+        })?;
+        self.await_receipt(ticket)
+    }
+
+    /// Submits a batch without blocking. Returns its ticket on success;
+    /// [`SnsError::Backpressure`] if the shard queue is full (nothing
+    /// was enqueued — retry later or fall back to the blocking
+    /// [`StreamSession::ingest_batch`]). Collect the receipt with
+    /// [`StreamSession::recv_receipt`] / [`StreamSession::try_recv_receipt`].
+    pub fn try_ingest_batch(&mut self, tuples: &[StreamTuple]) -> Result<u64, SnsError> {
+        let ticket = self.next_ticket;
+        let cmd = Command::Ingest {
+            id: self.stream_id,
+            token: self.token,
+            ticket,
+            tuples: tuples.to_vec(),
+        };
+        match self.tx.try_send(cmd) {
+            Ok(()) => {
+                self.next_ticket += 1;
+                self.unclaimed += 1;
+                Ok(ticket)
+            }
+            Err(TrySendError::Full(_)) => {
+                Err(SnsError::Backpressure { stream_id: self.stream_id, depth: self.queue_depth })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(self.closed_err()),
+        }
+    }
+
+    /// Receipt of the oldest uncollected pipelined batch, blocking until
+    /// it arrives. `None` if no pipelined batches are outstanding.
+    pub fn recv_receipt(&mut self) -> Option<Result<BatchReceipt, SnsError>> {
+        if let Some(r) = self.buffered.pop_front() {
+            self.unclaimed -= 1;
+            return Some(r);
+        }
+        if self.unclaimed == 0 {
+            return None;
+        }
+        loop {
+            match self.rx.recv() {
+                Ok(SessionReply { body: ReplyBody::Receipt(r), .. }) => {
+                    self.unclaimed -= 1;
+                    return Some(r);
+                }
+                // Only pipelined receipts can be outstanding here.
+                Ok(_) => continue,
+                Err(_) => {
+                    self.unclaimed -= 1;
+                    return Some(Err(self.closed_err()));
+                }
+            }
+        }
+    }
+
+    /// Non-blocking [`StreamSession::recv_receipt`]: `None` when no
+    /// receipt is ready (or none outstanding).
+    pub fn try_recv_receipt(&mut self) -> Option<Result<BatchReceipt, SnsError>> {
+        if let Some(r) = self.buffered.pop_front() {
+            self.unclaimed -= 1;
+            return Some(r);
+        }
+        if self.unclaimed == 0 {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(SessionReply { body: ReplyBody::Receipt(r), .. }) => {
+                self.unclaimed -= 1;
+                Some(r)
+            }
+            Ok(_) => None,
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                self.unclaimed -= 1;
+                Some(Err(self.closed_err()))
+            }
+        }
+    }
+
+    /// Advances the stream clock without an arrival; due boundary work
+    /// still fires. The receipt's `updates` counts the events processed.
+    pub fn advance_to(&mut self, t: u64) -> Result<BatchReceipt, SnsError> {
+        let ticket = self.bump_ticket();
+        self.submit(Command::AdvanceTo { id: self.stream_id, token: self.token, ticket, t })?;
+        self.await_receipt(ticket)
+    }
+
+    /// Blocks until the worker has drained every previously submitted
+    /// command for this stream, then returns its model-health snapshot.
+    pub fn report(&mut self) -> Result<StreamReport, SnsError> {
+        let ticket = self.bump_ticket();
+        self.submit(Command::Report { id: self.stream_id, token: self.token, ticket })?;
+        match self.wait_for(ticket)? {
+            ReplyBody::Report(r) => Ok(*r),
+            _ => unreachable!("report commands acknowledge with reports"),
+        }
+    }
+
+    /// Captures the stream's complete engine state for migration (after
+    /// draining every previously submitted command). The stream keeps
+    /// running; pair with [`StreamSession::close`] +
+    /// [`EnginePool::restore`] to move it.
+    pub fn snapshot(&mut self) -> Result<EngineSnapshot, SnsError> {
+        let ticket = self.bump_ticket();
+        self.submit(Command::Snapshot { id: self.stream_id, token: self.token, ticket })?;
+        match self.wait_for(ticket)? {
+            ReplyBody::Snapshot(r) => *r,
+            _ => unreachable!("snapshot commands acknowledge with snapshots"),
+        }
+    }
+
+    /// Closes the stream: its engine is dropped once the worker drains
+    /// the queued commands. Blocks only for queue space.
+    pub fn close(mut self) {
+        self.closed = true;
+        let _ = self.tx.send(Command::Close { id: self.stream_id, token: self.token });
+    }
+}
+
+impl std::fmt::Debug for StreamSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "StreamSession(stream={}, shard={}, in_flight={})",
+            self.stream_id, self.shard, self.unclaimed
+        )
+    }
+}
+
+impl Drop for StreamSession {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Best-effort: if the shard queue is full the slot lives
+            // until the pool shuts down. `close(self)` is reliable.
+            let _ = self.tx.try_send(Command::Close { id: self.stream_id, token: self.token });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sns_core::config::{AlgorithmKind, SnsConfig};
-    use sns_core::engine::SnsEngine;
     use sns_stream::StreamTuple;
 
-    fn build_engine(seed: u64) -> Box<dyn StreamingCpd> {
-        let config = SnsConfig { rank: 2, theta: 8, seed, ..Default::default() };
-        Box::new(SnsEngine::new(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config))
+    fn spec() -> EngineSpec {
+        let config = SnsConfig { rank: 2, theta: 8, ..Default::default() };
+        EngineSpec::sns(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config)
     }
 
     fn tuples_for(id: u64) -> Vec<StreamTuple> {
@@ -354,141 +842,173 @@ mod tests {
     }
 
     #[test]
-    fn pooled_equals_serial() {
+    fn pooled_batched_equals_serial() {
         let ids = [0u64, 1, 2, 3, 4, 5, 6, 7];
         let base_seed = 0xabcd;
 
-        // Serial reference.
+        // Serial reference: per-tuple ingestion.
         let mut serial = Vec::new();
         for &id in &ids {
-            let mut e = build_engine(stream_seed(base_seed, id));
+            let mut e = spec().build(stream_seed(base_seed, id));
             for tu in tuples_for(id) {
                 e.ingest(tu).unwrap();
             }
             serial.push((e.fitness(), e.updates_applied()));
         }
 
-        // Pooled run over 3 workers, tuples interleaved across streams.
-        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed });
-        for &id in &ids {
-            pool.open_stream(id, build_engine);
-        }
-        for i in 0..120 {
-            for &id in &ids {
-                pool.ingest(id, tuples_for(id)[i]);
+        // Pooled run over 3 workers, batches interleaved across streams.
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed, ..Default::default() });
+        let mut sessions: Vec<StreamSession> =
+            ids.iter().map(|&id| pool.open(id, spec()).unwrap()).collect();
+        for chunk_start in (0..120).step_by(30) {
+            for (session, &id) in sessions.iter_mut().zip(&ids) {
+                let batch = &tuples_for(id)[chunk_start..chunk_start + 30];
+                let receipt = session.ingest_batch(batch).unwrap();
+                assert_eq!(receipt.accepted, 30);
             }
         }
-        for (&id, (fit, updates)) in ids.iter().zip(&serial) {
-            let r = pool.report(id);
+        for (session, (fit, updates)) in sessions.iter_mut().zip(&serial) {
+            let r = session.report().unwrap();
             assert_eq!(r.error, None);
-            assert_eq!(r.fitness.to_bits(), fit.to_bits(), "stream {id} fitness differs");
-            assert_eq!(r.updates_applied, *updates, "stream {id} updates differ");
+            assert_eq!(r.fitness.to_bits(), fit.to_bits(), "stream {} fitness", r.stream_id);
+            assert_eq!(r.updates_applied, *updates, "stream {} updates", r.stream_id);
         }
+        drop(sessions);
         pool.join();
     }
 
     #[test]
-    fn errors_are_reported_not_fatal() {
-        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1 });
-        pool.open_stream(9, build_engine);
-        pool.ingest(9, StreamTuple::new([0u32, 0], 1.0, 50));
-        pool.ingest(9, StreamTuple::new([0u32, 0], 1.0, 10)); // out of order
-        let r = pool.report(9);
-        assert!(r.error.is_some(), "out-of-order ingest must surface");
-        // The stream stays usable.
-        pool.ingest(9, StreamTuple::new([1u32, 1], 1.0, 60));
-        let r = pool.report(9);
+    fn batch_errors_are_typed_and_not_fatal() {
+        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1, ..Default::default() });
+        let mut session = pool.open(9, spec()).unwrap();
+        session.ingest_batch(&[StreamTuple::new([0u32, 0], 1.0, 50)]).unwrap();
+        let err = session
+            .ingest_batch(&[
+                StreamTuple::new([1u32, 1], 1.0, 55),
+                StreamTuple::new([0u32, 0], 1.0, 10), // out of order
+            ])
+            .unwrap_err();
+        assert_eq!(err.accepted(), Some(1), "{err}");
+        assert!(matches!(err.root_cause(), SnsError::OutOfOrder { .. }));
+        // The stream stays usable and the report records the first error.
+        let receipt = session.ingest_batch(&[StreamTuple::new([1u32, 1], 1.0, 60)]).unwrap();
+        assert!(receipt.accepted == 1);
+        let r = session.report().unwrap();
+        assert!(matches!(r.error, Some(SnsError::BatchAborted { .. })), "{:?}", r.error);
         assert!(r.fitness.is_nan() || r.fitness.is_finite());
-        assert_eq!(pool.report(777).error.as_deref(), Some("unknown stream id 777"));
-    }
-
-    /// Trait stub whose `ingest` panics at a chosen timestamp.
-    struct Grenade {
-        kruskal: sns_core::kruskal::KruskalTensor,
-        window: sns_tensor::SparseTensor,
-        boom_at: u64,
-        updates: u64,
-    }
-
-    impl Grenade {
-        fn boxed(boom_at: u64) -> Box<dyn StreamingCpd> {
-            Box::new(Grenade {
-                kruskal: sns_core::kruskal::KruskalTensor::zeros(&[2, 2], 1),
-                window: sns_tensor::SparseTensor::new(sns_tensor::Shape::new(&[2, 2])),
-                boom_at,
-                updates: 0,
-            })
-        }
-    }
-
-    impl StreamingCpd for Grenade {
-        fn prefill(&mut self, _tuple: StreamTuple) -> sns_stream::Result<()> {
-            Ok(())
-        }
-        fn warm_start(&mut self, opts: &AlsOptions) -> sns_core::als::AlsResult {
-            sns_core::als::als(&self.window, 1, opts)
-        }
-        fn ingest(&mut self, tuple: StreamTuple) -> sns_stream::Result<usize> {
-            assert!(tuple.time != self.boom_at, "boom");
-            self.updates += 1;
-            Ok(1)
-        }
-        fn advance_to(&mut self, _t: u64) -> usize {
-            0
-        }
-        fn window(&self) -> &sns_tensor::SparseTensor {
-            &self.window
-        }
-        fn kruskal(&self) -> &sns_core::kruskal::KruskalTensor {
-            &self.kruskal
-        }
-        fn fitness(&self) -> f64 {
-            1.0
-        }
-        fn diverged(&self) -> bool {
-            false
-        }
-        fn updates_applied(&self) -> u64 {
-            self.updates
-        }
-        fn num_parameters(&self) -> usize {
-            self.kruskal.num_parameters()
-        }
-        fn name(&self) -> String {
-            "grenade".to_string()
-        }
     }
 
     #[test]
-    fn panicking_engine_is_quarantined_not_fatal() {
-        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 0 });
-        pool.open_stream(1, |_| Grenade::boxed(5));
-        pool.open_stream(2, |_| Grenade::boxed(u64::MAX));
-        for t in 0..10u64 {
-            pool.ingest(1, StreamTuple::new([0u32, 0], 1.0, t));
-            pool.ingest(2, StreamTuple::new([0u32, 0], 1.0, t));
+    fn engine_build_failure_is_typed_and_isolated() {
+        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 0, ..Default::default() });
+        // window = 0 makes the SnsEngine constructor panic on the worker.
+        let bad = EngineSpec::sns(&[4, 3], 0, 10, AlgorithmKind::PlusVec, &SnsConfig::with_rank(2));
+        match pool.open(1, bad) {
+            Err(SnsError::EngineBuildFailed { stream_id: 1, message }) => {
+                assert!(message.contains("window"), "{message}");
+            }
+            other => panic!("expected EngineBuildFailed, got {:?}", other.err()),
         }
-        // Stream 1 blew up at t = 5: quarantined, error recorded, but the
-        // shared worker and the calling thread survive.
-        let r1 = pool.report(1);
-        assert!(r1.error.as_deref().unwrap_or("").contains("panicked"), "{:?}", r1.error);
-        assert!(r1.fitness.is_nan());
-        // Stream 2 on the same shard is untouched.
-        let r2 = pool.report(2);
-        assert_eq!(r2.error, None);
-        assert_eq!(r2.updates_applied, 10);
-        // The pool still accepts new streams afterwards.
-        pool.open_stream(3, |_| Grenade::boxed(u64::MAX));
-        pool.ingest(3, StreamTuple::new([0u32, 0], 1.0, 1));
-        assert_eq!(pool.report(3).updates_applied, 1);
+        // The worker survives: a healthy stream opens on the same shard.
+        let mut ok = pool.open(2, spec()).unwrap();
+        let receipt = ok.ingest_batch(&tuples_for(2)[..10]).unwrap();
+        assert_eq!(receipt.accepted, 10);
+    }
+
+    #[test]
+    fn reopening_replaces_and_invalidates_the_old_session() {
+        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 3, ..Default::default() });
+        let mut old = pool.open(5, spec()).unwrap();
+        old.ingest_batch(&tuples_for(5)[..10]).unwrap();
+        let mut new = pool.open(5, spec()).unwrap();
+        // The old session's replies channel was dropped with its slot.
+        assert!(matches!(
+            old.ingest_batch(&tuples_for(5)[10..20]).unwrap_err(),
+            SnsError::StreamClosed { stream_id: 5 }
+        ));
+        // The new session drives a fresh engine (10 fewer tuples seen).
+        let receipt = new.ingest_batch(&tuples_for(5)[..10]).unwrap();
+        assert_eq!(receipt.accepted, 10);
+        assert_eq!(new.report().unwrap().updates_applied, receipt.updates);
+    }
+
+    #[test]
+    fn pipelined_receipts_arrive_in_order() {
+        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 0, ..Default::default() });
+        let mut session = pool.open(3, spec()).unwrap();
+        let tuples = tuples_for(3);
+        let mut tickets = Vec::new();
+        let mut sent = 0usize;
+        for chunk in tuples.chunks(12) {
+            match session.try_ingest_batch(chunk) {
+                Ok(t) => {
+                    tickets.push(t);
+                    sent += chunk.len();
+                }
+                Err(SnsError::Backpressure { .. }) => {
+                    // Saturated queue: fall back to the blocking path.
+                    let r = session.ingest_batch(chunk).unwrap();
+                    assert_eq!(r.accepted, chunk.len());
+                    sent += chunk.len();
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        let mut acked = 0usize;
+        let mut last_ticket = 0u64;
+        while let Some(r) = session.recv_receipt() {
+            let r = r.unwrap();
+            assert!(r.ticket > last_ticket || acked == 0, "receipts out of order");
+            last_ticket = r.ticket;
+            acked += r.accepted;
+        }
+        assert_eq!(session.in_flight(), 0);
+        // Everything submitted (pipelined or blocking) was accepted.
+        let report = session.report().unwrap();
+        assert_eq!(report.error, None);
+        assert_eq!(sent, tuples.len());
+        let _ = (tickets, acked);
     }
 
     #[test]
     fn shard_assignment_is_stable() {
-        let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: 0 });
+        let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: 0, ..Default::default() });
         for id in 0..50u64 {
             assert_eq!(pool.shard_of(id), pool.shard_of(id));
             assert!(pool.shard_of(id) < 4);
         }
+    }
+
+    #[test]
+    fn restore_elsewhere_evicts_the_still_open_session() {
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: 0, ..Default::default() });
+        let mut old = pool.open(4, spec()).unwrap();
+        let tuples = tuples_for(4);
+        old.ingest_batch(&tuples[..20]).unwrap();
+        let snapshot = old.snapshot().unwrap();
+        // Restore onto a *different* shard without closing the old
+        // session: the id must not end up served by two engines.
+        let target = (old.shard() + 1) % pool.shards();
+        let mut migrated = pool.restore(snapshot, target).unwrap();
+        assert!(matches!(
+            old.ingest_batch(&tuples[20..30]).unwrap_err(),
+            SnsError::StreamClosed { stream_id: 4 }
+        ));
+        // The migrated session carries the stream forward alone.
+        let receipt = migrated.ingest_batch(&tuples[20..]).unwrap();
+        assert_eq!(receipt.accepted, 100);
+        assert_eq!(migrated.report().unwrap().error, None);
+    }
+
+    #[test]
+    fn restore_rejects_bad_shard() {
+        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 0, ..Default::default() });
+        let mut session = pool.open(1, spec()).unwrap();
+        session.ingest_batch(&tuples_for(1)[..20]).unwrap();
+        let snapshot = session.snapshot().unwrap();
+        assert!(matches!(
+            pool.restore(snapshot, 9).unwrap_err(),
+            SnsError::ShardOutOfRange { shard: 9, shards: 2 }
+        ));
     }
 }

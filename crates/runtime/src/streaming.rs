@@ -1,12 +1,24 @@
 //! The [`StreamingCpd`] trait: one interface over the continuous
 //! SliceNStitch engine and the once-per-period baseline engines.
 
+use crate::snapshot::EngineState;
 use sns_baselines::{BaselineEngine, PeriodicCpd};
 use sns_core::als::{AlsOptions, AlsResult};
 use sns_core::engine::SnsEngine;
 use sns_core::kruskal::KruskalTensor;
-use sns_stream::StreamTuple;
+use sns_stream::{SnsError, StreamTuple};
 use sns_tensor::SparseTensor;
+
+/// What a batched ingestion accomplished: how many tuples went in and
+/// how many factor updates they triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Tuples accepted (the whole batch, on success).
+    pub accepted: usize,
+    /// Factor updates applied (events for continuous engines, periods
+    /// for baselines).
+    pub updates: u64,
+}
 
 /// A continuously maintained CP decomposition of one sparse tensor
 /// stream, independent of *when* the model updates (per event for
@@ -63,14 +75,48 @@ pub trait StreamingCpd {
     /// Display name matching the paper's figures.
     fn name(&self) -> String;
 
-    /// Prefills a whole slice of tuples, returning how many were
-    /// accepted. Default-implemented so every engine shares the
-    /// initialization loop instead of re-rolling it per driver.
+    /// Prefills a whole slice of tuples. On success all `tuples.len()`
+    /// tuples were accepted.
+    ///
+    /// # Errors
+    /// Short-circuits at the first failing tuple with
+    /// [`SnsError::BatchAborted`], whose `accepted` field is the number
+    /// of tuples actually applied before the failure (= the failing
+    /// tuple's index). Accepted tuples **stay** in the window; the
+    /// engine remains usable.
     fn prefill_all(&mut self, tuples: &[StreamTuple]) -> sns_stream::Result<usize> {
-        for tu in tuples {
-            self.prefill(*tu)?;
+        for (i, tu) in tuples.iter().enumerate() {
+            self.prefill(*tu).map_err(|e| e.aborted_at(i, 0))?;
         }
         Ok(tuples.len())
+    }
+
+    /// Ingests a whole slice of chronological tuples, applying every
+    /// factor update the batch triggers. Default-implemented as a
+    /// per-tuple loop; engines with a cheaper batch path (e.g.
+    /// [`SnsEngine`]) override it to amortize per-tuple dispatch.
+    ///
+    /// # Errors
+    /// Short-circuits at the first failing tuple with
+    /// [`SnsError::BatchAborted`] carrying the accepted-tuple count and
+    /// the updates they applied; the accepted prefix stays applied.
+    fn ingest_all(&mut self, tuples: &[StreamTuple]) -> Result<BatchOutcome, SnsError> {
+        let mut updates = 0u64;
+        for (i, tu) in tuples.iter().enumerate() {
+            match self.ingest(*tu) {
+                Ok(n) => updates += n as u64,
+                Err(e) => return Err(e.aborted_at(i, updates)),
+            }
+        }
+        Ok(BatchOutcome { accepted: tuples.len(), updates })
+    }
+
+    /// Captures the engine's complete state for migration; a restored
+    /// engine continues bitwise-identically. Engines without a faithful
+    /// capture path (currently the baselines) return
+    /// [`SnsError::SnapshotUnsupported`].
+    fn snapshot(&self) -> Result<EngineState, SnsError> {
+        Err(SnsError::SnapshotUnsupported { engine: self.name() })
     }
 }
 
@@ -117,6 +163,15 @@ impl StreamingCpd for SnsEngine {
 
     fn name(&self) -> String {
         self.kind().name().to_string()
+    }
+
+    fn ingest_all(&mut self, tuples: &[StreamTuple]) -> Result<BatchOutcome, SnsError> {
+        SnsEngine::ingest_all(self, tuples)
+            .map(|updates| BatchOutcome { accepted: tuples.len(), updates })
+    }
+
+    fn snapshot(&self) -> Result<EngineState, SnsError> {
+        Ok(EngineState::Sns(Box::new(self.clone())))
     }
 }
 
@@ -217,5 +272,58 @@ mod tests {
             Box::new(SnsEngine::new(&[3, 3], 3, 10, AlgorithmKind::Vec, &config));
         e.ingest(StreamTuple::new([0u32, 0], 1.0, 10)).unwrap();
         assert!(e.ingest(StreamTuple::new([0u32, 0], 1.0, 5)).is_err());
+    }
+
+    #[test]
+    fn prefill_all_reports_how_far_it_got() {
+        let config = SnsConfig { rank: 2, seed: 4, ..Default::default() };
+        let mut e: Box<dyn StreamingCpd> =
+            Box::new(SnsEngine::new(&[3, 3], 3, 10, AlgorithmKind::PlusVec, &config));
+        let tuples = [
+            StreamTuple::new([0u32, 0], 1.0, 1),
+            StreamTuple::new([1u32, 1], 1.0, 2),
+            StreamTuple::new([2u32, 2], 1.0, 3),
+            StreamTuple::new([0u32, 1], 1.0, 1), // out of order
+            StreamTuple::new([1u32, 2], 1.0, 9),
+        ];
+        let err = e.prefill_all(&tuples).unwrap_err();
+        assert_eq!(err.accepted(), Some(3), "{err}");
+        assert!(matches!(err.root_cause(), sns_stream::SnsError::OutOfOrder { .. }));
+        // The accepted prefix stays in the window; prefill applies no
+        // factor updates.
+        assert_eq!(e.window().nnz(), 3);
+        assert_eq!(e.updates_applied(), 0);
+        // All-good batches still report the full count.
+        assert_eq!(e.prefill_all(&[StreamTuple::new([1u32, 0], 1.0, 10)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn default_ingest_all_drives_baselines_and_reports_updates() {
+        let algo: Box<dyn PeriodicCpd> = Box::new(AlsPeriodic::new(&[5, 4, 4], 3, 1, 3));
+        let mut e: Box<dyn StreamingCpd> = Box::new(BaselineEngine::new(&[5, 4], 4, 10, algo));
+        let tuples: Vec<StreamTuple> = (0..200u64)
+            .map(|t| StreamTuple::new([(t % 5) as u32, (t % 4) as u32], 1.0, t))
+            .collect();
+        let outcome = e.ingest_all(&tuples).unwrap();
+        assert_eq!(outcome.accepted, 200);
+        assert_eq!(outcome.updates, e.updates_applied());
+        assert!(outcome.updates > 0);
+    }
+
+    #[test]
+    fn snapshot_support_is_per_engine_family() {
+        let config = SnsConfig { rank: 2, seed: 4, ..Default::default() };
+        let sns: Box<dyn StreamingCpd> =
+            Box::new(SnsEngine::new(&[3, 3], 3, 10, AlgorithmKind::PlusRnd, &config));
+        assert!(sns.snapshot().is_ok());
+
+        let algo: Box<dyn PeriodicCpd> = Box::new(AlsPeriodic::new(&[3, 3, 3], 2, 1, 3));
+        let base: Box<dyn StreamingCpd> = Box::new(BaselineEngine::new(&[3, 3], 3, 10, algo));
+        match base.snapshot() {
+            Err(sns_stream::SnsError::SnapshotUnsupported { engine }) => {
+                assert_eq!(engine, "ALS(1)");
+            }
+            other => panic!("expected SnapshotUnsupported, got {:?}", other.map(|_| ())),
+        }
     }
 }

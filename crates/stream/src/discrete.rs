@@ -11,9 +11,9 @@
 //! A slide re-keys all non-zeros (O(nnz)) — once per period, consistent
 //! with the baselines' per-period cost model.
 
-use crate::error::StreamError;
 use crate::tuple::StreamTuple;
 use crate::Result;
+use sns_error::SnsError;
 use sns_tensor::{Coord, FxHashMap, Shape, SparseTensor};
 
 /// Notification that a period just completed and the window slid by one.
@@ -29,6 +29,7 @@ pub struct PeriodUpdate {
 }
 
 /// Discrete sliding tensor window (conventional model).
+#[derive(Clone)]
 pub struct DiscreteWindow {
     tensor: SparseTensor,
     period: u64,
@@ -133,7 +134,7 @@ impl DiscreteWindow {
     pub fn ingest(&mut self, tuple: StreamTuple, out: &mut Vec<PeriodUpdate>) -> Result<()> {
         let base_order = self.time_mode();
         if tuple.coords.order() != base_order {
-            return Err(StreamError::OrderMismatch {
+            return Err(SnsError::OrderMismatch {
                 expected: base_order,
                 got: tuple.coords.order(),
             });
@@ -141,12 +142,12 @@ impl DiscreteWindow {
         for m in 0..base_order {
             let len = self.tensor.shape().dim(m);
             if tuple.coords.get(m) as usize >= len {
-                return Err(StreamError::OutOfBounds { mode: m, index: tuple.coords.get(m), len });
+                return Err(SnsError::OutOfBounds { mode: m, index: tuple.coords.get(m), len });
             }
         }
         if let Some(prev) = self.last_arrival {
             if tuple.time < prev {
-                return Err(StreamError::OutOfOrder { previous: prev, got: tuple.time });
+                return Err(SnsError::OutOfOrder { previous: prev, got: tuple.time });
             }
         }
         self.advance_to(tuple.time, out);

@@ -24,16 +24,16 @@
 
 pub mod delta;
 pub mod discrete;
-pub mod error;
 pub mod scheduler;
 pub mod tuple;
 pub mod window;
 
 pub use delta::{Delta, DeltaKind};
 pub use discrete::{DiscreteWindow, PeriodUpdate};
-pub use error::StreamError;
+pub use sns_error::SnsError;
 pub use tuple::StreamTuple;
 pub use window::{window_from_log, ContinuousWindow};
 
-/// Result alias for stream operations.
-pub type Result<T> = std::result::Result<T, StreamError>;
+/// Result alias for stream operations, carrying the workspace-wide
+/// [`SnsError`].
+pub type Result<T> = std::result::Result<T, SnsError>;

@@ -39,7 +39,11 @@ impl PartialOrd for ScheduledEvent {
 }
 
 /// Min-heap of scheduled events with FIFO tie-breaking.
-#[derive(Debug, Default)]
+///
+/// `Clone` performs a deep copy; because pop order is the total order on
+/// `(due, seq)`, a clone replays exactly the same event sequence as the
+/// original — the property engine snapshots rely on.
+#[derive(Debug, Default, Clone)]
 pub struct EventQueue {
     heap: BinaryHeap<ScheduledEvent>,
     next_seq: u64,

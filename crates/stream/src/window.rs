@@ -1,10 +1,10 @@
 //! Event-driven continuous tensor window (Algorithm 1 of the paper).
 
 use crate::delta::{Changes, Delta, DeltaKind};
-use crate::error::StreamError;
 use crate::scheduler::EventQueue;
 use crate::tuple::StreamTuple;
 use crate::Result;
+use sns_error::SnsError;
 use sns_tensor::{Coord, Shape, SparseTensor};
 
 /// The continuous tensor window `X = D(t, W)`.
@@ -16,6 +16,11 @@ use sns_tensor::{Coord, Shape, SparseTensor};
 ///
 /// Complexities match Theorems 1–2 of the paper: `O(M·W)` time per tuple
 /// amortized over its `W+1` events, `O(M·|active tuples|)` space.
+///
+/// `Clone` deep-copies the tensor, the pending event queue, and the
+/// clock, so a clone continues bitwise-identically to the original —
+/// engine snapshot/restore is built on this.
+#[derive(Clone)]
 pub struct ContinuousWindow {
     tensor: SparseTensor,
     period: u64,
@@ -92,7 +97,7 @@ impl ContinuousWindow {
     fn validate(&self, tuple: &StreamTuple) -> Result<()> {
         let base_order = self.time_mode();
         if tuple.coords.order() != base_order {
-            return Err(StreamError::OrderMismatch {
+            return Err(SnsError::OrderMismatch {
                 expected: base_order,
                 got: tuple.coords.order(),
             });
@@ -100,12 +105,12 @@ impl ContinuousWindow {
         for m in 0..base_order {
             let len = self.tensor.shape().dim(m);
             if tuple.coords.get(m) as usize >= len {
-                return Err(StreamError::OutOfBounds { mode: m, index: tuple.coords.get(m), len });
+                return Err(SnsError::OutOfBounds { mode: m, index: tuple.coords.get(m), len });
             }
         }
         if let Some(prev) = self.last_arrival {
             if tuple.time < prev {
-                return Err(StreamError::OutOfOrder { previous: prev, got: tuple.time });
+                return Err(SnsError::OutOfOrder { previous: prev, got: tuple.time });
             }
         }
         Ok(())
@@ -343,17 +348,14 @@ mod tests {
         let mut w = ContinuousWindow::new(&[2, 2], 2, 10);
         let mut out = Vec::new();
         w.ingest(tup(0, 0, 1.0, 10), &mut out).unwrap();
-        assert!(matches!(
-            w.ingest(tup(0, 0, 1.0, 9), &mut out),
-            Err(StreamError::OutOfOrder { .. })
-        ));
+        assert!(matches!(w.ingest(tup(0, 0, 1.0, 9), &mut out), Err(SnsError::OutOfOrder { .. })));
         assert!(matches!(
             w.ingest(tup(5, 0, 1.0, 11), &mut out),
-            Err(StreamError::OutOfBounds { .. })
+            Err(SnsError::OutOfBounds { .. })
         ));
         assert!(matches!(
             w.ingest(StreamTuple::new([0u32], 1.0, 11), &mut out),
-            Err(StreamError::OrderMismatch { .. })
+            Err(SnsError::OrderMismatch { .. })
         ));
         // Equal timestamps are fine (chronological, not strictly increasing).
         w.ingest(tup(1, 1, 1.0, 10), &mut out).unwrap();

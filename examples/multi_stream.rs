@@ -1,39 +1,48 @@
-//! Multi-tenant serving with the sharded engine pool.
+//! Multi-tenant serving with the session-based engine pool.
 //!
 //! ```bash
 //! cargo run --release --example multi_stream
 //! ```
 //!
-//! Eight independent tensor streams — four cities' continuous
-//! SliceNStitch traffic models and four periodic-baseline tenants —
-//! served concurrently by one `EnginePool`, then checked bitwise against
-//! serial execution of the same engines with the same derived seeds.
+//! Three acts:
+//!
+//! 1. **Batched, acknowledged serving** — eight independent tensor
+//!    streams (four cities' continuous SliceNStitch traffic models and
+//!    four periodic-baseline tenants) served concurrently through
+//!    [`StreamSession`]s, then checked **bitwise** against serial
+//!    per-tuple execution of the same engine specs with the same
+//!    derived seeds.
+//! 2. **Backpressure** — a deliberately tiny shard queue
+//!    (`queue_depth = 4`) and a slow engine: non-blocking submits
+//!    surface typed `SnsError::Backpressure` instead of growing memory,
+//!    and the producer sheds to the blocking path.
+//! 3. **Live migration** — a running stream is snapshotted, closed,
+//!    restored onto a *different shard*, and continues
+//!    bitwise-identically to a run that never moved.
 
-use slicenstitch::baselines::{BaselineEngine, OnlineScp, PeriodicCpd};
 use slicenstitch::core::als::AlsOptions;
-use slicenstitch::core::{AlgorithmKind, SnsConfig, SnsEngine};
+use slicenstitch::core::{AlgorithmKind, SnsConfig};
 use slicenstitch::data::{generate, GeneratorConfig};
 use slicenstitch::runtime::pool::stream_seed;
-use slicenstitch::runtime::{EnginePool, PoolConfig, StreamingCpd};
+use slicenstitch::runtime::{
+    BaselineKind, EnginePool, EngineSpec, PoolConfig, SnsError, StreamSession,
+};
 use slicenstitch::stream::StreamTuple;
 
 const BASE_DIMS: [usize; 2] = [30, 25];
 const W: usize = 5;
 const T: u64 = 200;
 const BASE_SEED: u64 = 0xc17e5;
+const BATCH: usize = 64;
 
 /// Even stream ids run a continuous SNS⁺_RND model, odd ids a windowed
 /// OnlineSCP baseline — one pool serves both engine families.
-fn build_engine(id: u64) -> impl FnOnce(u64) -> Box<dyn StreamingCpd> + Send + 'static {
-    move |seed| {
-        if id % 2 == 0 {
-            let config = SnsConfig { rank: 5, theta: 15, seed, ..Default::default() };
-            Box::new(SnsEngine::new(&BASE_DIMS, W, T, AlgorithmKind::PlusRnd, &config))
-        } else {
-            let algo: Box<dyn PeriodicCpd> =
-                Box::new(OnlineScp::new(&[BASE_DIMS[0], BASE_DIMS[1], W], 5, seed));
-            Box::new(BaselineEngine::new(&BASE_DIMS, W, T, algo))
-        }
+fn tenant_spec(id: u64) -> EngineSpec {
+    if id % 2 == 0 {
+        let config = SnsConfig { rank: 5, theta: 15, ..Default::default() };
+        EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::PlusRnd, &config)
+    } else {
+        EngineSpec::baseline(&BASE_DIMS, W, T, 5, BaselineKind::OnlineScp)
     }
 }
 
@@ -56,42 +65,54 @@ fn als_opts() -> AlsOptions {
     AlsOptions { max_iters: 20, tol: 1e-4, ..Default::default() }
 }
 
-fn main() {
+/// Act 1: pooled batched serving, checked bitwise against serial
+/// per-tuple runs.
+fn act_batched_serving() {
     let ids: Vec<u64> = (0..8).collect();
     let streams: Vec<Vec<StreamTuple>> = ids.iter().map(|&id| tenant_stream(id)).collect();
     let cuts: Vec<usize> =
         streams.iter().map(|s| s.partition_point(|t| t.time <= W as u64 * T)).collect();
 
-    // Concurrent run: one pool, streams sharded across workers, commands
-    // interleaved across tenants the way a frontend would deliver them.
-    let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: BASE_SEED });
+    let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: BASE_SEED, queue_depth: 256 });
     println!("pool: {} worker shards, {} tenant streams", pool.shards(), ids.len());
-    for &id in &ids {
-        pool.open_stream(id, build_engine(id));
-    }
+    let mut sessions: Vec<StreamSession> =
+        ids.iter().map(|&id| pool.open(id, tenant_spec(id)).expect("engine builds")).collect();
+
     let start = std::time::Instant::now();
-    let max_len = streams.iter().map(Vec::len).max().unwrap();
-    for i in 0..max_len {
-        for (&id, (s, &cut)) in ids.iter().zip(streams.iter().zip(&cuts)) {
-            if i < cut {
-                pool.prefill(id, s[i]);
-            } else if i == cut {
-                pool.warm_start(id, &als_opts());
-                pool.ingest(id, s[i]);
-            } else if i < s.len() {
-                pool.ingest(id, s[i]);
+    // Initialization protocol, batched per tenant.
+    for (session, (s, &cut)) in sessions.iter_mut().zip(streams.iter().zip(&cuts)) {
+        for chunk in s[..cut].chunks(BATCH) {
+            session.prefill_batch(chunk).expect("chronological stream");
+        }
+        session.warm_start(&als_opts()).expect("warm start");
+    }
+    // Live phase: batches interleaved across tenants, the way a frontend
+    // would deliver them; every batch is acknowledged.
+    let mut accepted = vec![0usize; ids.len()];
+    let max_live = streams.iter().zip(&cuts).map(|(s, &c)| s.len() - c).max().unwrap();
+    for start_off in (0..max_live).step_by(BATCH) {
+        for ((session, acc), (s, &cut)) in
+            sessions.iter_mut().zip(&mut accepted).zip(streams.iter().zip(&cuts))
+        {
+            let lo = cut + start_off;
+            if lo < s.len() {
+                let hi = (lo + BATCH).min(s.len());
+                let receipt = session.ingest_batch(&s[lo..hi]).expect("chronological stream");
+                *acc += receipt.accepted;
             }
         }
     }
-    let pooled: Vec<_> = ids.iter().map(|&id| pool.report(id)).collect();
+    let pooled: Vec<_> = sessions.iter_mut().map(|se| se.report().expect("worker alive")).collect();
     let pooled_secs = start.elapsed().as_secs_f64();
+    drop(sessions);
     pool.join();
 
-    // Serial reference: identical engines, identical derived seeds.
+    // Serial reference: identical specs, identical derived seeds,
+    // per-tuple ingestion (no batching) — must agree bit for bit.
     let start = std::time::Instant::now();
     let mut serial = Vec::new();
     for (&id, (s, &cut)) in ids.iter().zip(streams.iter().zip(&cuts)) {
-        let mut engine = build_engine(id)(stream_seed(BASE_SEED, id));
+        let mut engine = tenant_spec(id).build(stream_seed(BASE_SEED, id));
         engine.prefill_all(&s[..cut]).expect("chronological stream");
         engine.warm_start(&als_opts());
         for tu in &s[cut..] {
@@ -118,7 +139,105 @@ fn main() {
             if ok { "bitwise" } else { "MISMATCH" }
         );
     }
-    println!("\npooled: {pooled_secs:.2}s  serial: {serial_secs:.2}s");
+    println!("\npooled (batched): {pooled_secs:.2}s  serial (per-tuple): {serial_secs:.2}s");
     assert!(all_match, "pooled results diverged from serial execution");
-    println!("all {} pooled streams bitwise-identical to serial runs", ids.len());
+    println!("all {} pooled streams bitwise-identical to serial per-tuple runs\n", ids.len());
+}
+
+/// Act 2: a tiny queue in front of a slow engine — non-blocking submits
+/// observe typed backpressure and shed to the blocking path.
+fn act_backpressure() {
+    // SNS_MAT runs a full ALS sweep per event: deliberately slow.
+    let slow_spec = EngineSpec::sns(
+        &BASE_DIMS,
+        W,
+        T,
+        AlgorithmKind::Mat,
+        &SnsConfig { rank: 5, ..Default::default() },
+    );
+    let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: BASE_SEED, queue_depth: 4 });
+    let mut session = pool.open(0, slow_spec).expect("engine builds");
+
+    let stream = tenant_stream(0);
+    let (mut submitted, mut shed, mut acked) = (0usize, 0usize, 0usize);
+    for chunk in stream[..2_000].chunks(16) {
+        match session.try_ingest_batch(chunk) {
+            Ok(_ticket) => submitted += 1,
+            Err(SnsError::Backpressure { depth, .. }) => {
+                // Typed, retryable: here we shed to the blocking path,
+                // which waits for queue space instead of buffering.
+                assert_eq!(depth, 4);
+                shed += 1;
+                session.ingest_batch(chunk).expect("chronological stream");
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        // Opportunistically collect acknowledgments.
+        while let Some(receipt) = session.try_recv_receipt() {
+            acked += receipt.expect("chronological stream").accepted;
+        }
+    }
+    while let Some(receipt) = session.recv_receipt() {
+        acked += receipt.expect("chronological stream").accepted;
+    }
+    println!(
+        "backpressure demo (queue_depth=4): {submitted} batches pipelined, \
+         {shed} hit SnsError::Backpressure and took the blocking path"
+    );
+    println!("receipts acknowledged {acked} pipelined tuples; in_flight={}\n", session.in_flight());
+    assert_eq!(session.in_flight(), 0);
+}
+
+/// Act 3: snapshot a live stream, restore it on another shard, and
+/// verify the migrated run is bitwise-identical to one that never moved.
+fn act_migration() {
+    let stream = tenant_stream(2);
+    let spec = tenant_spec(2); // continuous engine: snapshot-capable
+    let half = stream.len() / 2;
+
+    let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: BASE_SEED, queue_depth: 256 });
+    let mut session = pool.open(2, spec.clone()).expect("engine builds");
+    let home_shard = session.shard();
+    for chunk in stream[..half].chunks(BATCH) {
+        session.ingest_batch(chunk).expect("chronological stream");
+    }
+
+    // Capture complete state (window + pending events + factors + RNG +
+    // clock), close the home slot, resume on a different shard.
+    let snapshot = session.snapshot().expect("continuous engines snapshot");
+    session.close();
+    let target_shard = (home_shard + 1) % pool.shards();
+    let mut migrated = pool.restore(snapshot, target_shard).expect("shard in range");
+    for chunk in stream[half..].chunks(BATCH) {
+        migrated.ingest_batch(chunk).expect("chronological stream");
+    }
+    let report = migrated.report().expect("worker alive");
+    drop(migrated);
+    pool.join();
+
+    // Reference: the same engine never migrated.
+    let mut reference = spec.build(stream_seed(BASE_SEED, 2));
+    for tu in &stream {
+        reference.ingest(*tu).expect("chronological stream");
+    }
+    println!(
+        "migration demo: stream 2 moved shard {home_shard} → {target_shard} mid-stream \
+         ({half} tuples in)"
+    );
+    println!(
+        "  migrated: fitness {:.6}, {} updates | unmigrated: fitness {:.6}, {} updates",
+        report.fitness,
+        report.updates_applied,
+        reference.fitness(),
+        reference.updates_applied()
+    );
+    assert_eq!(report.fitness.to_bits(), reference.fitness().to_bits());
+    assert_eq!(report.updates_applied, reference.updates_applied());
+    println!("  migrated run is bitwise-identical to the unmigrated run");
+}
+
+fn main() {
+    act_batched_serving();
+    act_backpressure();
+    act_migration();
 }

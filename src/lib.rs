@@ -14,20 +14,27 @@
 //! - [`baselines`] — conventional once-per-period online CPD comparators,
 //! - [`data`] — synthetic dataset generators mirroring the paper's datasets,
 //! - [`runtime`] — the unified drive layer: every engine behind one
-//!   `StreamingCpd` trait, plus the sharded `EnginePool` multi-stream
-//!   runtime.
+//!   `StreamingCpd` trait, plus the sharded, session-based `EnginePool`
+//!   multi-stream runtime,
+//! - [`SnsError`] — the single typed error surface shared by all of the
+//!   above.
 //!
 //! ## Architecture
 //!
 //! Engines (continuous [`core::SnsEngine`], periodic
 //! [`baselines::BaselineEngine`]) all implement
-//! [`runtime::StreamingCpd`] — prefill, ALS warm start, ingest, read
-//! fitness/factors — so drivers are written once against
-//! `Box<dyn StreamingCpd>`. To serve many independent tensor streams
-//! from one process, [`runtime::EnginePool`] shards streams across
-//! worker threads with deterministic per-stream seeds; pooled results
-//! are bitwise-identical to serial runs (see `examples/multi_stream.rs`
-//! and `tests/engine_pool.rs`).
+//! [`runtime::StreamingCpd`] — prefill, ALS warm start, ingest (single
+//! tuple or batch), read fitness/factors — so drivers are written once
+//! against `Box<dyn StreamingCpd>`. To serve many independent tensor
+//! streams from one process, [`runtime::EnginePool`] shards streams
+//! across worker threads behind **bounded** command queues: clients
+//! describe engines with a declarative [`runtime::EngineSpec`], open a
+//! [`runtime::StreamSession`], and ingest acknowledged batches with
+//! typed flow control ([`SnsError::Backpressure`]). Pooled results are
+//! bitwise-identical to serial runs, and a live stream can be
+//! snapshotted and restored onto another shard without perturbing its
+//! trajectory (see `examples/multi_stream.rs` and
+//! `tests/engine_pool.rs`).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +51,8 @@ pub use sns_linalg as linalg;
 pub use sns_runtime as runtime;
 pub use sns_stream as stream;
 pub use sns_tensor as tensor;
+
+pub use sns_error::SnsError;
 
 /// Workspace version string (all member crates share one version).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

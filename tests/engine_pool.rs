@@ -1,15 +1,22 @@
-//! EnginePool concurrency contract: N streams sharded across worker
-//! threads produce per-stream results bitwise-identical to the same N
-//! engines run serially with the same derived seeds — for both engine
-//! families, under interleaved ingestion and the full prefill → warm
-//! start → live-stream protocol.
+//! Session-based `EnginePool` contract:
+//!
+//! - pooled **batched** ingestion is bitwise-identical to serial
+//!   per-tuple ingestion of the same engine specs with the same derived
+//!   seeds (property-tested over random streams and batch shapes);
+//! - snapshot → restore → continue is bitwise-identical to a run that
+//!   never migrated (within a pool, and across pools);
+//! - bounded shard queues apply flow control without deadlocking when
+//!   producers outrun a slow shard, and non-blocking submits surface
+//!   typed backpressure.
 
-use slicenstitch::baselines::{BaselineEngine, OnlineScp, PeriodicCpd};
+use proptest::prelude::*;
 use slicenstitch::core::als::AlsOptions;
-use slicenstitch::core::{AlgorithmKind, SnsConfig, SnsEngine};
+use slicenstitch::core::{AlgorithmKind, SnsConfig};
 use slicenstitch::data::{generate, GeneratorConfig};
 use slicenstitch::runtime::pool::stream_seed;
-use slicenstitch::runtime::{EnginePool, PoolConfig, StreamingCpd};
+use slicenstitch::runtime::{
+    BaselineKind, EnginePool, EngineSpec, PoolConfig, SnsError, StreamSession,
+};
 use slicenstitch::stream::StreamTuple;
 
 const BASE_DIMS: [usize; 2] = [12, 10];
@@ -19,16 +26,12 @@ const BASE_SEED: u64 = 0x900d;
 
 /// Streams 0..N: even ids run a continuous SNS engine, odd ids a
 /// periodic OnlineSCP baseline — the pool serves both families at once.
-fn build_engine(id: u64) -> impl FnOnce(u64) -> Box<dyn StreamingCpd> + Send + 'static {
-    move |seed| {
-        if id % 2 == 0 {
-            let config = SnsConfig { rank: 3, theta: 10, seed, ..Default::default() };
-            Box::new(SnsEngine::new(&BASE_DIMS, W, T, AlgorithmKind::PlusRnd, &config))
-        } else {
-            let algo: Box<dyn PeriodicCpd> =
-                Box::new(OnlineScp::new(&[BASE_DIMS[0], BASE_DIMS[1], W], 3, seed));
-            Box::new(BaselineEngine::new(&BASE_DIMS, W, T, algo))
-        }
+fn tenant_spec(id: u64) -> EngineSpec {
+    if id % 2 == 0 {
+        let config = SnsConfig { rank: 3, theta: 10, ..Default::default() };
+        EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::PlusRnd, &config)
+    } else {
+        EngineSpec::baseline(&BASE_DIMS, W, T, 3, BaselineKind::OnlineScp)
     }
 }
 
@@ -48,9 +51,10 @@ fn als_opts() -> AlsOptions {
     AlsOptions { max_iters: 15, tol: 1e-4, ..Default::default() }
 }
 
-/// Serial reference: one engine per stream, full protocol, same seeds.
+/// Serial reference: one engine per stream, full protocol, per-tuple
+/// ingestion, same spec, same derived seed.
 fn run_serial(id: u64) -> (String, f64, u64) {
-    let mut engine = build_engine(id)(stream_seed(BASE_SEED, id));
+    let mut engine = tenant_spec(id).build(stream_seed(BASE_SEED, id));
     let tuples = tuples_for(id);
     let cut = tuples.partition_point(|t| t.time <= W as u64 * T);
     engine.prefill_all(&tuples[..cut]).unwrap();
@@ -63,44 +67,48 @@ fn run_serial(id: u64) -> (String, f64, u64) {
 }
 
 #[test]
-fn pooled_streams_match_serial_execution_bitwise() {
+fn pooled_batched_streams_match_serial_execution_bitwise() {
     let ids: Vec<u64> = (0..6).collect();
     let serial: Vec<(String, f64, u64)> = ids.iter().map(|&id| run_serial(id)).collect();
 
-    let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED });
-    for &id in &ids {
-        pool.open_stream(id, build_engine(id));
-    }
-    // Interleave commands across streams so shards genuinely run
-    // concurrently rather than one stream at a time.
+    let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 64 });
+    let mut sessions: Vec<StreamSession> =
+        ids.iter().map(|&id| pool.open(id, tenant_spec(id)).unwrap()).collect();
     let streams: Vec<Vec<StreamTuple>> = ids.iter().map(|&id| tuples_for(id)).collect();
     let cuts: Vec<usize> =
         streams.iter().map(|s| s.partition_point(|t| t.time <= W as u64 * T)).collect();
+
+    // Interleave batches across streams so shards genuinely run
+    // concurrently rather than one stream at a time.
     let max_prefill = cuts.iter().copied().max().unwrap();
-    for i in 0..max_prefill {
-        for (&id, (s, &cut)) in ids.iter().zip(streams.iter().zip(&cuts)) {
-            if i < cut {
-                pool.prefill(id, s[i]);
+    for lo in (0..max_prefill).step_by(40) {
+        for (session, (s, &cut)) in sessions.iter_mut().zip(streams.iter().zip(&cuts)) {
+            if lo < cut {
+                let receipt = session.prefill_batch(&s[lo..(lo + 40).min(cut)]).unwrap();
+                assert_eq!(receipt.updates, 0, "prefill must not update factors");
             }
         }
     }
-    for &id in &ids {
-        pool.warm_start(id, &als_opts());
+    for session in &mut sessions {
+        session.warm_start(&als_opts()).unwrap();
     }
     let max_live = streams.iter().zip(&cuts).map(|(s, &c)| s.len() - c).max().unwrap();
-    for i in 0..max_live {
-        for (&id, (s, &cut)) in ids.iter().zip(streams.iter().zip(&cuts)) {
-            if cut + i < s.len() {
-                pool.ingest(id, s[cut + i]);
+    for off in (0..max_live).step_by(40) {
+        for (session, (s, &cut)) in sessions.iter_mut().zip(streams.iter().zip(&cuts)) {
+            let lo = cut + off;
+            if lo < s.len() {
+                session.ingest_batch(&s[lo..(lo + 40).min(s.len())]).unwrap();
             }
         }
     }
-    for &id in &ids {
-        pool.advance_to(id, 6 * W as u64 * T);
+    for session in &mut sessions {
+        let receipt = session.advance_to(6 * W as u64 * T).unwrap();
+        assert_eq!(receipt.accepted, 0);
     }
 
-    for (&id, (name, fitness, updates)) in ids.iter().zip(&serial) {
-        let report = pool.report(id);
+    for (session, (name, fitness, updates)) in sessions.iter_mut().zip(&serial) {
+        let report = session.report().unwrap();
+        let id = report.stream_id;
         assert_eq!(report.error, None, "stream {id} errored");
         assert_eq!(&report.name, name, "stream {id} engine family");
         assert_eq!(
@@ -112,27 +120,207 @@ fn pooled_streams_match_serial_execution_bitwise() {
         assert_eq!(report.updates_applied, *updates, "stream {id} update count");
         assert!(!report.diverged, "stream {id} diverged");
     }
+    drop(sessions);
     pool.join();
 }
 
 #[test]
 fn pool_serves_more_streams_than_shards() {
-    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 7 });
+    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 7, queue_depth: 32 });
     let ids: Vec<u64> = (100..116).collect();
-    for &id in &ids {
-        pool.open_stream(id, build_engine(id));
+    let mut sessions: Vec<StreamSession> =
+        ids.iter().map(|&id| pool.open(id, tenant_spec(id)).unwrap()).collect();
+    for (session, &id) in sessions.iter_mut().zip(&ids) {
         // Spread arrivals across several periods so the periodic
         // engines (odd ids) complete window slides too.
-        for t in 0..40u64 {
-            pool.ingest(
-                id,
-                StreamTuple::new([(t % 12) as u32, ((t + id) % 10) as u32], 1.0, t * 10),
-            );
-        }
+        let tuples: Vec<StreamTuple> = (0..40u64)
+            .map(|t| StreamTuple::new([(t % 12) as u32, ((t + id) % 10) as u32], 1.0, t * 10))
+            .collect();
+        let receipt = session.ingest_batch(&tuples).unwrap();
+        assert_eq!(receipt.accepted, 40);
     }
-    for &id in &ids {
-        let r = pool.report(id);
+    for session in &mut sessions {
+        let r = session.report().unwrap();
         assert_eq!(r.error, None);
-        assert!(r.updates_applied > 0, "stream {id} applied no updates");
+        assert!(r.updates_applied > 0, "stream {} applied no updates", r.stream_id);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pooled batched ingestion ≡ serial per-tuple ingestion, bitwise at
+    /// every checkpoint, for arbitrary streams, batch sizes, shard
+    /// counts, and both engine families.
+    #[test]
+    fn pooled_batched_equals_serial_per_tuple(
+        stream_seed_offset in 0u64..1_000,
+        batch in 1usize..70,
+        shards in 1usize..5,
+        continuous in (0u8..2).prop_map(|v| v == 0),
+    ) {
+        let id = stream_seed_offset; // doubles as the stream id
+        let spec = if continuous {
+            tenant_spec(0) // even ⇒ SNS⁺_RND
+        } else {
+            tenant_spec(1) // odd ⇒ OnlineSCP
+        };
+        let tuples = generate(&GeneratorConfig {
+            base_dims: BASE_DIMS.to_vec(),
+            n_components: 2,
+            events: 300,
+            duration: 4 * W as u64 * T,
+            day_ticks: 40,
+            seed: 0xabc0 + stream_seed_offset,
+            ..Default::default()
+        });
+
+        // Serial per-tuple reference with the pool's derived seed,
+        // checkpointing after every `3 * batch` tuples.
+        let mut engine = spec.clone().build(stream_seed(BASE_SEED, id));
+        let mut serial_marks = Vec::new();
+        for (i, tu) in tuples.iter().enumerate() {
+            engine.ingest(*tu).unwrap();
+            if (i + 1) % (3 * batch) == 0 {
+                serial_marks.push((engine.fitness().to_bits(), engine.updates_applied()));
+            }
+        }
+        serial_marks.push((engine.fitness().to_bits(), engine.updates_applied()));
+
+        // Pooled batched run, same checkpoints via `report()`.
+        let pool = EnginePool::new(PoolConfig { shards, base_seed: BASE_SEED, queue_depth: 16 });
+        let mut session = pool.open(id, spec).unwrap();
+        let mut pooled_marks = Vec::new();
+        let mut done = 0usize;
+        for chunk in tuples.chunks(batch) {
+            session.ingest_batch(chunk).unwrap();
+            done += chunk.len();
+            if done % (3 * batch) == 0 {
+                let r = session.report().unwrap();
+                pooled_marks.push((r.fitness.to_bits(), r.updates_applied));
+            }
+        }
+        let r = session.report().unwrap();
+        prop_assert_eq!(r.error, None);
+        pooled_marks.push((r.fitness.to_bits(), r.updates_applied));
+
+        prop_assert_eq!(serial_marks, pooled_marks);
+        drop(session);
+        pool.join();
+    }
+
+    /// Snapshot → restore → continue is bitwise-identical to a run that
+    /// never migrated, for arbitrary migration points and target shards.
+    #[test]
+    fn snapshot_restore_round_trip_is_bitwise(
+        case_seed in 0u64..1_000,
+        cut_per_mille in 1usize..1_000,
+        target_shard in 0usize..3,
+        cross_pool in (0u8..2).prop_map(|v| v == 0),
+    ) {
+        let id = 0xb0b + case_seed;
+        let spec = tenant_spec(0);
+        let tuples = generate(&GeneratorConfig {
+            base_dims: BASE_DIMS.to_vec(),
+            n_components: 2,
+            events: 240,
+            duration: 4 * W as u64 * T,
+            day_ticks: 40,
+            seed: 0xdead + case_seed,
+            ..Default::default()
+        });
+        let cut = (tuples.len() * cut_per_mille / 1_000).max(1).min(tuples.len() - 1);
+
+        // Unmigrated reference.
+        let mut reference = spec.clone().build(stream_seed(BASE_SEED, id));
+        for tu in &tuples {
+            reference.ingest(*tu).unwrap();
+        }
+
+        // Migrated run: ingest to `cut`, snapshot, close, restore on an
+        // explicit shard (of this pool or a brand-new one), continue.
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 16 });
+        let mut session = pool.open(id, spec).unwrap();
+        session.ingest_batch(&tuples[..cut]).unwrap();
+        let snapshot = session.snapshot().unwrap();
+        prop_assert_eq!(snapshot.stream_id, id);
+        prop_assert_eq!(snapshot.seed, stream_seed(BASE_SEED, id));
+        session.close();
+
+        let other_pool;
+        let restored_into = if cross_pool {
+            other_pool = EnginePool::new(PoolConfig {
+                shards: 3,
+                base_seed: 0x0ddba11, // irrelevant: the state carries its own seed history
+                queue_depth: 16,
+            });
+            &other_pool
+        } else {
+            &pool
+        };
+        let mut migrated = restored_into.restore(snapshot, target_shard).unwrap();
+        prop_assert_eq!(migrated.shard(), target_shard);
+        migrated.ingest_batch(&tuples[cut..]).unwrap();
+        let report = migrated.report().unwrap();
+        prop_assert_eq!(report.error, None);
+        prop_assert_eq!(report.fitness.to_bits(), reference.fitness().to_bits());
+        prop_assert_eq!(report.updates_applied, reference.updates_applied());
+    }
+}
+
+/// A producer thread hammering a deliberately slow shard (SNS_MAT: one
+/// full ALS sweep per event) through a depth-2 queue must neither
+/// deadlock nor drop batches: blocking submits apply flow control,
+/// non-blocking submits surface typed backpressure.
+#[test]
+fn bounded_queue_applies_flow_control_without_deadlock() {
+    let slow_spec = EngineSpec::sns(
+        &BASE_DIMS,
+        W,
+        T,
+        AlgorithmKind::Mat, // full ALS sweep per event — slow on purpose
+        &SnsConfig { rank: 3, ..Default::default() },
+    );
+    let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 1, queue_depth: 2 });
+    let mut session = pool.open(0, slow_spec).unwrap();
+    let tuples = tuples_for(0);
+
+    let producer = std::thread::spawn(move || {
+        let mut accepted = 0usize;
+        let mut backpressured = 0usize;
+        // Phase 1: pipelined submits — the tiny queue must push back.
+        for chunk in tuples[..600].chunks(8) {
+            match session.try_ingest_batch(chunk) {
+                Ok(_) => {}
+                Err(SnsError::Backpressure { depth: 2, .. }) => {
+                    backpressured += 1;
+                    // Blocking path: waits for space instead of buffering.
+                    accepted += session.ingest_batch(chunk).unwrap().accepted;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        while let Some(receipt) = session.recv_receipt() {
+            accepted += receipt.unwrap().accepted;
+        }
+        // Phase 2: pure blocking submits outrunning the worker.
+        for chunk in tuples[600..900].chunks(8) {
+            accepted += session.ingest_batch(chunk).unwrap().accepted;
+        }
+        assert_eq!(session.in_flight(), 0);
+        (session, accepted, backpressured)
+    });
+
+    let (mut session, accepted, backpressured) =
+        producer.join().expect("producer must not deadlock or panic");
+    assert_eq!(accepted, 900, "every submitted tuple must be acknowledged");
+    assert!(
+        backpressured > 0,
+        "a depth-2 queue in front of SNS_MAT must reject some non-blocking submits"
+    );
+    let report = session.report().unwrap();
+    assert_eq!(report.error, None);
+    assert!(report.updates_applied >= 900);
+    drop(session);
+    pool.join();
 }

@@ -64,12 +64,12 @@ impl SnsEngine {
         result
     }
 
-    /// Ingests one stream tuple, applying the factor update for every
-    /// window event it causes (the arrival plus any boundary crossings
-    /// that became due). Returns the number of events processed.
-    pub fn ingest(&mut self, tuple: StreamTuple) -> sns_stream::Result<usize> {
-        self.buf.clear();
-        self.window.ingest(tuple, &mut self.buf)?;
+    /// Applies the factor update for every delta in `self.buf`, returning
+    /// how many were processed. The single drain point behind `ingest`,
+    /// `ingest_all`, and `advance_to`; `self.buf` doubles as the reusable
+    /// delta arena (deltas are `Copy`, so steady-state ingestion performs
+    /// no per-event allocation anywhere on this path).
+    fn drain_events(&mut self) -> usize {
         // The window applies each delta before reporting it, so by the
         // time we iterate here the tensor already includes ΔX for *all*
         // deltas in the batch. For same-timestamp batches this makes later
@@ -79,7 +79,16 @@ impl SnsEngine {
             self.updater.apply(self.window.tensor(), d);
         }
         self.updates_applied += self.buf.len() as u64;
-        Ok(self.buf.len())
+        self.buf.len()
+    }
+
+    /// Ingests one stream tuple, applying the factor update for every
+    /// window event it causes (the arrival plus any boundary crossings
+    /// that became due). Returns the number of events processed.
+    pub fn ingest(&mut self, tuple: StreamTuple) -> sns_stream::Result<usize> {
+        self.buf.clear();
+        self.window.ingest(tuple, &mut self.buf)?;
+        Ok(self.drain_events())
     }
 
     /// Ingests a whole slice of chronological tuples, applying every
@@ -111,11 +120,7 @@ impl SnsEngine {
     pub fn advance_to(&mut self, t: u64) -> usize {
         self.buf.clear();
         self.window.advance_to(t, &mut self.buf);
-        for d in &self.buf {
-            self.updater.apply(self.window.tensor(), d);
-        }
-        self.updates_applied += self.buf.len() as u64;
-        self.buf.len()
+        self.drain_events()
     }
 
     /// The deltas produced by the most recent `ingest`/`advance_to` call.

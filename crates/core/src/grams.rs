@@ -36,9 +36,7 @@ pub fn gram_row_update(q: &mut Mat, p: &[f64], new: &[f64]) {
     for a in 0..r {
         let (pa, na) = (p[a], new[a]);
         let row = q.row_mut(a);
-        for b in 0..r {
-            row[b] += na * new[b] - pa * p[b];
-        }
+        row.iter_mut().zip(new.iter().zip(p)).for_each(|(x, (&nb, &pb))| *x += na * nb - pa * pb);
     }
 }
 
@@ -55,9 +53,7 @@ pub fn prev_gram_row_update(u: &mut Mat, p: &[f64], new: &[f64]) {
             continue;
         }
         let row = u.row_mut(a);
-        for b in 0..r {
-            row[b] += pa * (new[b] - p[b]);
-        }
+        row.iter_mut().zip(new.iter().zip(p)).for_each(|(x, (&nb, &pb))| *x += pa * (nb - pb));
     }
 }
 

@@ -9,7 +9,11 @@
 //! - [`config`] — hyperparameters (`R`, `θ`, `η`, seeds),
 //! - [`kruskal`] — the factorization object `[[λ; A(1),…,A(M)]]`,
 //! - [`grams`] — incrementally maintained Gram matrices `A(m)ᵀA(m)`,
-//! - [`mttkrp`] — sparse MTTKRP kernels (full, per-row, per-sample),
+//! - [`mttkrp`] — sparse MTTKRP kernels (full, all-modes prefix/suffix,
+//!   per-row, fused sampled-residual),
+//! - [`workspace`] — [`workspace::KernelWorkspace`]: per-updater scratch
+//!   buffers and version-keyed cached `H(m)` Cholesky solves that make
+//!   the steady-state per-event path allocation-free,
 //! - [`fitness`] — exact sparse fitness via the Gram identity,
 //! - [`als`] — batch ALS (Eq. 4) with column normalization,
 //! - [`update`] — the five per-event updaters:
@@ -30,6 +34,7 @@ pub mod grams;
 pub mod kruskal;
 pub mod mttkrp;
 pub mod update;
+pub mod workspace;
 
 pub use config::{AlgorithmKind, SnsConfig};
 pub use engine::SnsEngine;

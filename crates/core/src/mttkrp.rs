@@ -4,22 +4,125 @@
 //! kernel of every CP algorithm. For a sparse `X` it reduces to, per
 //! non-zero `x_J`, a scaled element-wise product of factor rows — the
 //! Khatri–Rao product is never materialized.
+//!
+//! # Rank invariants
+//!
+//! Every kernel here works on length-`R` row buffers, where `R` is the
+//! common column count of all `factors`. Callers must pass `out` and
+//! `scratch` slices of exactly that length: a longer `scratch` would
+//! silently leave stale tail entries in the product (the classic
+//! wrong-length-scratch bug), a shorter one would truncate it. The
+//! kernels `debug_assert!` these invariants; release builds trust the
+//! caller (the buffers all come from
+//! [`KernelWorkspace`](crate::workspace::KernelWorkspace), which sizes
+//! them once at construction).
 
 use crate::kruskal::KruskalTensor;
 use sns_linalg::Mat;
 use sns_tensor::{Coord, SparseTensor};
 
+#[inline]
+fn debug_assert_rank(factors: &[Mat], len: usize, what: &str) {
+    debug_assert!(
+        factors.iter().all(|f| f.cols() == len),
+        "{what}: buffer length {len} must equal the factor rank {:?}",
+        factors.iter().map(|f| f.cols()).collect::<Vec<_>>()
+    );
+}
+
+/// Collects the participating factor rows of one coordinate (all modes
+/// but `skip`) into a stack array — one bounds-checked lookup per mode,
+/// after which the product kernels run over plain slices.
+#[inline]
+fn gather_rows<'a>(
+    factors: &'a [Mat],
+    coord: &Coord,
+    skip: usize,
+) -> ([&'a [f64]; sns_tensor::MAX_ORDER], usize) {
+    let mut rows: [&[f64]; sns_tensor::MAX_ORDER] = [&[]; sns_tensor::MAX_ORDER];
+    let mut n = 0;
+    for (m, f) in factors.iter().enumerate() {
+        if m != skip {
+            rows[n] = f.row(coord.get(m) as usize);
+            n += 1;
+        }
+    }
+    (rows, n)
+}
+
 /// `out[k] = Π_{n≠skip} factors[n](coord_n, k)` — the Khatri–Rao *row*
 /// product for one coordinate. `O(M·R)`.
+///
+/// `out.len()` must equal the factor rank `R`. The ubiquitous
+/// three-mode/one-skip case runs as a single fused element-wise multiply
+/// (one pass over `out` instead of init + one pass per mode); products
+/// accumulate in ascending-mode order in every case, so results are
+/// bitwise independent of which path runs.
 #[inline]
 pub fn khatri_rao_row(factors: &[Mat], coord: &Coord, skip: usize, out: &mut [f64]) {
-    out.iter_mut().for_each(|x| *x = 1.0);
-    for (n, f) in factors.iter().enumerate() {
-        if n == skip {
-            continue;
+    debug_assert_rank(factors, out.len(), "khatri_rao_row");
+    let (rows, n) = gather_rows(factors, coord, skip);
+    match n {
+        0 => out.iter_mut().for_each(|x| *x = 1.0),
+        1 => out.copy_from_slice(rows[0]),
+        2 => {
+            out.iter_mut().zip(rows[0].iter().zip(rows[1])).for_each(|(o, (&a, &b))| *o = a * b);
         }
-        let row = f.row(coord.get(n) as usize);
-        out.iter_mut().zip(row).for_each(|(o, &v)| *o *= v);
+        _ => {
+            out.iter_mut().zip(rows[0].iter().zip(rows[1])).for_each(|(o, (&a, &b))| *o = a * b);
+            for row in &rows[2..n] {
+                out.iter_mut().zip(*row).for_each(|(o, &v)| *o *= v);
+            }
+        }
+    }
+}
+
+/// All `M` Khatri–Rao row products of one coordinate at once:
+/// `rows[m·R + k] = Π_{n≠m} factors[n](coord_n, k)` for every mode `m`.
+///
+/// Uses prefix/suffix product caching: one backward sweep materializes
+/// the suffix products `S_m = Π_{n≥m}`, then a forward sweep maintains
+/// the running prefix `P_m = Π_{n<m}` and emits each mode's row as the
+/// single element-wise multiply `P_m ∗ S_{m+1}` — `O(M·R)` total instead
+/// of the `O(M²·R)` of `M` separate [`khatri_rao_row`] calls.
+///
+/// `scratch` is caller scratch of length `≥ (M+2)·R` (suffix products
+/// plus the running prefix); `rows` has length `M·R` (mode `m`'s row at
+/// `rows[m·R..(m+1)·R]`). Each row matches [`khatri_rao_row`] up to
+/// floating-point reassociation (≤ 1e-12 relative; the factor rows
+/// multiply in a different order).
+pub fn khatri_rao_rows_all(factors: &[Mat], coord: &Coord, scratch: &mut [f64], rows: &mut [f64]) {
+    let m = factors.len();
+    let r = factors[0].cols();
+    debug_assert_rank(factors, r, "khatri_rao_rows_all");
+    debug_assert!(scratch.len() >= (m + 2) * r, "scratch must be (M+2)·R");
+    debug_assert_eq!(rows.len(), m * r, "rows buffer must be M·R");
+    let (suffix, prefix) = scratch.split_at_mut((m + 1) * r);
+    let prefix = &mut prefix[..r];
+    // Backward sweep: S_M = 1, S_n = row_n ∗ S_{n+1} (S_0 never read).
+    suffix[m * r..(m + 1) * r].iter_mut().for_each(|x| *x = 1.0);
+    for n in (1..m).rev() {
+        let row = factors[n].row(coord.get(n) as usize);
+        let (dst, src) = suffix[n * r..(n + 2) * r].split_at_mut(r);
+        dst.iter_mut().zip(src.iter().zip(row)).for_each(|(d, (&s, &v))| *d = s * v);
+    }
+    // Forward sweep: rows_n = P ∗ S_{n+1}, then P ∗= row_n.
+    for n in 0..m {
+        let out = &mut rows[n * r..(n + 1) * r];
+        let s = &suffix[(n + 1) * r..(n + 2) * r];
+        if n == 0 {
+            out.copy_from_slice(s); // P = 1
+        } else {
+            out.iter_mut().zip(s.iter().zip(&*prefix)).for_each(|(o, (&sv, &pv))| *o = sv * pv);
+        }
+        if n + 1 < m {
+            let row = factors[n].row(coord.get(n) as usize);
+            if n == 0 {
+                prefix.copy_from_slice(row);
+            } else {
+                prefix.iter_mut().zip(row).for_each(|(p, &v)| *p *= v);
+            }
+        }
     }
 }
 
@@ -37,9 +140,37 @@ pub fn mttkrp_full(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
     u
 }
 
+/// All-modes MTTKRP in one pass: `U(m) = X(m)·K(m)` for every mode `m`,
+/// sharing each non-zero's Khatri–Rao rows via prefix/suffix caching
+/// ([`khatri_rao_rows_all`]). `O(|X|·M·R)` total versus the
+/// `O(|X|·M²·R)` of `M` separate [`mttkrp_full`] calls — the batch form
+/// for Jacobi-style (all modes from the same factors) refreshes, and the
+/// kernel the criterion suite benchmarks against the mode-at-a-time
+/// path. Gauss–Seidel sweeps ([`crate::als::als_sweep`]) cannot use it:
+/// they interleave factor updates between modes.
+pub fn mttkrp_full_all(x: &SparseTensor, factors: &[Mat]) -> Vec<Mat> {
+    let m = factors.len();
+    let rank = factors[0].cols();
+    let mut us: Vec<Mat> = (0..m).map(|n| Mat::zeros(x.shape().dim(n), rank)).collect();
+    let mut scratch = vec![0.0; (m + 2) * rank];
+    let mut rows = vec![0.0; m * rank];
+    for (coord, value) in x.iter() {
+        khatri_rao_rows_all(factors, coord, &mut scratch, &mut rows);
+        for (n, u) in us.iter_mut().enumerate() {
+            let dst = u.row_mut(coord.get(n) as usize);
+            let src = &rows[n * rank..(n + 1) * rank];
+            dst.iter_mut().zip(src).for_each(|(d, &p)| *d += value * p);
+        }
+    }
+    us
+}
+
 /// Row MTTKRP over one fiber:
 /// `out[k] = Σ_{J : J_mode = index} x_J · Π_{n≠mode} factors[n](J_n, k)`.
 /// This is `(X)(m)(i,:)·K(m)` of Eq. (12). `O(deg·M·R)`.
+///
+/// `out` and `scratch` must both have length equal to the factor rank
+/// `R` (see the module docs on rank invariants).
 pub fn mttkrp_row(
     x: &SparseTensor,
     factors: &[Mat],
@@ -48,15 +179,30 @@ pub fn mttkrp_row(
     out: &mut [f64],
     scratch: &mut [f64],
 ) {
+    debug_assert_rank(factors, out.len(), "mttkrp_row(out)");
+    debug_assert_rank(factors, scratch.len(), "mttkrp_row(scratch)");
     out.iter_mut().for_each(|v| *v = 0.0);
     for (coord, value) in x.fiber_entries(mode, index) {
-        khatri_rao_row(factors, coord, mode, scratch);
-        out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += value * p);
+        let (rows, n) = gather_rows(factors, coord, mode);
+        if n == 2 {
+            // Three-mode tensors (every Table-III dataset but one):
+            // accumulate the fused product directly, skipping the scratch
+            // round-trip. Same multiplication grouping, bitwise-equal.
+            out.iter_mut()
+                .zip(rows[0].iter().zip(rows[1]))
+                .for_each(|(o, (&a, &b))| *o += value * (a * b));
+        } else {
+            khatri_rao_row(factors, coord, mode, scratch);
+            out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += value * p);
+        }
     }
 }
 
 /// Row MTTKRP over an explicit list of `(coord, value)` pairs (used for
 /// the sampled correction `X̄ + ΔX` of Eq. (16) and Eq. (23)).
+///
+/// `out` and `scratch` must both have length equal to the factor rank
+/// `R` (see the module docs on rank invariants).
 pub fn mttkrp_row_from_entries(
     entries: &[(Coord, f64)],
     factors: &[Mat],
@@ -64,10 +210,49 @@ pub fn mttkrp_row_from_entries(
     out: &mut [f64],
     scratch: &mut [f64],
 ) {
+    debug_assert_rank(factors, out.len(), "mttkrp_row_from_entries(out)");
+    debug_assert_rank(factors, scratch.len(), "mttkrp_row_from_entries(scratch)");
     out.iter_mut().for_each(|v| *v = 0.0);
     for (coord, value) in entries {
         khatri_rao_row(factors, coord, mode, scratch);
         out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += value * p);
+    }
+}
+
+/// The sampled-correction row MTTKRP of Eq. (16)/Eq. (23), fused:
+/// `out[k] = Σ_{J ∈ samples} (x_J − x̃_J) · Π_{n≠mode} a(n)_{J_n k}`
+/// (`out` is zeroed first; the caller appends the `ΔX` terms).
+///
+/// The residual `x̃_J = Σ_k λ_k Π_n a(n)_{J_n k}` shares its all-modes
+/// product with the Khatri–Rao row: the kernel computes the skip-`mode`
+/// row once and derives `x̃_J` from it with a single extra
+/// multiply-accumulate against `a(mode)_{J_mode}` — one pass over the
+/// factor rows instead of the separate `eval` + `khatri_rao_row` passes
+/// (which is the prefix/suffix-caching idea applied to the sampled hot
+/// path). Matches the unfused form to ≤ 1e-12: the model value
+/// multiplies factors in a different order than
+/// [`KruskalTensor::eval`].
+pub fn mttkrp_row_sampled_residuals(
+    window: &SparseTensor,
+    kruskal: &KruskalTensor,
+    mode: usize,
+    samples: &[Coord],
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    debug_assert_rank(&kruskal.factors, out.len(), "mttkrp_row_sampled_residuals(out)");
+    debug_assert_rank(&kruskal.factors, scratch.len(), "mttkrp_row_sampled_residuals(scratch)");
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for coord in samples {
+        khatri_rao_row(&kruskal.factors, coord, mode, scratch);
+        let frow = kruskal.factors[mode].row(coord.get(mode) as usize);
+        let model: f64 = scratch
+            .iter()
+            .zip(frow.iter().zip(&kruskal.lambda))
+            .map(|(&p, (&a, &l))| l * p * a)
+            .sum();
+        let residual = window.get(coord) - model;
+        out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += residual * p);
     }
 }
 
@@ -216,6 +401,84 @@ mod tests {
         let brute: f64 =
             Shape::new(&dims).iter_coords().map(|c| dense_x.get(&c) * dense_k.get(&c)).sum();
         assert!((inner_with_kruskal(&x, &k) - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_suffix_rows_match_per_mode_kernel() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for dims in [vec![4usize, 3, 5], vec![3, 2, 4, 3], vec![2, 5]] {
+            let m = dims.len();
+            let f = random_factors(&mut rng, &dims, 4);
+            let coord: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+            let c = Coord::new(&coord);
+            let mut scratch = vec![0.0; (m + 2) * 4];
+            let mut rows = vec![0.0; m * 4];
+            khatri_rao_rows_all(&f, &c, &mut scratch, &mut rows);
+            let mut reference = vec![0.0; 4];
+            for skip in 0..m {
+                khatri_rao_row(&f, &c, skip, &mut reference);
+                for k in 0..4 {
+                    let got = rows[skip * 4 + k];
+                    assert!(
+                        (got - reference[k]).abs() <= 1e-12 * (1.0 + reference[k].abs()),
+                        "order {m} skip {skip} k {k}: {got} vs {}",
+                        reference[k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mttkrp_full_all_matches_per_mode_full() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dims = [3usize, 4, 2, 3];
+        let x = random_sparse(&mut rng, &dims, 25);
+        let f = random_factors(&mut rng, &dims, 3);
+        let all = mttkrp_full_all(&x, &f);
+        for (mode, got) in all.iter().enumerate() {
+            let one = mttkrp_full(&x, &f, mode);
+            assert_eq!(got.shape(), one.shape());
+            for i in 0..one.rows() {
+                for j in 0..one.cols() {
+                    assert!(
+                        (got[(i, j)] - one[(i, j)]).abs() <= 1e-12 * (1.0 + one[(i, j)].abs()),
+                        "mode {mode} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sampled_residuals_match_eval_route() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let dims = [4usize, 3, 5];
+        let x = random_sparse(&mut rng, &dims, 30);
+        let k = KruskalTensor::random(&mut rng, &dims, 4, 1.0);
+        let mode = 1;
+        let samples: Vec<Coord> = (0..10)
+            .map(|_| {
+                let c: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+                Coord::new(&c)
+            })
+            .collect();
+        let mut fused = vec![0.0; 4];
+        let mut scratch = vec![0.0; 4];
+        mttkrp_row_sampled_residuals(&x, &k, mode, &samples, &mut fused, &mut scratch);
+        // Unfused reference: residuals via eval, then the entry-list MTTKRP.
+        let entries: Vec<(Coord, f64)> =
+            samples.iter().map(|c| (*c, x.get(c) - k.eval(c))).collect();
+        let mut reference = vec![0.0; 4];
+        mttkrp_row_from_entries(&entries, &k.factors, mode, &mut reference, &mut scratch);
+        for j in 0..4 {
+            assert!(
+                (fused[j] - reference[j]).abs() <= 1e-12 * (1.0 + reference[j].abs()),
+                "{} vs {}",
+                fused[j],
+                reference[j]
+            );
+        }
     }
 
     #[test]

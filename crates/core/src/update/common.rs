@@ -1,22 +1,30 @@
 //! Shared state and row-update kernels for the fast updaters.
 
-use crate::grams::{compute_grams, gram_row_update, hadamard_except};
+use crate::grams::{compute_grams, gram_row_update};
 use crate::kruskal::KruskalTensor;
 use crate::mttkrp::{khatri_rao_row, mttkrp_row};
+use crate::workspace::KernelWorkspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sns_linalg::lstsq::solve_row_sym;
 use sns_linalg::Mat;
 use sns_stream::Delta;
 use sns_tensor::{Coord, SparseTensor};
 
 /// Factor matrices plus their maintained Gram matrices.
+///
+/// Every Gram carries a version counter that is bumped exactly when the
+/// matrix changes; the [`KernelWorkspace`] keys its cached
+/// Hadamard-of-Grams factorizations on those counters, so solves
+/// refactorize only when the underlying Grams actually changed.
 #[derive(Debug, Clone)]
 pub struct FactorState {
     /// The factorization (`λ = 1` for all fast updaters).
     pub kruskal: KruskalTensor,
     /// `Q(m) = A(m)ᵀA(m)`, kept in lock-step with every row edit.
     pub grams: Vec<Mat>,
+    /// Per-mode change counters for `grams` (monotone; row edits that
+    /// leave the row bitwise unchanged do not bump).
+    versions: Vec<u64>,
 }
 
 impl FactorState {
@@ -26,7 +34,8 @@ impl FactorState {
         let mut rng = StdRng::seed_from_u64(seed);
         let kruskal = KruskalTensor::random(&mut rng, dims, rank, scale);
         let grams = compute_grams(&kruskal.factors);
-        FactorState { kruskal, grams }
+        let versions = vec![1; kruskal.order()];
+        FactorState { kruskal, grams, versions }
     }
 
     /// Number of modes.
@@ -47,6 +56,13 @@ impl FactorState {
         self.order() - 1
     }
 
+    /// The per-mode Gram version counters (cache keys for
+    /// [`crate::workspace::GramSolves`]).
+    #[inline]
+    pub fn gram_versions(&self) -> &[u64] {
+        &self.versions
+    }
+
     /// Replaces the factorization (warm start).
     ///
     /// The fast updaters model `X̃ = [[A(1),…,A(M)]]` with unit weights, so
@@ -62,37 +78,38 @@ impl FactorState {
             self.grams = grams;
         }
         self.kruskal = kruskal;
-    }
-}
-
-/// Reusable buffers for per-event updates — no allocation in steady state.
-#[derive(Debug, Default, Clone)]
-pub struct Scratch {
-    /// Khatri–Rao row product buffer (`R`).
-    pub prod: Vec<f64>,
-    /// MTTKRP accumulator (`R`).
-    pub acc: Vec<f64>,
-    /// New-row buffer (`R`).
-    pub row: Vec<f64>,
-    /// Old-row copy (`R`).
-    pub old: Vec<f64>,
-    /// Sampled fiber coordinates (`θ`).
-    pub samples: Vec<Coord>,
-    /// Sampled `(coord, value)` workspace (`θ + 2`).
-    pub entries: Vec<(Coord, f64)>,
-}
-
-impl Scratch {
-    /// Creates buffers sized for rank `r`.
-    pub fn new(r: usize) -> Self {
-        Scratch {
-            prod: vec![0.0; r],
-            acc: vec![0.0; r],
-            row: vec![0.0; r],
-            old: vec![0.0; r],
-            samples: Vec::new(),
-            entries: Vec::new(),
+        for v in &mut self.versions {
+            *v += 1;
         }
+    }
+
+    /// Writes `new` into `A(mode)(index,:)`, saving the previous row into
+    /// `old` and applying the Eq. (13) Gram update. Returns whether the
+    /// row actually changed; a bitwise-identical row skips the Gram
+    /// update and version bump entirely (the update would add exact
+    /// zeros), which is what keeps downstream `H(m)` caches warm across
+    /// no-op commits.
+    pub fn commit_row(&mut self, mode: usize, index: u32, new: &[f64], old: &mut [f64]) -> bool {
+        old.copy_from_slice(self.kruskal.factors[mode].row(index as usize));
+        if old == new {
+            return false;
+        }
+        self.kruskal.factors[mode].set_row(index as usize, new);
+        gram_row_update(&mut self.grams[mode], old, new);
+        self.versions[mode] += 1;
+        true
+    }
+
+    /// Records a row edit that was already written into the factor matrix
+    /// (coordinate descent mutates rows in place): applies the Eq. (13)
+    /// Gram update and version bump unless the row is unchanged bitwise.
+    pub fn note_row_changed(&mut self, mode: usize, old: &[f64], new: &[f64]) -> bool {
+        if old == new {
+            return false;
+        }
+        gram_row_update(&mut self.grams[mode], old, new);
+        self.versions[mode] += 1;
+        true
     }
 }
 
@@ -112,23 +129,23 @@ pub fn delta_entries_for_row(delta: &Delta, mode: usize, index: u32) -> [(Coord,
 
 /// Eq. (12) + Eq. (13): exact row least squares for mode `m`, row `index`:
 /// `A(m)(i,:) ← (X+ΔX)(m)(i,:)·K(m)·H(m)†`, then the Gram rank-1 update.
-/// Returns `(old_row, new_row)` through `scratch.old` / `scratch.row`.
+/// The old and new rows are left in `ws.bufs.old` / `ws.bufs.row`.
 ///
-/// `window` must already contain `ΔX`. Cost `O(deg·M·R + R³)`.
+/// `window` must already contain `ΔX`. Cost `O(deg·M·R + R³)`, with the
+/// `R³` factorization skipped whenever `ws` already holds it for the
+/// current Grams.
 pub fn update_row_exact(
     state: &mut FactorState,
     window: &SparseTensor,
     mode: usize,
     index: u32,
-    scratch: &mut Scratch,
+    ws: &mut KernelWorkspace,
 ) {
     // u = (X+ΔX)(m)(i,:)·K(m)
-    mttkrp_row(window, &state.kruskal.factors, mode, index, &mut scratch.acc, &mut scratch.prod);
-    // Row solve against H(m) (Cholesky fast path, pinv fallback).
-    let rank = state.rank();
-    let h = hadamard_except(&state.grams, mode, rank);
-    solve_row_sym(&h, &scratch.acc, &mut scratch.row);
-    commit_row(state, mode, index, scratch);
+    mttkrp_row(window, &state.kruskal.factors, mode, index, &mut ws.bufs.acc, &mut ws.bufs.prod);
+    // Row solve against H(m) (cached Cholesky, pinv fallback).
+    ws.solves.solve(&state.grams, &state.versions, mode, &ws.bufs.acc, &mut ws.bufs.row);
+    state.commit_row(mode, index, &ws.bufs.row, &mut ws.bufs.old);
 }
 
 /// Eq. (9) + Eq. (13): additive approximate update of a *time-mode* row:
@@ -140,34 +157,22 @@ pub fn update_time_row_additive(
     delta: &Delta,
     index: u32,
     value: f64,
-    scratch: &mut Scratch,
+    ws: &mut KernelWorkspace,
 ) {
     let tm = state.time_mode();
-    let rank = state.rank();
     // ΔX(M)(j,:)·K(M): a single scaled Khatri–Rao row product. Build the
     // full window coordinate so `khatri_rao_row` can skip the time mode.
     let coord = delta.tuple.coords.extended(index);
-    khatri_rao_row(&state.kruskal.factors, &coord, tm, &mut scratch.prod);
-    for p in scratch.prod.iter_mut() {
+    khatri_rao_row(&state.kruskal.factors, &coord, tm, &mut ws.bufs.prod);
+    for p in ws.bufs.prod.iter_mut() {
         *p *= value;
     }
-    let h = hadamard_except(&state.grams, tm, rank);
-    solve_row_sym(&h, &scratch.prod, &mut scratch.acc);
+    ws.solves.solve(&state.grams, &state.versions, tm, &ws.bufs.prod, &mut ws.bufs.acc);
     let old = state.kruskal.factors[tm].row(index as usize);
     for (k, o) in old.iter().enumerate() {
-        scratch.old[k] = *o;
-        scratch.row[k] = *o + scratch.acc[k];
+        ws.bufs.row[k] = *o + ws.bufs.acc[k];
     }
-    state.kruskal.factors[tm].set_row(index as usize, &scratch.row);
-    gram_row_update(&mut state.grams[tm], &scratch.old, &scratch.row);
-}
-
-/// Writes `scratch.row` into `A(mode)(index,:)`, saving the previous row in
-/// `scratch.old` and applying the Eq. (13) Gram update.
-pub fn commit_row(state: &mut FactorState, mode: usize, index: u32, scratch: &mut Scratch) {
-    scratch.old.copy_from_slice(state.kruskal.factors[mode].row(index as usize));
-    state.kruskal.factors[mode].set_row(index as usize, &scratch.row);
-    gram_row_update(&mut state.grams[mode], &scratch.old, &scratch.row);
+    state.commit_row(tm, index, &ws.bufs.row, &mut ws.bufs.old);
 }
 
 /// Magnitude threshold past which an unclipped updater is declared
@@ -198,6 +203,7 @@ pub fn touched_rows_blew_up(state: &FactorState, delta: &Delta) -> bool {
 mod tests {
     use super::*;
     use crate::fitness::fitness_with_grams;
+    use crate::grams::hadamard_except;
     use rand::Rng;
     use sns_linalg::ops::gram;
     use sns_stream::{ContinuousWindow, StreamTuple};
@@ -225,8 +231,39 @@ mod tests {
         assert_eq!(s.order(), 3);
         assert_eq!(s.rank(), 3);
         assert_eq!(s.time_mode(), 2);
+        assert_eq!(s.gram_versions().len(), 3);
         for (m, g) in s.grams.iter().enumerate() {
             assert!(approx_mat(g, &gram(&s.kruskal.factors[m]), 1e-12));
+        }
+    }
+
+    #[test]
+    fn commit_row_tracks_versions_and_skips_noops() {
+        let mut s = FactorState::random(&[4, 3, 5], 3, 1.0, 8);
+        let v0 = s.gram_versions().to_vec();
+        let mut old = vec![0.0; 3];
+        let new = vec![0.25, -1.0, 2.0];
+        assert!(s.commit_row(0, 1, &new, &mut old));
+        assert_eq!(s.gram_versions()[0], v0[0] + 1);
+        assert_eq!(s.gram_versions()[1], v0[1]);
+        assert!(approx_mat(&s.grams[0], &gram(&s.kruskal.factors[0]), 1e-10));
+        // Re-committing the identical row is a no-op: no bump, no drift.
+        let g_before = s.grams[0].clone();
+        assert!(!s.commit_row(0, 1, &new, &mut old));
+        assert_eq!(s.gram_versions()[0], v0[0] + 1);
+        assert_eq!(s.grams[0], g_before);
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn install_bumps_every_version() {
+        let mut s = FactorState::random(&[4, 3, 5], 3, 1.0, 9);
+        let v0 = s.gram_versions().to_vec();
+        let k = KruskalTensor::random(&mut StdRng::seed_from_u64(1), &[4, 3, 5], 3, 1.0);
+        let g = compute_grams(&k.factors);
+        s.install(k, g);
+        for (m, &v) in s.gram_versions().iter().enumerate() {
+            assert_eq!(v, v0[m] + 1);
         }
     }
 
@@ -237,8 +274,8 @@ mod tests {
         // to that row's fiber... equivalently u = row · H must hold.
         let x = random_window(1, 30);
         let mut s = FactorState::random(&[4, 3, 5], 3, 1.0, 2);
-        let mut scratch = Scratch::new(3);
-        update_row_exact(&mut s, &x, 0, 2, &mut scratch);
+        let mut ws = KernelWorkspace::new(3, 3);
+        update_row_exact(&mut s, &x, 0, 2, &mut ws);
         // Check stationarity: (X)(0)(2,:)·K = row·H at the new row.
         let mut u = vec![0.0; 3];
         let mut tmp = vec![0.0; 3];
@@ -262,13 +299,35 @@ mod tests {
         // increase, hence fitness cannot decrease.
         let x = random_window(3, 40);
         let mut s = FactorState::random(&[4, 3, 5], 3, 0.5, 4);
-        let mut scratch = Scratch::new(3);
+        let mut ws = KernelWorkspace::new(3, 3);
         for mode in 0..2 {
             for i in 0..x.shape().dim(mode) as u32 {
                 let before = fitness_with_grams(&x, &s.kruskal, &s.grams);
-                update_row_exact(&mut s, &x, mode, i, &mut scratch);
+                update_row_exact(&mut s, &x, mode, i, &mut ws);
                 let after = fitness_with_grams(&x, &s.kruskal, &s.grams);
                 assert!(after >= before - 1e-9, "mode {mode} row {i}: {before} -> {after}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_workspace_bitwise() {
+        // The same update sequence through one long-lived workspace and
+        // through a fresh workspace per call must agree bit for bit —
+        // cached H(m)/Cholesky reuse may only skip redundant work.
+        let x = random_window(11, 35);
+        let mut a = FactorState::random(&[4, 3, 5], 3, 0.6, 12);
+        let mut b = a.clone();
+        let mut shared = KernelWorkspace::new(3, 3);
+        for step in 0..12u32 {
+            let mode = (step % 2) as usize;
+            let index = step % x.shape().dim(mode) as u32;
+            update_row_exact(&mut a, &x, mode, index, &mut shared);
+            let mut fresh = KernelWorkspace::new(3, 3);
+            update_row_exact(&mut b, &x, mode, index, &mut fresh);
+            for m in 0..3 {
+                assert_eq!(a.kruskal.factors[m], b.kruskal.factors[m], "step {step} mode {m}");
+                assert_eq!(a.grams[m], b.grams[m], "step {step} gram {m}");
             }
         }
     }
@@ -277,10 +336,10 @@ mod tests {
     fn empty_fiber_zeroes_the_row() {
         let x = random_window(5, 1); // at most one non-zero
         let mut s = FactorState::random(&[4, 3, 5], 3, 1.0, 6);
-        let mut scratch = Scratch::new(3);
+        let mut ws = KernelWorkspace::new(3, 3);
         // Find a row with an empty fiber.
         let empty = (0..4u32).find(|&i| x.deg(0, i) == 0).expect("an empty fiber exists");
-        update_row_exact(&mut s, &x, 0, empty, &mut scratch);
+        update_row_exact(&mut s, &x, 0, empty, &mut ws);
         assert!(s.kruskal.factors[0].row(empty as usize).iter().all(|&v| v.abs() < 1e-12));
     }
 
@@ -325,8 +384,8 @@ mod tests {
         out.clear();
         w.ingest(StreamTuple::new([2u32, 1], 4.0, 31), &mut out).unwrap();
         let d = out.last().unwrap();
-        let mut scratch = Scratch::new(3);
-        update_time_row_additive(&mut s, d, 4, 4.0, &mut scratch);
+        let mut ws = KernelWorkspace::new(3, 3);
+        update_time_row_additive(&mut s, d, 4, 4.0, &mut ws);
         // Only row 4 changed.
         for r in 0..4 {
             assert_eq!(s.kruskal.factors[2].row(r), before.row(r), "row {r} must be untouched");

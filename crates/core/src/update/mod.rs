@@ -20,7 +20,8 @@ pub mod snsplus;
 pub mod snsrnd;
 pub mod snsvec;
 
-pub use common::{FactorState, Scratch};
+pub use crate::workspace::{GramSolves, KernelWorkspace, RowBufs};
+pub use common::FactorState;
 pub use snsmat::SnsMat;
 pub use snsplus::{SnsPlusRnd, SnsPlusVec};
 pub use snsrnd::SnsRnd;

@@ -21,16 +21,17 @@
 //! entrywise updates telescope to exactly these — see `grams.rs`).
 
 use crate::config::{AlgorithmKind, SnsConfig};
-use crate::grams::{gram_row_update, hadamard_except, prev_gram_row_update};
+use crate::grams::prev_gram_row_update;
 use crate::kruskal::KruskalTensor;
-use crate::mttkrp::{mttkrp_row, mttkrp_row_from_entries};
-use crate::update::common::{delta_entries_for_row, FactorState, Scratch};
+use crate::mttkrp::{mttkrp_row, mttkrp_row_sampled_residuals};
+use crate::update::common::{delta_entries_for_row, FactorState};
 use crate::update::ContinuousUpdater;
+use crate::workspace::KernelWorkspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sns_linalg::Mat;
 use sns_stream::Delta;
-use sns_tensor::{Coord, SparseTensor};
+use sns_tensor::SparseTensor;
 
 /// Coordinate-descent sweep over one factor row with clipping.
 ///
@@ -43,14 +44,14 @@ fn descend_row(factor: &mut Mat, index: u32, g: &Mat, base: &[f64], eta: f64) {
     let rank = g.rows();
     let row = factor.row_mut(index as usize);
     for k in 0..rank {
-        let c = g[(k, k)];
+        // G is bitwise symmetric (a Hadamard product of Gram matrices),
+        // so column k equals row k — read the contiguous row and let the
+        // dot product vectorize instead of striding down the column.
+        let gk = g.row(k);
+        let c = gk[k];
         if c > 0.0 {
             // d_{ik} = row·G(:,k) − row[k]·G_kk (current row values).
-            let mut d = 0.0;
-            for r in 0..rank {
-                d += row[r] * g[(r, k)];
-            }
-            d -= row[k] * c;
+            let d = sns_linalg::ops::dot(row, gk) - row[k] * c;
             row[k] = (base[k] - d) / c;
         }
         // Clipping (Algorithm 5 lines 5/15) applies in every case.
@@ -72,7 +73,7 @@ fn model_row(prev_row: &[f64], g_hat: &Mat, out: &mut [f64]) {
 pub struct SnsPlusVec {
     state: FactorState,
     eta: f64,
-    scratch: Scratch,
+    ws: KernelWorkspace,
 }
 
 impl SnsPlusVec {
@@ -81,7 +82,7 @@ impl SnsPlusVec {
         SnsPlusVec {
             state: FactorState::random(dims, config.rank, config.init_scale, config.seed),
             eta: config.eta,
-            scratch: Scratch::new(config.rank),
+            ws: KernelWorkspace::new(dims.len(), config.rank),
         }
     }
 
@@ -91,15 +92,17 @@ impl SnsPlusVec {
     }
 
     fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {
-        let rank = self.state.rank();
         let tm = self.state.time_mode();
-        let g = hadamard_except(&self.state.grams, mode, rank);
-        self.scratch.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
+        self.ws.bufs.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
+        // Coordinate descent reads H(m) entrywise and never factorizes it,
+        // so the cache only pays the Hadamard rebuild — and skips even
+        // that when no Gram it depends on changed.
+        let g = self.ws.solves.h(&self.state.grams, self.state.gram_versions(), mode);
         if mode == tm {
             // Eq. (22): e + Σ_ΔX Δx·Π a. The time mode is updated before
             // any other factor changes in this event, so U(n) = Q(n) for
             // all n ≠ M and Ĝ = G.
-            model_row(&self.scratch.old, &g, &mut self.scratch.acc);
+            model_row(&self.ws.bufs.old, g, &mut self.ws.bufs.acc);
             for (c, v) in delta_entries_for_row(delta, mode, index) {
                 if v == 0.0 {
                     continue;
@@ -108,9 +111,9 @@ impl SnsPlusVec {
                     &self.state.kruskal.factors,
                     &c,
                     mode,
-                    &mut self.scratch.prod,
+                    &mut self.ws.bufs.prod,
                 );
-                sns_linalg::ops::axpy(v, &self.scratch.prod, &mut self.scratch.acc);
+                sns_linalg::ops::axpy(v, &self.ws.bufs.prod, &mut self.ws.bufs.acc);
             }
         } else {
             // Eq. (21): exact fiber sum over X+ΔX (already in `window`).
@@ -119,13 +122,13 @@ impl SnsPlusVec {
                 &self.state.kruskal.factors,
                 mode,
                 index,
-                &mut self.scratch.acc,
-                &mut self.scratch.prod,
+                &mut self.ws.bufs.acc,
+                &mut self.ws.bufs.prod,
             );
         }
-        descend_row(&mut self.state.kruskal.factors[mode], index, &g, &self.scratch.acc, self.eta);
-        let new_row = self.state.kruskal.factors[mode].row(index as usize).to_vec();
-        gram_row_update(&mut self.state.grams[mode], &self.scratch.old, &new_row);
+        descend_row(&mut self.state.kruskal.factors[mode], index, g, &self.ws.bufs.acc, self.eta);
+        self.ws.bufs.row.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
+        self.state.note_row_changed(mode, &self.ws.bufs.old, &self.ws.bufs.row);
     }
 }
 
@@ -163,10 +166,12 @@ impl ContinuousUpdater for SnsPlusVec {
 pub struct SnsPlusRnd {
     state: FactorState,
     prev_grams: Vec<Mat>,
+    /// Change counters for `prev_grams` (cache keys for `ws.prev_solves`).
+    prev_versions: Vec<u64>,
     theta: usize,
     eta: f64,
     rng: StdRng,
-    scratch: Scratch,
+    ws: KernelWorkspace,
 }
 
 impl SnsPlusRnd {
@@ -176,10 +181,11 @@ impl SnsPlusRnd {
         let prev_grams = state.grams.clone();
         SnsPlusRnd {
             prev_grams,
+            prev_versions: vec![1; dims.len()],
             theta: config.theta,
             eta: config.eta,
             rng: StdRng::seed_from_u64(config.seed ^ 0x517c_c1b7_2722_0a95),
-            scratch: Scratch::new(config.rank),
+            ws: KernelWorkspace::new(dims.len(), config.rank),
             state,
         }
     }
@@ -195,10 +201,8 @@ impl SnsPlusRnd {
     }
 
     fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {
-        let rank = self.state.rank();
         let deg = window.deg(mode, index);
-        let g = hadamard_except(&self.state.grams, mode, rank);
-        self.scratch.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
+        self.ws.bufs.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
         if deg <= self.theta {
             // Eq. (21): exact fiber sum.
             mttkrp_row(
@@ -206,59 +210,69 @@ impl SnsPlusRnd {
                 &self.state.kruskal.factors,
                 mode,
                 index,
-                &mut self.scratch.acc,
-                &mut self.scratch.prod,
+                &mut self.ws.bufs.acc,
+                &mut self.ws.bufs.prod,
             );
         } else {
             // Eq. (23): e (model part via Ĝ) + sampled residuals + ΔX.
-            let g_hat = hadamard_except(&self.prev_grams, mode, rank);
-            model_row(&self.scratch.old, &g_hat, &mut self.scratch.acc);
-            let exclude: Vec<Coord> = delta.changes.coords().collect();
-            self.scratch.samples.clear();
+            let g_hat = self.ws.prev_solves.h(&self.prev_grams, &self.prev_versions, mode);
+            model_row(&self.ws.bufs.old, g_hat, &mut self.ws.bufs.acc);
+            self.ws.bufs.exclude.clear();
+            self.ws.bufs.exclude.extend(delta.changes.coords());
+            self.ws.bufs.samples.clear();
             window.sample_fiber_positions(
                 mode,
                 index,
                 self.theta,
                 &mut self.rng,
-                &exclude,
-                &mut self.scratch.samples,
+                &self.ws.bufs.exclude,
+                &mut self.ws.bufs.samples,
             );
-            self.scratch.entries.clear();
-            for c in &self.scratch.samples {
-                let residual = window.get(c) - self.state.kruskal.eval(c);
-                self.scratch.entries.push((*c, residual));
-            }
+            // Sampled residuals accumulate separately (fused eval +
+            // Khatri–Rao pass), then fold into the model part with the ΔX
+            // terms — mirroring the Eq. (23) bracketing.
+            mttkrp_row_sampled_residuals(
+                window,
+                &self.state.kruskal,
+                mode,
+                &self.ws.bufs.samples,
+                &mut self.ws.bufs.extra,
+                &mut self.ws.bufs.prod,
+            );
             for (c, v) in delta_entries_for_row(delta, mode, index) {
                 if v != 0.0 {
-                    self.scratch.entries.push((c, v));
+                    crate::mttkrp::khatri_rao_row(
+                        &self.state.kruskal.factors,
+                        &c,
+                        mode,
+                        &mut self.ws.bufs.prod,
+                    );
+                    sns_linalg::ops::axpy(v, &self.ws.bufs.prod, &mut self.ws.bufs.extra);
                 }
             }
-            let mut sampled = vec![0.0; rank];
-            mttkrp_row_from_entries(
-                &self.scratch.entries,
-                &self.state.kruskal.factors,
-                mode,
-                &mut sampled,
-                &mut self.scratch.prod,
-            );
-            sns_linalg::ops::axpy(1.0, &sampled, &mut self.scratch.acc);
+            sns_linalg::ops::axpy(1.0, &self.ws.bufs.extra, &mut self.ws.bufs.acc);
         }
-        descend_row(&mut self.state.kruskal.factors[mode], index, &g, &self.scratch.acc, self.eta);
-        let new_row = self.state.kruskal.factors[mode].row(index as usize).to_vec();
-        gram_row_update(&mut self.state.grams[mode], &self.scratch.old, &new_row);
-        prev_gram_row_update(&mut self.prev_grams[mode], &self.scratch.old, &new_row);
+        let g = self.ws.solves.h(&self.state.grams, self.state.gram_versions(), mode);
+        descend_row(&mut self.state.kruskal.factors[mode], index, g, &self.ws.bufs.acc, self.eta);
+        self.ws.bufs.row.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
+        if self.state.note_row_changed(mode, &self.ws.bufs.old, &self.ws.bufs.row) {
+            prev_gram_row_update(&mut self.prev_grams[mode], &self.ws.bufs.old, &self.ws.bufs.row);
+            self.prev_versions[mode] += 1;
+        }
     }
 }
 
 impl ContinuousUpdater for SnsPlusRnd {
     fn apply(&mut self, window: &SparseTensor, delta: &Delta) {
         // Snapshot the Grams: A_prevᵀA ← AᵀA (Algorithm 3 line 1).
-        for (u, q) in self.prev_grams.iter_mut().zip(&self.state.grams) {
+        for ((u, q), v) in
+            self.prev_grams.iter_mut().zip(&self.state.grams).zip(&mut self.prev_versions)
+        {
             u.as_mut_slice().copy_from_slice(q.as_slice());
+            *v += 1;
         }
         let tm = self.state.time_mode();
-        let time_rows: Vec<u32> = delta.time_indices().collect();
-        for index in time_rows {
+        for index in delta.time_indices() {
             self.update_row(window, delta, tm, index);
         }
         for m in 0..tm {

@@ -21,18 +21,18 @@
 //! the maintained `U(m)` matrices account for).
 
 use crate::config::{AlgorithmKind, SnsConfig};
-use crate::grams::{gram_row_update, hadamard_except, prev_gram_row_update};
+use crate::grams::prev_gram_row_update;
 use crate::kruskal::KruskalTensor;
-use crate::mttkrp::{mttkrp_row, mttkrp_row_from_entries};
-use crate::update::common::{delta_entries_for_row, touched_rows_blew_up, FactorState, Scratch};
+use crate::mttkrp::{khatri_rao_row, mttkrp_row, mttkrp_row_sampled_residuals};
+use crate::update::common::{delta_entries_for_row, touched_rows_blew_up, FactorState};
 use crate::update::ContinuousUpdater;
+use crate::workspace::KernelWorkspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sns_linalg::lstsq::solve_row_sym;
 use sns_linalg::ops::{axpy, row_times_mat};
 use sns_linalg::Mat;
 use sns_stream::Delta;
-use sns_tensor::{Coord, SparseTensor};
+use sns_tensor::SparseTensor;
 
 /// The SNS_RND updater.
 #[derive(Clone)]
@@ -40,9 +40,11 @@ pub struct SnsRnd {
     state: FactorState,
     /// `U(m) = A_prev(m)ᵀ A(m)` — refreshed from `Q` at each event start.
     prev_grams: Vec<Mat>,
+    /// Change counters for `prev_grams` (cache keys for `ws.prev_solves`).
+    prev_versions: Vec<u64>,
     theta: usize,
     rng: StdRng,
-    scratch: Scratch,
+    ws: KernelWorkspace,
     diverged: bool,
 }
 
@@ -53,7 +55,8 @@ impl SnsRnd {
         let prev_grams = state.grams.clone();
         SnsRnd {
             prev_grams,
-            scratch: Scratch::new(config.rank),
+            prev_versions: vec![1; dims.len()],
+            ws: KernelWorkspace::new(dims.len(), config.rank),
             theta: config.theta,
             rng: StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15),
             state,
@@ -68,9 +71,9 @@ impl SnsRnd {
 
     /// One `updateRowRan` call (Algorithm 4, lines 7–17).
     fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {
-        let rank = self.state.rank();
         let deg = window.deg(mode, index);
-        let h = hadamard_except(&self.state.grams, mode, rank);
+        let versions = self.state.gram_versions();
+        let h = self.ws.solves.h(&self.state.grams, versions, mode);
         if !h.is_finite() {
             self.diverged = true;
             return;
@@ -82,54 +85,57 @@ impl SnsRnd {
                 &self.state.kruskal.factors,
                 mode,
                 index,
-                &mut self.scratch.acc,
-                &mut self.scratch.prod,
+                &mut self.ws.bufs.acc,
+                &mut self.ws.bufs.prod,
             );
-            solve_row_sym(&h, &self.scratch.acc, &mut self.scratch.row);
         } else {
             // Sampled path: Eq. (16).
-            let exclude: Vec<Coord> = delta.changes.coords().collect();
-            self.scratch.samples.clear();
+            self.ws.bufs.exclude.clear();
+            self.ws.bufs.exclude.extend(delta.changes.coords());
+            self.ws.bufs.samples.clear();
             window.sample_fiber_positions(
                 mode,
                 index,
                 self.theta,
                 &mut self.rng,
-                &exclude,
-                &mut self.scratch.samples,
+                &self.ws.bufs.exclude,
+                &mut self.ws.bufs.samples,
             );
-            // (X̄ + ΔX)(m)(i,:)·K(m)
-            self.scratch.entries.clear();
-            for c in &self.scratch.samples {
-                let residual = window.get(c) - self.state.kruskal.eval(c);
-                self.scratch.entries.push((*c, residual));
-            }
+            // (X̄ + ΔX)(m)(i,:)·K(m): the sampled residuals (fused
+            // eval + Khatri–Rao pass), then the ≤ 2 ΔX terms.
+            mttkrp_row_sampled_residuals(
+                window,
+                &self.state.kruskal,
+                mode,
+                &self.ws.bufs.samples,
+                &mut self.ws.bufs.acc,
+                &mut self.ws.bufs.prod,
+            );
             for (c, v) in delta_entries_for_row(delta, mode, index) {
                 if v != 0.0 {
-                    self.scratch.entries.push((c, v));
+                    khatri_rao_row(&self.state.kruskal.factors, &c, mode, &mut self.ws.bufs.prod);
+                    axpy(v, &self.ws.bufs.prod, &mut self.ws.bufs.acc);
                 }
             }
-            mttkrp_row_from_entries(
-                &self.scratch.entries,
-                &self.state.kruskal.factors,
-                mode,
-                &mut self.scratch.acc,
-                &mut self.scratch.prod,
-            );
             // + A(m)(i,:)·H_prev  (the X̃ part of the fiber)
-            let h_prev = hadamard_except(&self.prev_grams, mode, rank);
+            let h_prev = self.ws.prev_solves.h(&self.prev_grams, &self.prev_versions, mode);
             let row = self.state.kruskal.factors[mode].row(index as usize);
-            row_times_mat(row, &h_prev, &mut self.scratch.prod);
-            let acc = &mut self.scratch.acc;
-            axpy(1.0, &self.scratch.prod, acc);
-            // · H†
-            solve_row_sym(&h, &self.scratch.acc, &mut self.scratch.row);
+            row_times_mat(row, h_prev, &mut self.ws.bufs.prod);
+            axpy(1.0, &self.ws.bufs.prod, &mut self.ws.bufs.acc);
         }
+        // · H† (cached factorization; H itself was refreshed above).
+        self.ws.solves.solve(
+            &self.state.grams,
+            self.state.gram_versions(),
+            mode,
+            &self.ws.bufs.acc,
+            &mut self.ws.bufs.row,
+        );
         // Commit + Eq. (13) + Eq. (17).
-        self.scratch.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
-        self.state.kruskal.factors[mode].set_row(index as usize, &self.scratch.row);
-        gram_row_update(&mut self.state.grams[mode], &self.scratch.old, &self.scratch.row);
-        prev_gram_row_update(&mut self.prev_grams[mode], &self.scratch.old, &self.scratch.row);
+        if self.state.commit_row(mode, index, &self.ws.bufs.row, &mut self.ws.bufs.old) {
+            prev_gram_row_update(&mut self.prev_grams[mode], &self.ws.bufs.old, &self.ws.bufs.row);
+            self.prev_versions[mode] += 1;
+        }
     }
 }
 
@@ -139,13 +145,15 @@ impl ContinuousUpdater for SnsRnd {
             return;
         }
         // Algorithm 3 line 1: A_prevᵀA ← AᵀA at event start.
-        for (u, q) in self.prev_grams.iter_mut().zip(&self.state.grams) {
+        for ((u, q), v) in
+            self.prev_grams.iter_mut().zip(&self.state.grams).zip(&mut self.prev_versions)
+        {
             u.as_mut_slice().copy_from_slice(q.as_slice());
+            *v += 1;
         }
         let tm = self.state.time_mode();
         // Time-mode rows in the order the delta lists them.
-        let time_rows: Vec<u32> = delta.time_indices().collect();
-        for index in time_rows {
+        for index in delta.time_indices() {
             self.update_row(window, delta, tm, index);
         }
         // Categorical modes.

@@ -11,9 +11,10 @@
 use crate::config::{AlgorithmKind, SnsConfig};
 use crate::kruskal::KruskalTensor;
 use crate::update::common::{
-    touched_rows_blew_up, update_row_exact, update_time_row_additive, FactorState, Scratch,
+    touched_rows_blew_up, update_row_exact, update_time_row_additive, FactorState,
 };
 use crate::update::ContinuousUpdater;
+use crate::workspace::KernelWorkspace;
 use sns_linalg::Mat;
 use sns_stream::Delta;
 use sns_tensor::SparseTensor;
@@ -22,7 +23,7 @@ use sns_tensor::SparseTensor;
 #[derive(Clone)]
 pub struct SnsVec {
     state: FactorState,
-    scratch: Scratch,
+    ws: KernelWorkspace,
     diverged: bool,
 }
 
@@ -30,8 +31,8 @@ impl SnsVec {
     /// Creates an SNS_VEC updater with random initial factors.
     pub fn new(dims: &[usize], config: &SnsConfig) -> Self {
         let state = FactorState::random(dims, config.rank, config.init_scale, config.seed);
-        let scratch = Scratch::new(config.rank);
-        SnsVec { state, scratch, diverged: false }
+        let ws = KernelWorkspace::new(dims.len(), config.rank);
+        SnsVec { state, ws, diverged: false }
     }
 }
 
@@ -46,12 +47,12 @@ impl ContinuousUpdater for SnsVec {
         // 0-based) with their signed values.
         for &(coord, value) in delta.changes.iter() {
             let index = coord.get(tm);
-            update_time_row_additive(&mut self.state, delta, index, value, &mut self.scratch);
+            update_time_row_additive(&mut self.state, delta, index, value, &mut self.ws);
         }
         // Categorical modes (lines 7–8): Eq. (12).
         for m in 0..tm {
             let index = delta.tuple.coords.get(m);
-            update_row_exact(&mut self.state, window, m, index, &mut self.scratch);
+            update_row_exact(&mut self.state, window, m, index, &mut self.ws);
         }
         if touched_rows_blew_up(&self.state, delta) {
             // Numerical runaway (Observation 3): freeze the factors. The

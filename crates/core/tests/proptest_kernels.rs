@@ -1,0 +1,221 @@
+//! Parity proptests pinning the PR-3 hot-path kernels against their
+//! straightforward references: prefix/suffix Khatri–Rao products vs the
+//! per-mode kernel, cached Cholesky solves vs fresh solves, the fused
+//! sampled-residual MTTKRP vs the eval-then-multiply route, and
+//! bitwise-identical engine math under workspace reuse.
+//!
+//! Test bodies live in plain functions returning `Result<(), String>`
+//! (the vendored `proptest!` macro recurses per statement, so the macro
+//! bodies stay one-liners).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sns_core::grams::{compute_grams, gram_row_update, hadamard_except};
+use sns_core::kruskal::KruskalTensor;
+use sns_core::mttkrp::{
+    khatri_rao_row, khatri_rao_rows_all, mttkrp_full, mttkrp_full_all, mttkrp_row_from_entries,
+    mttkrp_row_sampled_residuals,
+};
+use sns_core::update::common::update_row_exact;
+use sns_core::update::FactorState;
+use sns_core::workspace::{GramSolves, KernelWorkspace};
+use sns_linalg::lstsq::solve_row_sym;
+use sns_linalg::Mat;
+use sns_tensor::{Coord, Shape, SparseTensor};
+
+/// Random mode lengths (order 2–4), rank, and an RNG seed.
+fn geometry() -> impl Strategy<Value = (Vec<usize>, usize, u64)> {
+    (proptest::collection::vec(2usize..6, 2..5), 1usize..6, 0u64..u64::MAX)
+}
+
+fn random_factors(rng: &mut StdRng, dims: &[usize], rank: usize) -> Vec<Mat> {
+    dims.iter().map(|&n| Mat::random(rng, n, rank, 1.0)).collect()
+}
+
+fn random_sparse(rng: &mut StdRng, dims: &[usize], nnz: usize) -> SparseTensor {
+    let mut x = SparseTensor::new(Shape::new(dims));
+    for _ in 0..nnz {
+        let c: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+        x.add(&Coord::new(&c), rng.gen_range(1..5) as f64);
+    }
+    x
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg())
+    }
+}
+
+/// The prefix/suffix all-modes Khatri–Rao rows must match the per-mode
+/// kernel for every skip mode (≤ 1e-12: multiplication order differs).
+fn check_prefix_suffix_kr(dims: &[usize], rank: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = random_factors(&mut rng, dims, rank);
+    let coord: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+    let c = Coord::new(&coord);
+    let m = dims.len();
+    let mut scratch = vec![0.0; (m + 2) * rank];
+    let mut rows = vec![0.0; m * rank];
+    khatri_rao_rows_all(&f, &c, &mut scratch, &mut rows);
+    let mut reference = vec![0.0; rank];
+    for skip in 0..m {
+        khatri_rao_row(&f, &c, skip, &mut reference);
+        for k in 0..rank {
+            let got = rows[skip * rank + k];
+            ensure(close(got, reference[k]), || {
+                format!("skip {skip} k {k}: {got} vs {}", reference[k])
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// All-modes MTTKRP must equal the mode-at-a-time kernel on every mode.
+fn check_mttkrp_full_all(dims: &[usize], rank: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = random_factors(&mut rng, dims, rank);
+    let x = random_sparse(&mut rng, dims, 20);
+    let all = mttkrp_full_all(&x, &f);
+    for (mode, got) in all.iter().enumerate() {
+        let reference = mttkrp_full(&x, &f, mode);
+        ensure(got.shape() == reference.shape(), || format!("mode {mode}: shape mismatch"))?;
+        for i in 0..reference.rows() {
+            for j in 0..reference.cols() {
+                ensure(close(got[(i, j)], reference[(i, j)]), || {
+                    format!("mode {mode} ({i},{j}): {} vs {}", got[(i, j)], reference[(i, j)])
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Cached H(m) Cholesky solves must track fresh `solve_row_sym` to 1e-12
+/// across a random sequence of Gram row updates, including solves where
+/// the cache is warm (same versions) and stale (bumped).
+fn check_cached_gram_solves(dims: &[usize], rank: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut factors = random_factors(&mut rng, dims, rank);
+    let mut grams = compute_grams(&factors);
+    let mut versions = vec![1u64; dims.len()];
+    let mut ws = GramSolves::new(dims.len(), rank);
+    for step in 0..8 {
+        let mode = rng.gen_range(0..dims.len());
+        let u: Vec<f64> = (0..rank).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+        let mut cached = vec![0.0; rank];
+        let mut fresh = vec![0.0; rank];
+        ws.solve(&grams, &versions, mode, &u, &mut cached);
+        let h = hadamard_except(&grams, mode, rank);
+        solve_row_sym(&h, &u, &mut fresh);
+        for k in 0..rank {
+            ensure(close(cached[k], fresh[k]), || {
+                format!("step {step} mode {mode} k {k}: {} vs {}", cached[k], fresh[k])
+            })?;
+        }
+        // Re-solving with unchanged versions must reuse and agree bitwise.
+        let mut warm = vec![0.0; rank];
+        ws.solve(&grams, &versions, mode, &u, &mut warm);
+        ensure(warm == cached, || format!("step {step}: warm solve diverged"))?;
+        // Mutate one random factor row, updating the Gram + version.
+        let vm = rng.gen_range(0..dims.len());
+        let i = rng.gen_range(0..dims[vm]);
+        let old: Vec<f64> = factors[vm].row(i).to_vec();
+        let new: Vec<f64> = (0..rank).map(|_| rng.gen::<f64>()).collect();
+        factors[vm].set_row(i, &new);
+        gram_row_update(&mut grams[vm], &old, &new);
+        versions[vm] += 1;
+    }
+    Ok(())
+}
+
+/// The fused sampled-residual kernel must match the unfused
+/// eval-then-`mttkrp_row_from_entries` route to 1e-12.
+fn check_fused_residuals(dims: &[usize], rank: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k =
+        KruskalTensor { factors: random_factors(&mut rng, dims, rank), lambda: vec![1.0; rank] };
+    let x = random_sparse(&mut rng, dims, 25);
+    let mode = rng.gen_range(0..dims.len());
+    let samples: Vec<Coord> = (0..12)
+        .map(|_| {
+            let c: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+            Coord::new(&c)
+        })
+        .collect();
+    let mut fused = vec![0.0; rank];
+    let mut scratch = vec![0.0; rank];
+    mttkrp_row_sampled_residuals(&x, &k, mode, &samples, &mut fused, &mut scratch);
+    let entries: Vec<(Coord, f64)> = samples.iter().map(|c| (*c, x.get(c) - k.eval(c))).collect();
+    let mut unfused = vec![0.0; rank];
+    mttkrp_row_from_entries(&entries, &k.factors, mode, &mut unfused, &mut scratch);
+    for j in 0..rank {
+        ensure(close(fused[j], unfused[j]), || format!("k {j}: {} vs {}", fused[j], unfused[j]))?;
+    }
+    Ok(())
+}
+
+/// One long-lived workspace must leave the factor state bitwise identical
+/// to a fresh workspace per call: cache reuse may only skip redundant
+/// work, never change results.
+fn check_workspace_reuse(dims: &[usize], rank: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = random_sparse(&mut rng, dims, 30);
+    let mut shared_state = FactorState::random(dims, rank, 0.7, seed ^ 1);
+    let mut fresh_state = shared_state.clone();
+    let mut shared_ws = KernelWorkspace::new(dims.len(), rank);
+    for step in 0..10 {
+        let mode = rng.gen_range(0..dims.len());
+        let index = rng.gen_range(0..dims[mode]) as u32;
+        update_row_exact(&mut shared_state, &x, mode, index, &mut shared_ws);
+        let mut fresh_ws = KernelWorkspace::new(dims.len(), rank);
+        update_row_exact(&mut fresh_state, &x, mode, index, &mut fresh_ws);
+        for m in 0..dims.len() {
+            ensure(
+                shared_state.kruskal.factors[m].as_slice()
+                    == fresh_state.kruskal.factors[m].as_slice(),
+                || format!("step {step}: factor {m} diverged"),
+            )?;
+            ensure(shared_state.grams[m].as_slice() == fresh_state.grams[m].as_slice(), || {
+                format!("step {step}: gram {m} diverged")
+            })?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prefix_suffix_kr_matches_per_mode(g in geometry()) {
+        check_prefix_suffix_kr(&g.0, g.1, g.2).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn mttkrp_full_all_matches_per_mode(g in geometry()) {
+        check_mttkrp_full_all(&g.0, g.1, g.2).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn cached_gram_solves_match_fresh(g in geometry()) {
+        check_cached_gram_solves(&g.0, g.1, g.2).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn fused_sampled_residuals_match_unfused(g in geometry()) {
+        check_fused_residuals(&g.0, g.1, g.2).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_invisible(g in geometry()) {
+        check_workspace_reuse(&g.0, g.1, g.2).map_err(TestCaseError::fail)?;
+    }
+}

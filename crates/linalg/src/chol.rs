@@ -26,30 +26,98 @@ pub fn cholesky(a: &Mat) -> Result<Mat> {
 /// `1/λ_min`, which is precisely the runaway the paper's clipped variants
 /// guard against.
 pub fn cholesky_with_tol(a: &Mat, rel_tol: f64) -> Result<Mat> {
+    // cholesky_into resizes and zero-fills, so start from an empty Mat.
+    let mut l = Mat::zeros(0, 0);
+    cholesky_into(a, rel_tol, &mut l)?;
+    Ok(l)
+}
+
+/// [`cholesky_with_tol`] writing into a caller-provided matrix: the
+/// allocation-free form the per-event hot path uses (see
+/// `sns_linalg::cached`). `l` is resized/zeroed internally, so any matrix
+/// may be passed; on error its contents are unspecified.
+///
+/// The inner loops run over contiguous row slices (dot products), which
+/// the compiler autovectorizes. The dot accumulates partial products
+/// before subtracting (instead of subtracting one term at a time), a
+/// reassociation that perturbs results only at machine-epsilon scale;
+/// the parity proptests pin it to ≤ 1e-12 of the fresh reference solve.
+pub fn cholesky_into(a: &Mat, rel_tol: f64, l: &mut Mat) -> Result<()> {
     if a.rows() != a.cols() {
         return Err(LinalgError::NotSquare { op: "cholesky", shape: a.shape() });
     }
     let n = a.rows();
     let max_diag = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs()));
     let floor = rel_tol * max_diag;
-    let mut l = Mat::zeros(n, n);
+    l.resize_to(n, n);
+    l.fill_zero();
+    let d = l.as_mut_slice();
     for i in 0..n {
-        for j in 0..=i {
-            let mut sum = a[(i, j)];
-            for k in 0..j {
-                sum -= l[(i, k)] * l[(j, k)];
-            }
-            if i == j {
-                if sum <= floor || sum <= 0.0 || !sum.is_finite() {
-                    return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
-                }
-                l[(i, j)] = sum.sqrt();
-            } else {
-                l[(i, j)] = sum / l[(j, j)];
-            }
+        // Rows `< i` are finished; split so row `i` can be written while
+        // earlier rows are read (the `L(i,k)·L(j,k)` dot products).
+        let (prev, cur) = d.split_at_mut(i * n);
+        let row_i = &mut cur[..n];
+        for j in 0..i {
+            let row_j = &prev[j * n..j * n + n];
+            let sum = a[(i, j)] - crate::ops::dot(&row_i[..j], &row_j[..j]);
+            row_i[j] = sum / row_j[j];
         }
+        let sum = a[(i, i)] - crate::ops::dot(&row_i[..i], &row_i[..i]);
+        if sum <= floor || sum <= 0.0 || !sum.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+        }
+        row_i[i] = sum.sqrt();
     }
-    Ok(l)
+    Ok(())
+}
+
+/// [`cholesky_into`] that additionally returns the reciprocals of `L`'s
+/// diagonal in `inv_diag`, and uses them internally: every `x / L(j,j)`
+/// becomes `x · (1/L(j,j))`, turning ~`n²/2` hardware divisions (the
+/// dominant cost of an `R = 20` factorization — division is an order of
+/// magnitude slower than multiply and does not pipeline) into multiplies.
+/// The substitution sweeps reuse `inv_diag` the same way.
+///
+/// `x·(1/d)` differs from `x/d` by ≤ 2 ulp, so results match
+/// [`cholesky_into`] to machine precision, not bitwise — within the
+/// 1e-12 envelope the parity proptests enforce.
+pub fn cholesky_into_inv(
+    a: &Mat,
+    rel_tol: f64,
+    l: &mut Mat,
+    inv_diag: &mut Vec<f64>,
+) -> Result<()> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { op: "cholesky", shape: a.shape() });
+    }
+    let n = a.rows();
+    let max_diag = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs()));
+    let floor = rel_tol * max_diag;
+    l.resize_to(n, n);
+    inv_diag.resize(n, 0.0);
+    // Only the lower triangle is written (and only it is ever read by the
+    // substitution sweeps); the strict upper triangle keeps stale values,
+    // saving the `n²` zero-fill of the boxed variant.
+    let d = l.as_mut_slice();
+    let ad = a.as_slice();
+    for i in 0..n {
+        let (prev, cur) = d.split_at_mut(i * n);
+        let row_i = &mut cur[..n];
+        let arow = &ad[i * n..(i + 1) * n];
+        for j in 0..i {
+            let row_j = &prev[j * n..j * n + n];
+            let sum = arow[j] - crate::ops::dot(&row_i[..j], &row_j[..j]);
+            row_i[j] = sum * inv_diag[j];
+        }
+        let sum = arow[i] - crate::ops::dot(&row_i[..i], &row_i[..i]);
+        if sum <= floor || sum <= 0.0 || !sum.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+        }
+        let diag = sum.sqrt();
+        row_i[i] = diag;
+        inv_diag[i] = 1.0 / diag;
+    }
+    Ok(())
 }
 
 /// Solves `L·y = b` for lower-triangular `L` (forward substitution), in place.
@@ -57,15 +125,17 @@ pub fn forward_sub(l: &Mat, b: &mut [f64]) {
     let n = l.rows();
     debug_assert_eq!(b.len(), n);
     for i in 0..n {
-        let mut sum = b[i];
-        for k in 0..i {
-            sum -= l[(i, k)] * b[k];
-        }
-        b[i] = sum / l[(i, i)];
+        let row = l.row(i);
+        let (head, tail) = b.split_at_mut(i);
+        tail[0] = (tail[0] - crate::ops::dot(&row[..i], head)) / row[i];
     }
 }
 
 /// Solves `Lᵀ·x = y` for lower-triangular `L` (backward substitution), in place.
+///
+/// Walks a *column* of `L` (stride `n`), which is cache-hostile; the
+/// cached solver ([`crate::cached::SymSolveCache`]) materializes `Lᵀ`
+/// row-major and substitutes over contiguous slices instead.
 pub fn backward_sub_t(l: &Mat, y: &mut [f64]) {
     let n = l.rows();
     debug_assert_eq!(y.len(), n);

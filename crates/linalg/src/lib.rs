@@ -10,6 +10,7 @@
 //! - [`Mat`]: a row-major dense matrix with cheap row views,
 //! - [`ops`]: products (matmul, Gram, Hadamard, Khatri–Rao), sums, norms,
 //! - [`chol`]: Cholesky factorization and SPD solves,
+//! - [`cached`]: reusable factorizations for repeated row solves,
 //! - [`eigen`]: Jacobi eigendecomposition for symmetric matrices,
 //! - [`pinv`]: Moore–Penrose pseudoinverse (symmetric PSD and general),
 //! - [`lstsq`]: small least-squares solves via normal equations.
@@ -18,6 +19,7 @@
 //! which is the regime of the paper (rank `R = 20`); none of them allocate
 //! in per-row hot paths.
 
+pub mod cached;
 pub mod chol;
 pub mod eigen;
 pub mod error;

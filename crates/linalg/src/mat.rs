@@ -164,6 +164,19 @@ impl Mat {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Sets every entry to `value`, keeping the allocation.
+    pub fn fill(&mut self, value: f64) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Reshapes to `rows × cols`, reusing the allocation when possible.
+    /// Entry values are unspecified afterwards (callers overwrite).
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Multiplies every entry by `s` in place.
     pub fn scale_in_place(&mut self, s: f64) {
         self.data.iter_mut().for_each(|x| *x *= s);

@@ -1,17 +1,25 @@
-//! A set of coordinates with O(1) insert, remove, and uniform sampling.
+//! A set of coordinates (with cached entry values) supporting O(1)
+//! insert, remove, value update, and uniform sampling.
 //!
 //! Each `(mode, index)` fiber of the sparse tensor keeps one of these so
 //! that SNS_RND can draw `θ` non-zeros uniformly at random in O(θ) and the
-//! row update rules can enumerate a fiber in O(deg).
+//! row update rules can enumerate a fiber in O(deg). The member values are
+//! stored *inline* (denormalized from the tensor's entry map): fiber
+//! enumeration — the inner loop of every row MTTKRP — walks two dense
+//! vectors with zero hash lookups, at the price of one extra O(1) update
+//! per value change (per-event writes touch 1–2 entries; reads touch
+//! whole fibers, so the trade is heavily read-biased).
 
 use crate::coord::Coord;
 use crate::fxhash::FxHashMap;
 use rand::Rng;
 
-/// A swap-remove indexed set: a dense `Vec` of members plus a position map.
+/// A swap-remove indexed set: dense `Vec`s of members and their values
+/// plus a position map.
 #[derive(Clone, Default)]
 pub struct IndexedCoordSet {
     members: Vec<Coord>,
+    values: Vec<f64>,
     positions: FxHashMap<Coord, u32>,
 }
 
@@ -39,14 +47,29 @@ impl IndexedCoordSet {
         self.positions.contains_key(coord)
     }
 
-    /// Inserts `coord`; returns `true` if it was newly added.
-    pub fn insert(&mut self, coord: Coord) -> bool {
+    /// Inserts `coord` with `value`; returns `true` if it was newly added
+    /// (an existing member keeps its old value — use
+    /// [`IndexedCoordSet::set_value`] to change it).
+    pub fn insert(&mut self, coord: Coord, value: f64) -> bool {
         if self.positions.contains_key(&coord) {
             return false;
         }
         self.positions.insert(coord, self.members.len() as u32);
         self.members.push(coord);
+        self.values.push(value);
         true
+    }
+
+    /// Updates the cached value of an existing member; returns `true` if
+    /// `coord` was present.
+    pub fn set_value(&mut self, coord: &Coord, value: f64) -> bool {
+        match self.positions.get(coord) {
+            Some(&pos) => {
+                self.values[pos as usize] = value;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes `coord` by swapping with the last member; returns `true` if
@@ -60,9 +83,11 @@ impl IndexedCoordSet {
         if pos != last {
             let moved = self.members[last];
             self.members[pos] = moved;
+            self.values[pos] = self.values[last];
             self.positions.insert(moved, pos as u32);
         }
         self.members.pop();
+        self.values.pop();
         true
     }
 
@@ -71,10 +96,22 @@ impl IndexedCoordSet {
         self.members.iter()
     }
 
+    /// Iterates over `(member, value)` pairs (arbitrary order) — two
+    /// dense vectors, no hashing.
+    pub fn entries(&self) -> impl Iterator<Item = (&Coord, f64)> + '_ {
+        self.members.iter().zip(self.values.iter().copied())
+    }
+
     /// Members as a slice (arbitrary order, stable between mutations).
     #[inline]
     pub fn as_slice(&self) -> &[Coord] {
         &self.members
+    }
+
+    /// Values as a slice, parallel to [`IndexedCoordSet::as_slice`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Draws `k` distinct members uniformly at random (without
@@ -128,11 +165,12 @@ mod tests {
     fn insert_remove_contains() {
         let mut s = IndexedCoordSet::new();
         assert!(s.is_empty());
-        assert!(s.insert(c(1)));
-        assert!(!s.insert(c(1))); // duplicate
-        assert!(s.insert(c(2)));
+        assert!(s.insert(c(1), 1.5));
+        assert!(!s.insert(c(1), 9.9)); // duplicate keeps the old value
+        assert!(s.insert(c(2), 2.5));
         assert_eq!(s.len(), 2);
         assert!(s.contains(&c(1)));
+        assert_eq!(s.entries().find(|(m, _)| **m == c(1)).unwrap().1, 1.5);
         assert!(s.remove(&c(1)));
         assert!(!s.remove(&c(1))); // already gone
         assert!(!s.contains(&c(1)));
@@ -140,10 +178,29 @@ mod tests {
     }
 
     #[test]
+    fn values_follow_members_through_swap_removes() {
+        let mut s = IndexedCoordSet::new();
+        for i in 0..50 {
+            s.insert(c(i), i as f64);
+        }
+        for i in (0..50).step_by(3) {
+            assert!(s.remove(&c(i)));
+        }
+        assert!(s.set_value(&c(1), 100.0));
+        assert!(!s.set_value(&c(0), 7.0)); // removed
+        for (m, v) in s.entries() {
+            let i = m.get(0);
+            let expect = if i == 1 { 100.0 } else { i as f64 };
+            assert_eq!(v, expect, "member {i}");
+        }
+        assert_eq!(s.as_slice().len(), s.values().len());
+    }
+
+    #[test]
     fn swap_remove_keeps_positions_consistent() {
         let mut s = IndexedCoordSet::new();
         for i in 0..100 {
-            s.insert(c(i));
+            s.insert(c(i), 0.0);
         }
         // Remove from the middle repeatedly; membership must stay exact.
         for i in (0..100).step_by(3) {
@@ -163,7 +220,7 @@ mod tests {
     fn sample_returns_all_when_small() {
         let mut s = IndexedCoordSet::new();
         for i in 0..5 {
-            s.insert(c(i));
+            s.insert(c(i), 0.0);
         }
         let mut rng = StdRng::seed_from_u64(1);
         let mut out = Vec::new();
@@ -175,7 +232,7 @@ mod tests {
     fn sample_distinct_no_duplicates_both_regimes() {
         let mut s = IndexedCoordSet::new();
         for i in 0..50 {
-            s.insert(c(i));
+            s.insert(c(i), 0.0);
         }
         let mut rng = StdRng::seed_from_u64(2);
         // Dense regime: k*3 >= n
@@ -196,7 +253,7 @@ mod tests {
     fn sample_is_roughly_uniform() {
         let mut s = IndexedCoordSet::new();
         for i in 0..10 {
-            s.insert(c(i));
+            s.insert(c(i), 0.0);
         }
         let mut rng = StdRng::seed_from_u64(3);
         let mut counts = [0u32; 10];

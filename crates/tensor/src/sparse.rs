@@ -94,12 +94,18 @@ impl SparseTensor {
                     0.0
                 } else {
                     *v = new;
+                    // Keep the denormalized per-fiber values in sync.
+                    for m in 0..self.order() {
+                        if let Some(set) = self.fibers[m].get_mut(&coord.get(m)) {
+                            set.set_value(coord, new);
+                        }
+                    }
                     new
                 }
             }
             None => {
                 self.entries.insert(*coord, delta);
-                self.index(coord);
+                self.index(coord, delta);
                 self.norm_sq += delta * delta;
                 delta
             }
@@ -112,9 +118,9 @@ impl SparseTensor {
         self.add(coord, value - old);
     }
 
-    fn index(&mut self, coord: &Coord) {
+    fn index(&mut self, coord: &Coord, value: f64) {
         for m in 0..self.order() {
-            self.fibers[m].entry(coord.get(m)).or_default().insert(*coord);
+            self.fibers[m].entry(coord.get(m)).or_default().insert(*coord, value);
         }
     }
 
@@ -140,13 +146,15 @@ impl SparseTensor {
         self.fibers[mode].get(&index).map(|s| s.as_slice()).unwrap_or(&[]).iter()
     }
 
-    /// Iterates over `(coord, value)` for the `(mode, index)` fiber.
+    /// Iterates over `(coord, value)` for the `(mode, index)` fiber —
+    /// two dense vector walks, no per-entry hash lookup (the fiber sets
+    /// cache entry values; see [`IndexedCoordSet::entries`]).
     pub fn fiber_entries(
         &self,
         mode: usize,
         index: u32,
     ) -> impl Iterator<Item = (&Coord, f64)> + '_ {
-        self.fiber_coords(mode, index).map(move |c| (c, self.entries[c]))
+        self.fibers[mode].get(&index).into_iter().flat_map(|s| s.entries())
     }
 
     /// Samples up to `k` distinct non-zero coordinates from the
@@ -199,18 +207,28 @@ impl SparseTensor {
         let total = self.shape.num_entries_excluding(mode);
         if total <= k {
             // Tiny fiber space: enumerate every position.
-            let mut stack = Coord::new(&vec![0u32; order]);
+            let zeros = [0u32; crate::coord::MAX_ORDER];
+            let mut stack = Coord::new(&zeros[..order]);
             stack.set(mode, index);
             enumerate_fiber(&self.shape, mode, 0, &mut stack, out);
+        } else if k <= 64 {
+            // Typical `θ` regime: dedup by scanning the freshly drawn
+            // coordinates — O(k²) inline compares beat a heap-allocated
+            // hash set at these sizes, and the per-event sampling path
+            // stays allocation-free. Draw order and RNG consumption match
+            // the hash-set branch exactly.
+            let mut drawn = 0usize;
+            while drawn < k {
+                let c = self.draw_fiber_position(mode, index, rng);
+                if !out[start..].contains(&c) {
+                    out.push(c);
+                    drawn += 1;
+                }
+            }
         } else {
             let mut seen = crate::fxhash::fx_set();
             while seen.len() < k {
-                let mut idx = [0u32; crate::coord::MAX_ORDER];
-                for (m, slot) in idx.iter_mut().enumerate().take(order) {
-                    *slot =
-                        if m == mode { index } else { rng.gen_range(0..self.shape.dim(m) as u32) };
-                }
-                let c = Coord::new(&idx[..order]);
+                let c = self.draw_fiber_position(mode, index, rng);
                 if seen.insert(c) {
                     out.push(c);
                 }
@@ -219,6 +237,17 @@ impl SparseTensor {
         if !exclude.is_empty() {
             out.truncate_retain(start, |c| !exclude.contains(c));
         }
+    }
+
+    /// Draws one uniform position of the `(mode, index)` fiber space.
+    #[inline]
+    fn draw_fiber_position<R: Rng + ?Sized>(&self, mode: usize, index: u32, rng: &mut R) -> Coord {
+        let order = self.order();
+        let mut idx = [0u32; crate::coord::MAX_ORDER];
+        for (m, slot) in idx.iter_mut().enumerate().take(order) {
+            *slot = if m == mode { index } else { rng.gen_range(0..self.shape.dim(m) as u32) };
+        }
+        Coord::new(&idx[..order])
     }
 
     /// Iterates over all `(coord, value)` entries (arbitrary order).
@@ -293,9 +322,15 @@ impl SparseTensor {
                 if set.is_empty() {
                     return Err(format!("empty fiber set kept at mode {m} index {i}"));
                 }
-                for c in set.iter() {
-                    if !self.entries.contains_key(c) {
-                        return Err(format!("fiber ghost {c:?} at mode {m}"));
+                for (c, v) in set.entries() {
+                    match self.entries.get(c) {
+                        None => return Err(format!("fiber ghost {c:?} at mode {m}")),
+                        Some(&ev) if ev.to_bits() != v.to_bits() => {
+                            return Err(format!(
+                                "fiber value {v} at {c:?} mode {m} diverged from entry {ev}"
+                            ));
+                        }
+                        Some(_) => {}
                     }
                 }
                 count += set.len();

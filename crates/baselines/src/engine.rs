@@ -70,6 +70,12 @@ impl<B: PeriodicCpd> BaselineEngine<B> {
         self.window.tensor()
     }
 
+    /// Accumulated value of the in-flight period at a categorical
+    /// coordinate (see [`DiscreteWindow::pending_value`]).
+    pub fn pending_value(&self, coords: &sns_tensor::Coord) -> f64 {
+        self.window.pending_value(coords)
+    }
+
     /// The wrapped baseline.
     pub fn algo(&self) -> &B {
         &self.algo

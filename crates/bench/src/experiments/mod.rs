@@ -1,6 +1,9 @@
 //! One module per paper table/figure. Every module exposes
 //! `run(scale: f64) -> String`; the binaries print that string, and
 //! `run_all` concatenates everything for `EXPERIMENTS.md`.
+//!
+//! [`sweep`] is not a paper figure: it is the pooled multi-rank sweep
+//! scenario (`bench sweep`), documented in the README.
 
 pub mod fig1;
 pub mod fig4;
@@ -9,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod sweep;
 pub mod table2;
 pub mod table3;
 

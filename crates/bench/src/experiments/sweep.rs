@@ -1,0 +1,339 @@
+//! Pooled multi-rank sweep: one `EnginePool` stream session per
+//! `(rank, method)` cell, all replaying the same trace concurrently.
+//!
+//! This is the scenario that turns the repo's primitives into a serving
+//! workload: a model-selection sweep (which rank? which updater?) runs as
+//! many *pooled tenants* sharing the worker shards, each driven by the
+//! deterministic trace-replay driver ([`mod@sns_data::replay`]), and the
+//! result is a machine-readable report (`SWEEP_*.json`, schema in the
+//! README) next to the throughput bench's `BENCH_*.json`.
+//!
+//! Determinism: every cell's engine is built from its declarative spec
+//! with the pool's derived per-stream seed, and replay batching is a pure
+//! function of the trace — rerunning a sweep reproduces every cell
+//! bitwise.
+
+use crate::method::Method;
+use crate::report::{f, Table};
+use crate::runner::ExperimentParams;
+use sns_core::als::AlsOptions;
+use sns_data::replay::{replay, ReplayPlan};
+use sns_data::{generate, nytaxi_like, DatasetSpec};
+use sns_runtime::{EnginePool, PoolConfig, StreamSession};
+use std::time::Instant;
+
+/// What to sweep and how to size the pool.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// CP ranks to evaluate (one pooled stream per rank × method).
+    pub ranks: Vec<usize>,
+    /// Methods to evaluate.
+    pub methods: Vec<Method>,
+    /// Events generated for the shared trace.
+    pub events: usize,
+    /// Worker shards of the pool.
+    pub shards: usize,
+    /// Pool base seed (cells derive per-stream seeds from it).
+    pub base_seed: u64,
+    /// Trace generator seed.
+    pub data_seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            ranks: vec![5, 10, 20],
+            methods: vec![
+                Method::Sns(sns_core::config::AlgorithmKind::PlusVec),
+                Method::Sns(sns_core::config::AlgorithmKind::PlusRnd),
+                Method::OnlineScp,
+            ],
+            events: 20_000,
+            shards: 4,
+            base_seed: 0x5eed,
+            data_seed: 42,
+        }
+    }
+}
+
+/// One `(rank, method)` cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Pooled stream id the cell ran as.
+    pub stream_id: u64,
+    /// Shard that served the cell.
+    pub shard: usize,
+    /// CP rank `R`.
+    pub rank: usize,
+    /// Method display name.
+    pub method: String,
+    /// Final fitness reported by the stream.
+    pub fitness: f64,
+    /// Factor updates applied.
+    pub updates: u64,
+    /// Model parameter count (`R · Σ N_m`).
+    pub parameters: usize,
+    /// Tuples replayed live (post-prefill).
+    pub tuples: usize,
+    /// Wall-clock seconds of this cell's replay (cells overlap).
+    pub seconds: f64,
+    /// Whether the model diverged.
+    pub diverged: bool,
+    /// First error the cell hit, if any (rendered; `None` on success).
+    pub error: Option<String>,
+}
+
+/// A completed sweep over one trace.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Dataset the trace mirrors.
+    pub dataset: String,
+    /// Events in the trace.
+    pub events: usize,
+    /// Shards the pool ran with.
+    pub shards: usize,
+    /// All cells, in (rank-major, method-minor) order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Renders the sweep as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "rank", "method", "shard", "fitness", "updates", "params", "sec", "status",
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.rank.to_string(),
+                c.method.clone(),
+                c.shard.to_string(),
+                f(c.fitness),
+                c.updates.to_string(),
+                c.parameters.to_string(),
+                f(c.seconds),
+                match (&c.error, c.diverged) {
+                    (Some(e), _) => format!("error: {e}"),
+                    (None, true) => "DIVERGED".to_string(),
+                    (None, false) => "ok".to_string(),
+                },
+            ]);
+        }
+        t.render()
+    }
+
+    /// Serializes the machine-readable report (schema in the README).
+    pub fn to_json(&self) -> String {
+        fn jf(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.6}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"sns-sweep\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"dataset\": \"{}\", \"synthetic\": true, \"events\": {}, \"shards\": {}, \"cells\": {}}},\n",
+            self.dataset,
+            self.events,
+            self.shards,
+            self.cells.len(),
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stream_id\": {}, \"shard\": {}, \"rank\": {}, \"method\": \"{}\", \"fitness\": {}, \"updates\": {}, \"parameters\": {}, \"tuples\": {}, \"seconds\": {}, \"diverged\": {}, \"error\": {}}}{}\n",
+                c.stream_id,
+                c.shard,
+                c.rank,
+                c.method,
+                jf(c.fitness),
+                c.updates,
+                c.parameters,
+                c.tuples,
+                jf(c.seconds),
+                c.diverged,
+                c.error.as_ref().map_or("null".to_string(), |e| format!("{:?}", e.to_string())),
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The best (rank, method) cell by final fitness among error-free,
+    /// non-diverged cells.
+    pub fn best(&self) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.error.is_none() && !c.diverged && c.fitness.is_finite())
+            .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
+    }
+}
+
+/// Runs the sweep: opens one pooled session per `(rank, method)` cell and
+/// replays the shared trace through all of them concurrently (one driver
+/// thread per cell; the pool's shards bound actual parallelism and
+/// per-shard queues apply flow control).
+pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    let spec: DatasetSpec = nytaxi_like();
+    let stream = generate(&spec.generator(cfg.events, cfg.data_seed));
+    let als = AlsOptions { max_iters: 10, tol: 1e-3, ..Default::default() };
+    let plan = ReplayPlan::for_dataset(&spec, als);
+
+    let pool = EnginePool::new(PoolConfig {
+        shards: cfg.shards,
+        base_seed: cfg.base_seed,
+        queue_depth: 64,
+    });
+
+    // Open every cell first (cheap; engines build on their workers), then
+    // drive all replays concurrently.
+    struct OpenCell {
+        stream_id: u64,
+        rank: usize,
+        method: Method,
+        session: Option<StreamSession>,
+        open_error: Option<String>,
+    }
+    let mut open_cells = Vec::new();
+    let mut next_id = 0u64;
+    for &rank in &cfg.ranks {
+        for &method in &cfg.methods {
+            let params = ExperimentParams {
+                base_dims: spec.base_dims.to_vec(),
+                window: spec.window,
+                period: spec.period,
+                rank,
+                theta: spec.theta,
+                eta: spec.eta,
+            };
+            let stream_id = next_id;
+            next_id += 1;
+            let (session, open_error) = match pool.open(stream_id, method.spec(&params)) {
+                Ok(s) => (Some(s), None),
+                Err(e) => (None, Some(e.to_string())),
+            };
+            open_cells.push(OpenCell { stream_id, rank, method, session, open_error });
+        }
+    }
+
+    let cells: Vec<SweepCell> = std::thread::scope(|scope| {
+        let handles: Vec<_> = open_cells
+            .into_iter()
+            .map(|cell| {
+                let stream = &stream;
+                let plan = &plan;
+                scope.spawn(move || {
+                    let OpenCell { stream_id, rank, method, session, open_error } = cell;
+                    let mut out = SweepCell {
+                        stream_id,
+                        shard: 0,
+                        rank,
+                        method: method.name(),
+                        fitness: f64::NAN,
+                        updates: 0,
+                        parameters: 0,
+                        tuples: 0,
+                        seconds: 0.0,
+                        diverged: false,
+                        error: open_error,
+                    };
+                    let Some(mut session) = session else { return out };
+                    out.shard = session.shard();
+                    let start = Instant::now();
+                    match replay(&mut session, stream, plan) {
+                        Ok(r) => {
+                            out.tuples = r.ingested;
+                            out.seconds = start.elapsed().as_secs_f64();
+                        }
+                        Err(e) => out.error = Some(e.to_string()),
+                    }
+                    match session.report() {
+                        Ok(r) => {
+                            out.fitness = r.fitness;
+                            out.updates = r.updates_applied;
+                            out.parameters = r.num_parameters;
+                            out.diverged = r.diverged;
+                            if out.error.is_none() {
+                                out.error = r.error.map(|e| e.to_string());
+                            }
+                        }
+                        Err(e) => {
+                            out.error.get_or_insert(e.to_string());
+                        }
+                    }
+                    session.close();
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep cell thread panicked")).collect()
+    });
+
+    pool.join();
+    SweepReport { dataset: spec.name.to_string(), events: cfg.events, shards: cfg.shards, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_core::config::AlgorithmKind;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            ranks: vec![2, 4],
+            methods: vec![Method::Sns(AlgorithmKind::PlusRnd), Method::OnlineScp],
+            events: 2_500,
+            shards: 3,
+            base_seed: 7,
+            data_seed: 11,
+        }
+    }
+
+    #[test]
+    fn sweep_runs_every_cell_through_the_pool() {
+        let report = run_sweep(&tiny());
+        assert_eq!(report.cells.len(), 4);
+        for c in &report.cells {
+            assert_eq!(c.error, None, "cell R={} {} errored", c.rank, c.method);
+            assert!(c.updates > 0, "cell R={} {} applied no updates", c.rank, c.method);
+            assert!(c.shard < 3);
+        }
+        // Parameter counts scale with rank within one method.
+        let params_of = |rank: usize, m: &str| {
+            report.cells.iter().find(|c| c.rank == rank && c.method == m).unwrap().parameters
+        };
+        assert_eq!(2 * params_of(2, "SNS+_RND"), params_of(4, "SNS+_RND"));
+        assert!(report.best().is_some());
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_config() {
+        let a = run_sweep(&tiny());
+        let b = run_sweep(&tiny());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.fitness.to_bits(), cb.fitness.to_bits(), "{} R={}", ca.method, ca.rank);
+            assert_eq!(ca.updates, cb.updates);
+        }
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let report = run_sweep(&SweepConfig {
+            ranks: vec![2],
+            methods: vec![Method::Sns(AlgorithmKind::PlusVec)],
+            events: 1_200,
+            shards: 2,
+            base_seed: 1,
+            data_seed: 2,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"sns-sweep\""));
+        assert!(json.contains("\"rank\": 2"));
+        assert!(json.contains("\"method\": \"SNS+_VEC\""));
+        let table = report.render();
+        assert!(table.contains("SNS+_VEC"));
+    }
+}

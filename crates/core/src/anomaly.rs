@@ -90,18 +90,47 @@ pub struct ScoredEvent {
     pub z: f64,
 }
 
-/// Scores arrival events by reconstruction error z-score and keeps every
-/// scored event for offline ranking (top-k precision, detection delay).
-#[derive(Debug, Default)]
+/// Scores arrival events by reconstruction error z-score and keeps the
+/// scored events for offline ranking (top-k precision, detection delay).
+///
+/// By default every event is retained; [`AnomalyDetector::bounded`]
+/// caps retention for long-running streams (the z-score statistics stay
+/// exact either way — only the replayable event log is truncated).
+#[derive(Debug, Clone)]
 pub struct AnomalyDetector {
     tracker: ZScoreTracker,
     events: Vec<ScoredEvent>,
+    /// Retention cap; `usize::MAX` (the default) keeps everything.
+    max_events: usize,
+}
+
+impl Default for AnomalyDetector {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl AnomalyDetector {
-    /// Creates an empty detector.
+    /// Creates an empty detector that retains every scored event.
     pub fn new() -> Self {
-        Self::default()
+        AnomalyDetector {
+            tracker: ZScoreTracker::new(),
+            events: Vec::new(),
+            max_events: usize::MAX,
+        }
+    }
+
+    /// Creates a detector that retains *at least* the `max_events` most
+    /// recent scored events (truncation is amortized, so up to twice as
+    /// many may be resident). Use for indefinitely running streams where
+    /// an unbounded event log would be a leak.
+    ///
+    /// # Panics
+    /// Panics if `max_events == 0`; a detector that records nothing
+    /// cannot rank anything.
+    pub fn bounded(max_events: usize) -> Self {
+        assert!(max_events > 0, "retention cap must be positive");
+        AnomalyDetector { max_events, ..Default::default() }
     }
 
     /// Scores the entry at `coord` of the current window against the
@@ -114,13 +143,36 @@ impl AnomalyDetector {
         time: u64,
     ) -> ScoredEvent {
         let error = (window.get(coord) - kruskal.eval(coord)).abs();
+        self.record(coord, time, error)
+    }
+
+    /// Scores a pre-computed reconstruction error, records and returns
+    /// the event. This is the path for callers that measure the residual
+    /// themselves — e.g. the runtime's `AnomalyCpd` decorator, which
+    /// scores an arrival *before* the tuple reaches the window.
+    pub fn record(&mut self, coord: &Coord, time: u64, error: f64) -> ScoredEvent {
         let z = self.tracker.score_and_update(error);
         let ev = ScoredEvent { time, coord: *coord, error, z };
+        if self.events.len() >= self.max_events.saturating_mul(2) {
+            // Amortized truncation: drop the oldest half in one move.
+            self.events.drain(..self.events.len() - self.max_events);
+        }
         self.events.push(ev);
         ev
     }
 
-    /// All scored events in arrival order.
+    /// The streaming statistics every event has been scored against.
+    pub fn tracker(&self) -> &ZScoreTracker {
+        &self.tracker
+    }
+
+    /// Total events scored (independent of retention).
+    pub fn scored(&self) -> u64 {
+        self.tracker.count()
+    }
+
+    /// All *retained* scored events in arrival order (everything, unless
+    /// the detector is [`bounded`](AnomalyDetector::bounded)).
     pub fn events(&self) -> &[ScoredEvent] {
         &self.events
     }
@@ -210,5 +262,51 @@ mod tests {
         assert!(det.top_k(5).is_empty());
         assert_eq!(det.precision_at_k(5, |_| true), 0.0);
         assert!(det.events().is_empty());
+        assert_eq!(det.scored(), 0);
+    }
+
+    #[test]
+    fn record_matches_observe() {
+        let shape = Shape::new(&[2, 2]);
+        let mut window = SparseTensor::new(shape);
+        let kruskal = KruskalTensor::zeros(&[2, 2], 1);
+        let c = Coord::new(&[1, 1]);
+        window.add(&c, 3.0);
+        let mut a = AnomalyDetector::new();
+        let mut b = AnomalyDetector::new();
+        for t in 0..5u64 {
+            let ea = a.observe(&window, &kruskal, &c, t);
+            let eb = b.record(&c, t, 3.0); // |3.0 − 0| computed by hand
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(a.scored(), b.scored());
+        assert_eq!(a.tracker().mean(), b.tracker().mean());
+    }
+
+    #[test]
+    fn bounded_retention_keeps_recent_events_and_exact_stats() {
+        let c = Coord::new(&[0, 0]);
+        let mut capped = AnomalyDetector::bounded(10);
+        let mut full = AnomalyDetector::new();
+        for t in 0..100u64 {
+            let v = (t % 7) as f64;
+            capped.record(&c, t, v);
+            full.record(&c, t, v);
+        }
+        // Statistics are exact regardless of truncation.
+        assert_eq!(capped.scored(), 100);
+        assert_eq!(capped.tracker().mean().to_bits(), full.tracker().mean().to_bits());
+        assert_eq!(capped.tracker().std().to_bits(), full.tracker().std().to_bits());
+        // At least the 10 most recent events survive, far fewer than all.
+        assert!(capped.events().len() >= 10 && capped.events().len() < 25);
+        let last = capped.events().last().unwrap();
+        assert_eq!(last.time, 99);
+        assert_eq!(full.events().len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention cap")]
+    fn zero_retention_rejected() {
+        let _ = AnomalyDetector::bounded(0);
     }
 }

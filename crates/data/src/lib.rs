@@ -1,8 +1,9 @@
 //! # sns-data
 //!
 //! Synthetic multi-aspect data streams mirroring the paper's four
-//! real-world datasets (Table II), plus CSV stream I/O and the anomaly
-//! injection of Section VI-G.
+//! real-world datasets (Table II), plus CSV stream I/O, the anomaly
+//! injection of Section VI-G, and the [`mod@replay`] driver that pumps a
+//! recorded trace through the pooled session runtime.
 //!
 //! ## Why synthetic
 //!
@@ -29,9 +30,11 @@ pub mod csvio;
 pub mod datasets;
 pub mod generator;
 pub mod inject;
+pub mod replay;
 pub mod spec;
 
 pub use datasets::{all_datasets, chicago_crime_like, divvy_like, nytaxi_like, ride_austin_like};
 pub use generator::{generate, GeneratorConfig};
 pub use inject::{inject_anomalies, InjectedAnomaly};
+pub use replay::{batch_spans, read_trace, replay, ReplayPlan, ReplayReport};
 pub use spec::DatasetSpec;

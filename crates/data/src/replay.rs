@@ -1,0 +1,326 @@
+//! Trace replay: drive a recorded event trace through a pooled
+//! [`StreamSession`] with the paper's experiment protocol.
+//!
+//! The paper's headline application is real-time analytics over real
+//! event streams — its experiments replay five real-world traces. This
+//! module is the missing glue between a trace on disk (the CSV format of
+//! [`crate::csvio`], the same layout the original SliceNStitch release
+//! consumes) and the sharded session runtime:
+//!
+//! 1. [`read_trace`] loads the CSV,
+//! 2. [`ReplayPlan`] describes the protocol — prefill horizon, ALS warm
+//!    start, and how tuples are bucketed into time-indexed batches,
+//! 3. [`replay`] pumps the batches through
+//!    [`StreamSession::ingest_batch`], acknowledged and flow-controlled.
+//!
+//! ## Determinism
+//!
+//! Batching is a pure function of the tuple timestamps
+//! ([`batch_spans`]): tuples are grouped by time bucket
+//! (`time / bucket_ticks`) and long buckets are split at `max_batch`.
+//! Because the pooled batch path is bitwise-identical to serial
+//! ingestion, a replay through the pool reproduces a serial
+//! [`StreamingCpd::ingest_all`](sns_runtime::StreamingCpd::ingest_all)
+//! run **bitwise** — enforced by `tests/scenarios.rs`.
+
+use crate::csvio::{read_stream, CsvError};
+use crate::spec::DatasetSpec;
+use sns_core::als::AlsOptions;
+use sns_runtime::{BatchReceipt, StreamSession};
+use sns_stream::{SnsError, StreamTuple};
+use std::ops::Range;
+use std::path::Path;
+
+/// How a trace is fed to a session: protocol phases plus deterministic
+/// batching geometry.
+#[derive(Debug, Clone)]
+pub struct ReplayPlan {
+    /// Tuples with `time <= prefill_until` are loaded via
+    /// [`StreamSession::prefill_batch`] (no factor updates) — the paper's
+    /// initial-window phase. `None` replays everything live.
+    pub prefill_until: Option<u64>,
+    /// Batch ALS options for the warm start installed after prefill;
+    /// `None` skips the warm start.
+    pub warm_start: Option<AlsOptions>,
+    /// Width of one time bucket in stream ticks: a batch never spans two
+    /// buckets, so batch boundaries align with the trace clock (use the
+    /// dataset period for the paper's once-per-period batching). `0`
+    /// disables time bucketing (only `max_batch` splits).
+    pub bucket_ticks: u64,
+    /// Hard cap on tuples per batch (dense buckets are split). Must be
+    /// positive.
+    pub max_batch: usize,
+    /// After the last tuple, advance the stream clock here so due
+    /// boundary work fires (end-of-trace flush). `None` leaves the clock
+    /// at the last arrival.
+    pub advance_to: Option<u64>,
+}
+
+impl ReplayPlan {
+    /// Raw replay: no prefill, no warm start, batches of at most
+    /// `max_batch` tuples split at `bucket_ticks` boundaries.
+    pub fn raw(bucket_ticks: u64, max_batch: usize) -> Self {
+        ReplayPlan {
+            prefill_until: None,
+            warm_start: None,
+            bucket_ticks,
+            max_batch,
+            advance_to: None,
+        }
+    }
+
+    /// The paper's protocol for a dataset: prefill the first full window
+    /// `W·T`, warm-start with batch ALS, then replay one batch per period
+    /// and flush the clock to the dataset's full duration.
+    pub fn for_dataset(spec: &DatasetSpec, als: AlsOptions) -> Self {
+        ReplayPlan {
+            prefill_until: Some(spec.window as u64 * spec.period),
+            warm_start: Some(als),
+            bucket_ticks: spec.period,
+            max_batch: 4096,
+            advance_to: Some(spec.duration()),
+        }
+    }
+}
+
+/// What a replay accomplished, aggregated over all acknowledged batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Tuples loaded during the prefill phase.
+    pub prefilled: usize,
+    /// Tuples ingested live.
+    pub ingested: usize,
+    /// Live batches submitted (prefill batches not counted).
+    pub batches: usize,
+    /// Factor updates the live phase triggered (including the final
+    /// clock advance, if any).
+    pub updates: u64,
+}
+
+/// Deterministic batch boundaries over a chronological tuple slice:
+/// consecutive tuples share a batch iff they fall in the same time bucket
+/// (`time / bucket_ticks`, skipped when `bucket_ticks == 0`) and the
+/// batch is shorter than `max_batch`. Concatenating the spans yields
+/// exactly `0..tuples.len()`.
+///
+/// # Panics
+/// Panics if `max_batch == 0`.
+pub fn batch_spans(
+    tuples: &[StreamTuple],
+    bucket_ticks: u64,
+    max_batch: usize,
+) -> Vec<Range<usize>> {
+    assert!(max_batch > 0, "max_batch must be positive");
+    // `bucket_ticks == 0` disables time bucketing: everything shares
+    // bucket "None" and only `max_batch` splits.
+    let bucket_of = |t: u64| t.checked_div(bucket_ticks);
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for i in 1..tuples.len() {
+        if i - start >= max_batch || bucket_of(tuples[i].time) != bucket_of(tuples[start].time) {
+            spans.push(start..i);
+            start = i;
+        }
+    }
+    if start < tuples.len() {
+        spans.push(start..tuples.len());
+    }
+    spans
+}
+
+/// Replays a chronological trace through one pooled session following
+/// `plan`. Every batch is acknowledged ([`BatchReceipt`]) before the next
+/// is submitted, so the shard queue is never flooded; errors propagate
+/// typed (with the failing batch's progress inside
+/// [`SnsError::BatchAborted`]).
+pub fn replay(
+    session: &mut StreamSession,
+    tuples: &[StreamTuple],
+    plan: &ReplayPlan,
+) -> Result<ReplayReport, SnsError> {
+    let cut = match plan.prefill_until {
+        Some(horizon) => tuples.partition_point(|t| t.time <= horizon),
+        None => 0,
+    };
+    let mut report = ReplayReport::default();
+    for span in batch_spans(&tuples[..cut], plan.bucket_ticks, plan.max_batch) {
+        report.prefilled += session.prefill_batch(&tuples[span])?.accepted;
+    }
+    if let Some(als) = &plan.warm_start {
+        session.warm_start(als)?;
+    }
+    let live = &tuples[cut..];
+    for span in batch_spans(live, plan.bucket_ticks, plan.max_batch) {
+        let receipt: BatchReceipt = session.ingest_batch(&live[span])?;
+        report.ingested += receipt.accepted;
+        report.updates += receipt.updates;
+        report.batches += 1;
+    }
+    if let Some(t) = plan.advance_to {
+        report.updates += session.advance_to(t)?.updates;
+    }
+    Ok(report)
+}
+
+/// Reads a CSV trace from disk (see [`crate::csvio`] for the format).
+pub fn read_trace<P: AsRef<Path>>(path: P) -> Result<Vec<StreamTuple>, CsvError> {
+    read_stream(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::GeneratorConfig;
+    use sns_core::config::{AlgorithmKind, SnsConfig};
+    use sns_runtime::pool::stream_seed;
+    use sns_runtime::{EnginePool, EngineSpec, PoolConfig};
+
+    fn tuples() -> Vec<StreamTuple> {
+        generate(&GeneratorConfig {
+            base_dims: vec![8, 6],
+            n_components: 2,
+            events: 400,
+            duration: 1200,
+            day_ticks: 40,
+            seed: 3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn spans_partition_the_slice_and_respect_buckets() {
+        let stream = tuples();
+        for (bucket, cap) in [(0u64, 7usize), (50, 64), (25, 3), (10_000, 1000)] {
+            let spans = batch_spans(&stream, bucket, cap);
+            let mut expect = 0usize;
+            for span in &spans {
+                assert_eq!(span.start, expect, "spans must tile the slice");
+                assert!(span.len() <= cap);
+                if let Some(b0) = stream[span.start].time.checked_div(bucket) {
+                    assert!(stream[span.clone()]
+                        .iter()
+                        .all(|t| t.time.checked_div(bucket) == Some(b0)));
+                }
+                expect = span.end;
+            }
+            assert_eq!(expect, stream.len());
+        }
+    }
+
+    #[test]
+    fn spans_are_deterministic_and_empty_input_is_empty() {
+        let stream = tuples();
+        assert_eq!(batch_spans(&stream, 50, 32), batch_spans(&stream, 50, 32));
+        assert!(batch_spans(&[], 50, 32).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_rejected() {
+        let _ = batch_spans(&tuples(), 10, 0);
+    }
+
+    #[test]
+    fn replay_reports_protocol_phases() {
+        let stream = tuples();
+        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1, queue_depth: 16 });
+        let spec = EngineSpec::sns(
+            &[8, 6],
+            4,
+            50,
+            AlgorithmKind::PlusRnd,
+            &SnsConfig { rank: 2, theta: 8, ..Default::default() },
+        );
+        let mut session = pool.open(5, spec).unwrap();
+        let plan = ReplayPlan {
+            prefill_until: Some(200),
+            warm_start: Some(AlsOptions { max_iters: 5, ..Default::default() }),
+            bucket_ticks: 50,
+            max_batch: 64,
+            advance_to: Some(1500),
+        };
+        let report = replay(&mut session, &stream, &plan).unwrap();
+        assert_eq!(report.prefilled + report.ingested, stream.len());
+        assert!(report.prefilled > 0, "prefill horizon covers the stream head");
+        assert!(report.batches > 1, "bucketing must split the live phase");
+        assert!(report.updates > report.ingested as u64, "advance must flush boundary events");
+        let health = session.report().unwrap();
+        assert_eq!(health.error, None);
+        drop(session);
+        pool.join();
+    }
+
+    #[test]
+    fn replay_surfaces_typed_errors_with_progress() {
+        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 0, queue_depth: 8 });
+        let spec =
+            EngineSpec::sns(&[4, 3], 3, 10, AlgorithmKind::PlusVec, &SnsConfig::with_rank(2));
+        let mut session = pool.open(1, spec).unwrap();
+        let bad = vec![
+            StreamTuple::new([0u32, 0], 1.0, 5),
+            StreamTuple::new([1u32, 1], 1.0, 9),
+            StreamTuple::new([2u32, 2], 1.0, 4), // out of order
+        ];
+        let err = replay(&mut session, &bad, &ReplayPlan::raw(0, 16)).unwrap_err();
+        assert_eq!(err.accepted(), Some(2), "{err}");
+        assert!(matches!(err.root_cause(), SnsError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn plan_for_dataset_matches_the_protocol() {
+        let spec = crate::datasets::nytaxi_like();
+        let plan = ReplayPlan::for_dataset(&spec, AlsOptions::default());
+        assert_eq!(plan.prefill_until, Some(spec.window as u64 * spec.period));
+        assert_eq!(plan.bucket_ticks, spec.period);
+        assert_eq!(plan.advance_to, Some(spec.duration()));
+        assert!(plan.warm_start.is_some());
+    }
+
+    #[test]
+    fn read_trace_round_trips_a_file() {
+        let stream = tuples();
+        let path = std::env::temp_dir().join("sns_replay_roundtrip_test.csv");
+        crate::csvio::write_stream(std::fs::File::create(&path).unwrap(), &stream).unwrap();
+        let back = read_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn pooled_replay_matches_serial_ingest_all_bitwise() {
+        let stream = tuples();
+        let base_seed = 0xcafe;
+        let id = 9u64;
+        let spec = EngineSpec::sns(
+            &[8, 6],
+            4,
+            50,
+            AlgorithmKind::PlusRnd,
+            &SnsConfig { rank: 3, theta: 6, ..Default::default() },
+        );
+        let plan = ReplayPlan {
+            prefill_until: Some(200),
+            warm_start: Some(AlsOptions { max_iters: 8, ..Default::default() }),
+            bucket_ticks: 50,
+            max_batch: 48,
+            advance_to: Some(1400),
+        };
+
+        // Serial reference: same spec, same derived seed, one ingest_all.
+        let mut serial = spec.clone().build(stream_seed(base_seed, id));
+        let cut = stream.partition_point(|t| t.time <= 200);
+        serial.prefill_all(&stream[..cut]).unwrap();
+        serial.warm_start(&AlsOptions { max_iters: 8, ..Default::default() });
+        serial.ingest_all(&stream[cut..]).unwrap();
+        serial.advance_to(1400);
+
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed, queue_depth: 8 });
+        let mut session = pool.open(id, spec).unwrap();
+        replay(&mut session, &stream, &plan).unwrap();
+        let report = session.report().unwrap();
+        assert_eq!(report.error, None);
+        assert_eq!(report.fitness.to_bits(), serial.fitness().to_bits());
+        assert_eq!(report.updates_applied, serial.updates_applied());
+    }
+}

@@ -50,6 +50,7 @@
 //! | [`spec`] | declarative [`EngineSpec`] / [`BaselineKind`] engine descriptions |
 //! | [`pool`] | [`EnginePool`] + [`StreamSession`]: sharded, backpressured multi-stream runtime |
 //! | [`snapshot`] | [`EngineSnapshot`] / [`EngineState`]: bitwise-faithful capture for shard migration |
+//! | [`anomaly`] | [`AnomalyCpd`]: anomaly scoring as a transparent `StreamingCpd` decorator |
 //!
 //! ## Quick tour: the session API
 //!
@@ -102,11 +103,13 @@
 //! # pool.join();
 //! ```
 
+pub mod anomaly;
 pub mod pool;
 pub mod snapshot;
 pub mod spec;
 pub mod streaming;
 
+pub use anomaly::{AnomalyConfig, AnomalyCpd, AnomalySummary};
 pub use pool::{BatchReceipt, EnginePool, PoolConfig, StreamReport, StreamSession};
 pub use snapshot::{EngineSnapshot, EngineState};
 pub use sns_error::SnsError;

@@ -42,6 +42,7 @@
 //! reproduces pooled results exactly, batched or not (see
 //! `tests/engine_pool.rs`).
 
+use crate::anomaly::AnomalySummary;
 use crate::snapshot::EngineSnapshot;
 use crate::spec::EngineSpec;
 use crate::streaming::{BatchOutcome, StreamingCpd};
@@ -52,6 +53,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::mpsc::{TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Pool sizing, seeding, and flow control.
@@ -115,6 +117,9 @@ pub struct StreamReport {
     pub num_parameters: usize,
     /// Whether the model diverged.
     pub diverged: bool,
+    /// Anomaly roll-up, when the stream's engine scores its input (an
+    /// [`AnomalyCpd`](crate::anomaly::AnomalyCpd) decoration).
+    pub anomalies: Option<AnomalySummary>,
     /// First command error observed on this stream, if any.
     pub error: Option<SnsError>,
 }
@@ -174,7 +179,11 @@ enum Command {
         token: u64,
     },
     /// Unconditional slot removal (any token): open/restore send this to
-    /// every *other* shard so a stream id lives on at most one shard.
+    /// the shard that previously owned the stream id (per the pool's
+    /// ownership map) so the id lives on at most one shard. Ordering is
+    /// guaranteed by the per-stream ownership lock: an `Evict` is always
+    /// enqueued after the install command that made its target shard the
+    /// owner, so it can never remove a newer slot.
     Evict {
         id: u64,
     },
@@ -256,10 +265,18 @@ impl StreamSlot {
 
     fn report(&mut self, id: u64) -> StreamReport {
         let metrics = self
-            .guard(id, |e| Ok((e.fitness(), e.updates_applied(), e.num_parameters(), e.diverged())))
+            .guard(id, |e| {
+                Ok((
+                    e.fitness(),
+                    e.updates_applied(),
+                    e.num_parameters(),
+                    e.diverged(),
+                    e.anomalies(),
+                ))
+            })
             .ok();
-        let (fitness, updates_applied, num_parameters, diverged) =
-            metrics.unwrap_or((f64::NAN, 0, 0, false));
+        let (fitness, updates_applied, num_parameters, diverged, anomalies) =
+            metrics.unwrap_or((f64::NAN, 0, 0, false, None));
         StreamReport {
             stream_id: id,
             name: self.name.clone(),
@@ -267,6 +284,7 @@ impl StreamSlot {
             updates_applied,
             num_parameters,
             diverged,
+            anomalies,
             error: self.error.clone(),
         }
     }
@@ -406,6 +424,13 @@ pub struct EnginePool {
     base_seed: u64,
     queue_depth: usize,
     next_token: AtomicU64,
+    /// Which shard currently owns each stream id, if any. The outer lock
+    /// only guards map shape (get-or-insert of a cell) and is never held
+    /// across a channel send; the per-stream cell serializes
+    /// claim + evict + install for one id (see [`EnginePool::start_session`]).
+    /// Entries are kept after close — a stale entry is only a hint and an
+    /// `Evict` to a shard without the slot is a no-op.
+    owners: Mutex<HashMap<u64, Arc<Mutex<Option<usize>>>>>,
 }
 
 impl EnginePool {
@@ -430,6 +455,7 @@ impl EnginePool {
             base_seed: cfg.base_seed,
             queue_depth,
             next_token: AtomicU64::new(0),
+            owners: Mutex::new(HashMap::new()),
         }
     }
 
@@ -496,20 +522,34 @@ impl EnginePool {
         shard: usize,
         make: impl FnOnce(u64, Sender<SessionReply>) -> Command,
     ) -> Result<StreamSession, SnsError> {
-        // A stream id lives on at most one shard: evict it everywhere
-        // else (a previous `restore` may have moved it off its hash
-        // shard), so a still-open session of the same id is invalidated
-        // no matter where its slot sits. The target shard's own insert
-        // replaces locally.
-        for (i, tx) in self.senders.iter().enumerate() {
-            if i != shard {
-                let _ = tx.send(Command::Evict { id: stream_id });
-            }
+        // A stream id lives on at most one shard. The ownership map knows
+        // which shard that is (a previous `restore` may have moved the id
+        // off its hash shard), so only the owning shard — if any, and if
+        // different — receives an `Evict`; a saturated *unrelated* shard
+        // is never touched and cannot stall this open.
+        //
+        // Claim-then-evict is atomic per stream: the per-stream cell is
+        // held from the claim until the install command is enqueued, so
+        // concurrent `open`/`restore` of the same id serialize. The last
+        // claimant's install is the last command any shard receives for
+        // the id (channels are FIFO and the loser's `Evict`/install were
+        // enqueued while it held the cell earlier), hence exactly one
+        // slot survives. Evicting the owning shard may still block on
+        // *that* shard's bounded queue — it is the one shard actually
+        // serving this stream.
+        let cell = {
+            let mut owners = self.owners.lock().expect("ownership map poisoned");
+            Arc::clone(owners.entry(stream_id).or_default())
+        };
+        let mut owner = cell.lock().expect("ownership cell poisoned");
+        if let Some(prev) = owner.replace(shard).filter(|&p| p != shard) {
+            let _ = self.senders[prev].send(Command::Evict { id: stream_id });
         }
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = channel();
         let tx = self.senders[shard].clone();
         tx.send(make(token, reply_tx)).map_err(|_| SnsError::StreamClosed { stream_id })?;
+        drop(owner);
         let mut session = StreamSession {
             stream_id,
             shard,

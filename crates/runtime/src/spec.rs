@@ -9,6 +9,7 @@
 //! seed always produce bitwise-identical engines — the property both the
 //! pool's determinism contract and snapshot restoration rely on.
 
+use crate::anomaly::{AnomalyConfig, AnomalyCpd};
 use crate::streaming::StreamingCpd;
 use sns_baselines::{AlsPeriodic, BaselineEngine, CpStream, NeCpd, OnlineScp, PeriodicCpd};
 use sns_core::config::{AlgorithmKind, SnsConfig};
@@ -81,6 +82,15 @@ pub enum EngineSpec {
         /// Fixed seed; `None` lets the runtime supply one.
         seed: Option<u64>,
     },
+    /// An anomaly-scoring decorator ([`AnomalyCpd`]) around another spec.
+    /// Declarative, so pool workers can build decorated engines on their
+    /// own threads; construct with [`EngineSpec::with_anomaly`].
+    Anomaly {
+        /// The engine being decorated.
+        inner: Box<EngineSpec>,
+        /// Detector threshold and retention.
+        config: AnomalyConfig,
+    },
 }
 
 impl EngineSpec {
@@ -125,14 +135,26 @@ impl EngineSpec {
         }
     }
 
+    /// Wraps this spec in an anomaly-scoring decorator: the built engine
+    /// becomes an [`AnomalyCpd`] around whatever this spec describes.
+    /// Decoration never perturbs the wrapped engine's factors.
+    pub fn with_anomaly(self, config: AnomalyConfig) -> Self {
+        EngineSpec::Anomaly { inner: Box::new(self), config }
+    }
+
     /// Pins the seed, overriding whatever the runtime would supply.
     pub fn with_seed(mut self, pinned: u64) -> Self {
-        match &mut self {
+        self.pin_seed(pinned);
+        self
+    }
+
+    fn pin_seed(&mut self, pinned: u64) {
+        match self {
             EngineSpec::Sns { seed, .. } | EngineSpec::Baseline { seed, .. } => {
                 *seed = Some(pinned);
             }
+            EngineSpec::Anomaly { inner, .. } => inner.pin_seed(pinned),
         }
-        self
     }
 
     /// The seed a build with `fallback` would actually use.
@@ -141,6 +163,7 @@ impl EngineSpec {
             EngineSpec::Sns { seed, .. } | EngineSpec::Baseline { seed, .. } => {
                 seed.unwrap_or(fallback)
             }
+            EngineSpec::Anomaly { inner, .. } => inner.effective_seed(fallback),
         }
     }
 
@@ -191,6 +214,9 @@ impl EngineSpec {
                 };
                 Box::new(BaselineEngine::new(base_dims, *window, *period, algo))
             }
+            EngineSpec::Anomaly { inner, config } => {
+                Box::new(AnomalyCpd::new(inner.build(fallback_seed), *config))
+            }
         }
     }
 }
@@ -237,6 +263,28 @@ mod tests {
         let (_, fa, _) = drive(spec.build(1));
         let (_, fb, _) = drive(spec.build(2));
         assert_eq!(fa.to_bits(), fb.to_bits(), "fallback must be ignored once pinned");
+    }
+
+    #[test]
+    fn anomaly_spec_builds_a_transparent_decorator() {
+        let plain = EngineSpec::sns(
+            &[4, 3],
+            3,
+            10,
+            AlgorithmKind::PlusRnd,
+            &SnsConfig { rank: 2, theta: 2, ..Default::default() },
+        );
+        let wrapped = plain.clone().with_anomaly(AnomalyConfig::default());
+        assert_eq!(wrapped.effective_seed(9), plain.effective_seed(9));
+        let pinned = wrapped.clone().with_seed(7);
+        assert_eq!(pinned.effective_seed(999), 7);
+        let (np, fp, up) = drive(plain.build(42));
+        let (nw, fw, uw) = drive(wrapped.build(42));
+        assert_eq!(nw, format!("Anomaly({np})"));
+        assert_eq!(fp.to_bits(), fw.to_bits(), "decoration must not perturb the factors");
+        assert_eq!(up, uw);
+        let e = wrapped.build(42);
+        assert!(e.anomalies().is_some());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The [`StreamingCpd`] trait: one interface over the continuous
 //! SliceNStitch engine and the once-per-period baseline engines.
 
+use crate::anomaly::AnomalySummary;
 use crate::snapshot::EngineState;
 use sns_baselines::{BaselineEngine, PeriodicCpd};
 use sns_core::als::{AlsOptions, AlsResult};
@@ -118,6 +119,41 @@ pub trait StreamingCpd {
     fn snapshot(&self) -> Result<EngineState, SnsError> {
         Err(SnsError::SnapshotUnsupported { engine: self.name() })
     }
+
+    /// Anomaly-scoring roll-up, if this engine scores its stream
+    /// (see [`AnomalyCpd`](crate::anomaly::AnomalyCpd)). Plain engines
+    /// report `None`; the pool copies the summary onto every
+    /// [`StreamReport`](crate::pool::StreamReport).
+    fn anomalies(&self) -> Option<AnomalySummary> {
+        None
+    }
+
+    /// Reconstruction residual an arrival would produce against the
+    /// engine's **current** model state — `|observed − predicted|`,
+    /// where `observed` is the engine's current value at the cell the
+    /// arrival lands in plus the arrival's value, and `predicted` is the
+    /// current factorization's reconstruction of that cell. Read-only:
+    /// scoring through this hook never perturbs the engine, which is
+    /// what keeps [`AnomalyCpd`](crate::anomaly::AnomalyCpd) decoration
+    /// bitwise-invisible.
+    ///
+    /// The default reads the newest time unit of
+    /// [`window`](StreamingCpd::window) (where continuous-model arrivals
+    /// land, S.1). Engines whose arrivals land elsewhere override it:
+    /// the conventional model accumulates arrivals in a *pending* unit
+    /// outside the window tensor, so [`BaselineEngine`] compares the
+    /// pending accumulation against the reconstruction of the newest
+    /// completed unit — the conventional model's freshest forecast of a
+    /// period's total.
+    ///
+    /// The caller must pass a tuple that fits the window (coordinate
+    /// order and bounds).
+    fn arrival_residual(&self, tuple: &StreamTuple) -> f64 {
+        let window = self.window();
+        let newest = window.shape().dim(window.order() - 1) as u32 - 1;
+        let coord = tuple.coords.extended(newest);
+        (window.get(&coord) + tuple.value - self.kruskal().eval(&coord)).abs()
+    }
 }
 
 impl StreamingCpd for SnsEngine {
@@ -221,6 +257,19 @@ impl<B: PeriodicCpd> StreamingCpd for BaselineEngine<B> {
     fn name(&self) -> String {
         self.algo().name()
     }
+
+    fn arrival_residual(&self, tuple: &StreamTuple) -> f64 {
+        // Conventional model: the arrival accumulates in the pending
+        // unit, which is not in the window tensor until its period
+        // completes — compare the pending total against the
+        // reconstruction of the newest (completed-unit) time row instead
+        // of mixing last period's value with this period's delta.
+        let window = BaselineEngine::window(self);
+        let newest = window.shape().dim(window.order() - 1) as u32 - 1;
+        let coord = tuple.coords.extended(newest);
+        let observed = self.pending_value(&tuple.coords) + tuple.value;
+        (observed - self.algo().kruskal().eval(&coord)).abs()
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +357,31 @@ mod tests {
         assert_eq!(outcome.accepted, 200);
         assert_eq!(outcome.updates, e.updates_applied());
         assert!(outcome.updates > 0);
+    }
+
+    #[test]
+    fn arrival_residual_reads_the_cell_an_arrival_lands_in() {
+        // Continuous model: arrivals land in the newest window unit.
+        let config = SnsConfig { rank: 2, seed: 6, ..Default::default() };
+        let mut sns: Box<dyn StreamingCpd> =
+            Box::new(SnsEngine::new(&[3, 3], 3, 10, AlgorithmKind::PlusVec, &config));
+        sns.ingest(StreamTuple::new([1u32, 1], 2.0, 5)).unwrap();
+        let coord = sns_tensor::Coord::new(&[1, 1, 2]);
+        let expected = (sns.window().get(&coord) + 3.0 - sns.kruskal().eval(&coord)).abs();
+        let got = sns.arrival_residual(&StreamTuple::new([1u32, 1], 3.0, 6));
+        assert_eq!(got.to_bits(), expected.to_bits());
+
+        // Conventional model: arrivals accumulate in the *pending* unit,
+        // which is not in the window tensor — the residual must use the
+        // pending value, not the newest completed unit's.
+        let algo: Box<dyn PeriodicCpd> = Box::new(AlsPeriodic::new(&[3, 3, 3], 2, 1, 3));
+        let mut base = BaselineEngine::new(&[3, 3], 3, 10, algo);
+        base.ingest(StreamTuple::new([1u32, 1], 2.0, 5)).unwrap(); // pending, mid-period
+        assert_eq!(StreamingCpd::window(&base).get(&coord), 0.0, "pending is not in the window");
+        let predicted = base.algo().kruskal().eval(&coord);
+        let got = StreamingCpd::arrival_residual(&base, &StreamTuple::new([1u32, 1], 3.0, 6));
+        let expected = (2.0 + 3.0 - predicted).abs(); // pending 2.0 + arrival 3.0
+        assert_eq!(got.to_bits(), expected.to_bits());
     }
 
     #[test]

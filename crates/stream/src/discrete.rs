@@ -164,6 +164,15 @@ impl DiscreteWindow {
             out.push(self.complete_period());
         }
     }
+
+    /// Accumulated value of the in-flight (pending) unit at a categorical
+    /// coordinate — the unit arrivals land in, invisible in
+    /// [`DiscreteWindow::tensor`] until its period completes. Read-only;
+    /// anomaly scoring uses this to compare an arrival against what its
+    /// period has accumulated so far.
+    pub fn pending_value(&self, coords: &Coord) -> f64 {
+        self.pending.get(coords).copied().unwrap_or(0.0)
+    }
 }
 
 impl std::fmt::Debug for DiscreteWindow {

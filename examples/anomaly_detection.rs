@@ -1,18 +1,28 @@
-//! Real-time anomaly detection (the paper's Section VI-G application).
+//! Real-time anomaly detection (the paper's Section VI-G application),
+//! run as a scenario: spikes are injected into a taxi-like stream and an
+//! [`AnomalyCpd`] decorator flags them by the z-score of their
+//! reconstruction error the moment they arrive — no waiting for a period
+//! boundary, and no perturbation of the wrapped engine's factors.
+//!
+//! Two deployments of the same decorator:
+//! 1. **direct** — wrap an engine locally and inspect the detector for
+//!    top-k precision against the injected ground truth;
+//! 2. **pooled** — describe the decoration declaratively with
+//!    [`EngineSpec::with_anomaly`], replay the trace through an
+//!    `EnginePool` session, and read the anomaly summary off the
+//!    `StreamReport`.
 //!
 //! ```bash
 //! cargo run --release --example anomaly_detection
 //! ```
-//!
-//! Injects spikes into a taxi-like stream and flags them by the z-score
-//! of their reconstruction error the moment they arrive — no waiting for
-//! a period boundary.
 
-use slicenstitch::core::anomaly::AnomalyDetector;
-use slicenstitch::core::update::{ContinuousUpdater, Updater};
+use slicenstitch::core::als::AlsOptions;
 use slicenstitch::core::{AlgorithmKind, SnsConfig};
+use slicenstitch::data::replay::{replay, ReplayPlan};
 use slicenstitch::data::{generate, inject_anomalies, nytaxi_like};
-use slicenstitch::stream::{ContinuousWindow, DeltaKind};
+use slicenstitch::runtime::{
+    AnomalyConfig, AnomalyCpd, EnginePool, EngineSpec, PoolConfig, StreamingCpd,
+};
 
 fn main() {
     let spec = nytaxi_like();
@@ -30,43 +40,25 @@ fn main() {
     println!("injected {} spikes of magnitude {}", injected.len(), injected[0].value);
 
     let sns = SnsConfig { rank: spec.rank, theta: spec.theta, eta: spec.eta, ..Default::default() };
-    let mut dims = spec.base_dims.to_vec();
-    dims.push(spec.window);
-    let mut window = ContinuousWindow::new(spec.base_dims, spec.window, spec.period);
-    let mut updater = Updater::new(AlgorithmKind::PlusRnd, &dims, &sns);
-    let mut detector = AnomalyDetector::new();
-    let mut buf = Vec::new();
-    let mut warmed = false;
+    let engine_spec =
+        EngineSpec::sns(spec.base_dims, spec.window, spec.period, AlgorithmKind::PlusRnd, &sns);
+    let anomaly = AnomalyConfig { threshold: 10.0, max_events: stream.len() };
 
-    for tu in &stream {
-        if !warmed && tu.time > prefill_until {
-            let warm =
-                slicenstitch::core::als::als(window.tensor(), spec.rank, &Default::default());
-            updater.install(warm.kruskal, warm.grams);
-            warmed = true;
-        }
-        buf.clear();
-        window.ingest(*tu, &mut buf).expect("chronological");
-        for d in &buf {
-            if warmed {
-                if d.kind == DeltaKind::Arrival {
-                    // Score BEFORE the model absorbs the event.
-                    let (coord, _) = d.changes.as_slice()[0];
-                    let ev = detector.observe(window.tensor(), updater.kruskal(), &coord, d.time);
-                    if ev.z > 10.0 {
-                        println!(
-                            "t={:>7}  coord={:?}  err={:>6.1}  z={:>7.1}  <-- flagged",
-                            ev.time, ev.coord, ev.error, ev.z
-                        );
-                    }
-                }
-                updater.apply(window.tensor(), d);
-            }
-        }
+    // --- 1. Direct decoration: full detector access. -------------------
+    let mut engine = AnomalyCpd::new(engine_spec.clone().with_seed(41).build(0), anomaly);
+    let cut = stream.partition_point(|t| t.time <= prefill_until);
+    engine.prefill_all(&stream[..cut]).expect("chronological");
+    engine.warm_start(&AlsOptions::default());
+    engine.ingest_all(&stream[cut..]).expect("chronological");
+    for ev in engine.detector().events().iter().filter(|e| e.z > 10.0) {
+        println!(
+            "t={:>7}  coord={:?}  err={:>6.1}  z={:>7.1}  <-- flagged",
+            ev.time, ev.coord, ev.error, ev.z
+        );
     }
 
     // Score the run: how many of the top-10 flags were true injections?
-    let top = detector.top_k(injected.len());
+    let top = engine.detector().top_k(injected.len());
     let hits = top
         .iter()
         .filter(|e| {
@@ -84,4 +76,28 @@ fn main() {
         injected.len()
     );
     println!("detection is immediate: spikes are scored at their own arrival event.");
+
+    // --- 2. Pooled decoration: declarative spec, summary on report. ----
+    let pool = EnginePool::new(PoolConfig::default());
+    let mut session = pool
+        .open(1, engine_spec.with_anomaly(anomaly))
+        .expect("decorated engine builds on its worker");
+    let plan = ReplayPlan::for_dataset(&spec, AlsOptions::default());
+    let replayed = replay(&mut session, &stream, &plan).expect("chronological trace");
+    let report = session.report().expect("live session");
+    let summary = report.anomalies.expect("decorated stream reports a summary");
+    println!(
+        "\npooled [{}] shard {}: {} batches, fitness {:.4}",
+        report.name,
+        session.shard(),
+        replayed.batches,
+        report.fitness,
+    );
+    println!(
+        "pooled summary: {} scored, {} flagged at z>={}, max z {:.1}, mean error {:.3}",
+        summary.scored, summary.flagged, summary.threshold, summary.max_z, summary.mean_error
+    );
+    assert!(summary.flagged >= 1, "pooled decorator must flag the spikes too");
+    session.close();
+    pool.join();
 }

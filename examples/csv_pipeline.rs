@@ -1,15 +1,24 @@
-//! CSV round trip: export a synthetic stream in the original
-//! SliceNStitch release's event format, read it back, and decompose —
-//! the drop-in path for running this library on the paper's real traces.
+//! Trace replay end to end: export a synthetic stream in the original
+//! SliceNStitch release's CSV event format, read it back with
+//! [`read_trace`], and replay it through a pooled stream session with the
+//! deterministic replay driver — the drop-in path for running this
+//! library on the paper's real traces.
+//!
+//! The replay is verified bitwise against a serial run of the same spec
+//! and seed: pooling, batching, and the CSV round trip are all invisible
+//! to the model.
 //!
 //! ```bash
 //! cargo run --release --example csv_pipeline
 //! ```
 
 use slicenstitch::core::als::AlsOptions;
-use slicenstitch::core::{AlgorithmKind, SnsConfig, SnsEngine};
-use slicenstitch::data::csvio::{read_stream, write_stream};
+use slicenstitch::core::{AlgorithmKind, SnsConfig};
+use slicenstitch::data::csvio::write_stream;
+use slicenstitch::data::replay::{read_trace, replay, ReplayPlan};
 use slicenstitch::data::{generate, GeneratorConfig};
+use slicenstitch::runtime::pool::stream_seed;
+use slicenstitch::runtime::{EnginePool, EngineSpec, PoolConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = GeneratorConfig {
@@ -21,31 +30,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let stream = generate(&config);
 
-    // Write to a temp CSV, read it back.
+    // Write to a temp CSV, read it back with the trace loader.
     let path = std::env::temp_dir().join("slicenstitch_events.csv");
     write_stream(std::fs::File::create(&path)?, &stream)?;
     let size = std::fs::metadata(&path)?.len();
-    let back = read_stream(std::fs::File::open(&path)?)?;
+    let trace = read_trace(&path)?;
     println!(
         "wrote {} events ({} bytes) to {} and read them back",
-        back.len(),
+        trace.len(),
         size,
         path.display()
     );
-    assert_eq!(back, stream, "CSV round trip must be lossless");
-
-    // Decompose the re-loaded stream.
-    let sns = SnsConfig { rank: 8, ..Default::default() };
-    let mut engine = SnsEngine::new(&[30, 30], 5, 500, AlgorithmKind::PlusVec, &sns);
-    let cut = back.partition_point(|t| t.time <= 2_500);
-    for tu in &back[..cut] {
-        engine.prefill(*tu)?;
-    }
-    engine.warm_start(&AlsOptions::default());
-    for tu in &back[cut..] {
-        engine.ingest(*tu)?;
-    }
-    println!("decomposed: final fitness {:.4}", engine.fitness());
+    assert_eq!(trace, stream, "CSV round trip must be lossless");
     std::fs::remove_file(&path).ok();
+
+    // The protocol: prefill the first five 500-tick units, warm-start
+    // with batch ALS, then replay one batch per period.
+    let spec = EngineSpec::sns(
+        &[30, 30],
+        5,
+        500,
+        AlgorithmKind::PlusVec,
+        &SnsConfig { rank: 8, ..Default::default() },
+    );
+    let plan = ReplayPlan {
+        prefill_until: Some(2_500),
+        warm_start: Some(AlsOptions::default()),
+        bucket_ticks: 500,
+        max_batch: 512,
+        advance_to: None,
+    };
+
+    // Replay through a pooled session …
+    let stream_id = 1u64;
+    let base_seed = 0x5eed;
+    let pool = EnginePool::new(PoolConfig { shards: 4, base_seed, ..Default::default() });
+    let mut session = pool.open(stream_id, spec.clone())?;
+    let report = replay(&mut session, &trace, &plan)?;
+    let health = session.report()?;
+    println!(
+        "replayed: {} prefilled + {} live tuples in {} batches ({} factor updates), shard {}",
+        report.prefilled,
+        report.ingested,
+        report.batches,
+        report.updates,
+        session.shard(),
+    );
+    println!("decomposed: final fitness {:.4}", health.fitness);
+
+    // … and verify bitwise against a serial run of the same spec + seed.
+    let mut serial = spec.build(stream_seed(base_seed, stream_id));
+    let cut = trace.partition_point(|t| t.time <= 2_500);
+    serial.prefill_all(&trace[..cut])?;
+    serial.warm_start(&AlsOptions::default());
+    serial.ingest_all(&trace[cut..])?;
+    assert_eq!(
+        health.fitness.to_bits(),
+        serial.fitness().to_bits(),
+        "pooled replay must be bitwise-identical to the serial run"
+    );
+    println!("pooled replay == serial ingest_all, bitwise");
+
+    session.close();
+    pool.join();
     Ok(())
 }

@@ -7,7 +7,11 @@
 //!   never migrated (within a pool, and across pools);
 //! - bounded shard queues apply flow control without deadlocking when
 //!   producers outrun a slow shard, and non-blocking submits surface
-//!   typed backpressure.
+//!   typed backpressure;
+//! - open/restore routing is per-stream: a saturated unrelated shard
+//!   cannot stall an open, and racing `open`/`restore` of one id always
+//!   leaves exactly one live session (regression tests for the PR-2
+//!   blocking-`Evict`-broadcast hazards).
 
 use proptest::prelude::*;
 use slicenstitch::core::als::AlsOptions;
@@ -265,6 +269,132 @@ proptest! {
         prop_assert_eq!(report.error, None);
         prop_assert_eq!(report.fitness.to_bits(), reference.fitness().to_bits());
         prop_assert_eq!(report.updates_applied, reference.updates_applied());
+    }
+}
+
+/// Smallest stream id served by the given shard.
+fn id_on_shard(pool: &EnginePool, shard: usize) -> u64 {
+    (0u64..).find(|&id| pool.shard_of(id) == shard).expect("some id hashes to every shard")
+}
+
+/// Regression (PR-2 hazard, fixed in PR-4): `open`/`restore` used to
+/// broadcast a *blocking* `Evict` to every shard, so an open of a fresh
+/// stream stalled behind any saturated shard. With the stream→shard
+/// ownership map, an open only ever touches the target shard (and the
+/// one shard that owns the id, if different) — a saturated unrelated
+/// shard is irrelevant.
+#[test]
+fn open_is_not_stalled_by_a_saturated_unrelated_shard() {
+    // SNS_MAT runs one full ALS sweep per event: deliberately slow.
+    let slow_spec = EngineSpec::sns(
+        &[32, 32],
+        8,
+        50,
+        AlgorithmKind::Mat,
+        &SnsConfig { rank: 16, ..Default::default() },
+    );
+    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1, queue_depth: 1 });
+    let slow_id = id_on_shard(&pool, 0);
+    let mut slow = pool.open(slow_id, slow_spec).unwrap();
+    let tuples: Vec<StreamTuple> = (0..1_800u64)
+        .map(|t| StreamTuple::new([(t % 32) as u32, ((t * 7) % 32) as u32], 1.0, t / 4))
+        .collect();
+
+    // Calibrate how long shard 0 takes to chew one batch (blocking call).
+    let start = std::time::Instant::now();
+    slow.ingest_batch(&tuples[..600]).unwrap();
+    let batch_time = start.elapsed();
+
+    // Saturate shard 0: two pipelined batches (retrying past transient
+    // backpressure) leave one batch *parked in the depth-1 queue* while
+    // the worker chews the other — the queue stays full for about one
+    // whole batch time from here.
+    for chunk in tuples[600..].chunks(600) {
+        loop {
+            match slow.try_ingest_batch(chunk) {
+                Ok(_) => break,
+                Err(SnsError::Backpressure { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    // Shard 0 now has ≳ one full batch of queued work. Opening a stream
+    // on shard 1 must not wait for any of it.
+    let other_id = id_on_shard(&pool, 1);
+    let start = std::time::Instant::now();
+    let mut fresh = pool.open(other_id, tenant_spec(0)).unwrap();
+    let open_time = start.elapsed();
+    assert_eq!(fresh.shard(), 1);
+    assert!(
+        open_time < batch_time / 2,
+        "open took {open_time:?} while an unrelated shard was saturated \
+         (one slow batch takes {batch_time:?}) — evict broadcast stall?"
+    );
+    fresh.ingest_batch(&tuples_for(0)[..40]).unwrap();
+    assert_eq!(fresh.report().unwrap().error, None);
+    while let Some(receipt) = slow.recv_receipt() {
+        receipt.unwrap();
+    }
+    drop((slow, fresh));
+    pool.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Regression (PR-2 hazard, fixed in PR-4): racing `open` and
+    /// `restore` of the same stream id used to interleave their evict
+    /// broadcasts so the id could end up live on two shards at once.
+    /// Ownership claims are now atomic per stream: whatever the
+    /// interleaving, exactly one of the two sessions survives.
+    #[test]
+    fn racing_open_and_restore_leave_exactly_one_live_session(
+        case_seed in 0u64..1_000,
+        shard_offset in 1usize..3,
+        stagger_us in 0u64..50,
+    ) {
+        let id = 0xace + case_seed;
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: case_seed, queue_depth: 8 });
+        let tuples = tuples_for(id);
+
+        // Seed a snapshot to restore from, then close the seeding session.
+        let mut seeded = pool.open(id, tenant_spec(0)).unwrap();
+        seeded.ingest_batch(&tuples[..40]).unwrap();
+        let snapshot = seeded.snapshot().unwrap();
+        seeded.close();
+        // Restore deliberately targets a different shard than open's hash
+        // shard — the cross-shard race the broadcast version lost.
+        let target = (pool.shard_of(id) + shard_offset) % pool.shards();
+
+        let barrier = std::sync::Barrier::new(2);
+        let (opened, restored) = std::thread::scope(|scope| {
+            let open_handle = scope.spawn(|| {
+                barrier.wait();
+                pool.open(id, tenant_spec(0))
+            });
+            let restore_handle = scope.spawn(|| {
+                barrier.wait();
+                std::thread::sleep(std::time::Duration::from_micros(stagger_us));
+                pool.restore(snapshot, target)
+            });
+            (open_handle.join().unwrap(), restore_handle.join().unwrap())
+        });
+
+        let mut live = 0;
+        for session in [opened, restored] {
+            let mut session = session.unwrap();
+            if let Ok(report) = session.report() {
+                prop_assert_eq!(report.error, None);
+                live += 1;
+                // The survivor must still serve the stream.
+                session.ingest_batch(&tuples[40..60]).unwrap();
+            }
+        }
+        prop_assert_eq!(live, 1, "stream {} live on {} sessions", id, live);
+        pool.join();
     }
 }
 

@@ -1,0 +1,188 @@
+//! Scenario-layer contract (trace replay + anomaly decoration):
+//!
+//! - a CSV trace replayed through a pooled `StreamSession` by the
+//!   deterministic replay driver is **bitwise-identical** to a serial
+//!   `ingest_all` run of the same spec and derived seed;
+//! - decorating any engine with `AnomalyCpd` (directly or via the
+//!   declarative `EngineSpec::with_anomaly`) leaves the factor
+//!   trajectory **bitwise unchanged** while the detector scores the
+//!   stream, and pooled reports carry the anomaly summary.
+
+use slicenstitch::core::als::AlsOptions;
+use slicenstitch::core::{AlgorithmKind, SnsConfig};
+use slicenstitch::data::csvio::{read_stream, write_stream};
+use slicenstitch::data::replay::{replay, ReplayPlan};
+use slicenstitch::data::{generate, inject_anomalies, GeneratorConfig};
+use slicenstitch::runtime::pool::stream_seed;
+use slicenstitch::runtime::{
+    AnomalyConfig, AnomalyCpd, BaselineKind, EnginePool, EngineSpec, PoolConfig, StreamingCpd,
+};
+use slicenstitch::stream::StreamTuple;
+
+const BASE_DIMS: [usize; 2] = [10, 8];
+const W: usize = 4;
+const T: u64 = 50;
+const BASE_SEED: u64 = 0x7ace;
+
+fn sns_spec() -> EngineSpec {
+    let config = SnsConfig { rank: 3, theta: 8, ..Default::default() };
+    EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::PlusRnd, &config)
+}
+
+fn baseline_spec() -> EngineSpec {
+    EngineSpec::baseline(&BASE_DIMS, W, T, 3, BaselineKind::OnlineScp)
+}
+
+fn trace(seed: u64) -> Vec<StreamTuple> {
+    generate(&GeneratorConfig {
+        base_dims: BASE_DIMS.to_vec(),
+        n_components: 3,
+        events: 800,
+        duration: 6 * W as u64 * T,
+        day_ticks: 40,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn als_opts() -> AlsOptions {
+    AlsOptions { max_iters: 12, tol: 1e-4, ..Default::default() }
+}
+
+fn plan() -> ReplayPlan {
+    ReplayPlan {
+        prefill_until: Some(W as u64 * T),
+        warm_start: Some(als_opts()),
+        bucket_ticks: T,
+        max_batch: 64,
+        advance_to: Some(6 * W as u64 * T),
+    }
+}
+
+/// Serial reference for a spec: the paper protocol with one `ingest_all`
+/// over the live phase, built from the pool's derived seed.
+fn run_serial(spec: EngineSpec, id: u64, tuples: &[StreamTuple]) -> (f64, u64) {
+    let mut engine = spec.build(stream_seed(BASE_SEED, id));
+    let cut = tuples.partition_point(|t| t.time <= W as u64 * T);
+    engine.prefill_all(&tuples[..cut]).unwrap();
+    engine.warm_start(&als_opts());
+    engine.ingest_all(&tuples[cut..]).unwrap();
+    engine.advance_to(6 * W as u64 * T);
+    (engine.fitness(), engine.updates_applied())
+}
+
+/// The tentpole contract: CSV → replay driver → pooled session is
+/// bitwise-identical to serial `ingest_all`, for both engine families.
+#[test]
+fn csv_replay_through_pool_matches_serial_ingest_all_bitwise() {
+    let original = trace(0xfeed);
+    // Round-trip the trace through the CSV format first, so the whole
+    // on-disk path (write → read → replay) is covered.
+    let mut csv = Vec::new();
+    write_stream(&mut csv, &original).unwrap();
+    let tuples = read_stream(&csv[..]).unwrap();
+    assert_eq!(tuples, original, "CSV round trip must be lossless");
+
+    let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 8 });
+    for (id, spec) in [(2u64, sns_spec()), (3u64, baseline_spec())] {
+        let (serial_fitness, serial_updates) = run_serial(spec.clone(), id, &original);
+        let mut session = pool.open(id, spec).unwrap();
+        let report = replay(&mut session, &tuples, &plan()).unwrap();
+        assert_eq!(report.prefilled + report.ingested, tuples.len());
+        assert!(report.batches > 1, "time bucketing must split the live phase");
+        let health = session.report().unwrap();
+        assert_eq!(health.error, None, "stream {id}");
+        assert_eq!(
+            health.fitness.to_bits(),
+            serial_fitness.to_bits(),
+            "stream {id}: pooled replay fitness {} vs serial {serial_fitness}",
+            health.fitness
+        );
+        assert_eq!(health.updates_applied, serial_updates, "stream {id} update count");
+        session.close();
+    }
+    pool.join();
+}
+
+/// Decoration invariance, driven through the full protocol: factors,
+/// fitness, and update counts of a decorated engine are bitwise equal to
+/// the undecorated engine's at every checkpoint — for both families.
+#[test]
+fn anomaly_decorator_leaves_the_factor_trajectory_bitwise_unchanged() {
+    let tuples = trace(0xbee5);
+    let cut = tuples.partition_point(|t| t.time <= W as u64 * T);
+    for spec in [sns_spec(), baseline_spec()] {
+        let mut plain = spec.clone().build(9);
+        let mut wrapped =
+            AnomalyCpd::new(spec.build(9), AnomalyConfig { threshold: 3.0, max_events: 64 });
+        plain.prefill_all(&tuples[..cut]).unwrap();
+        wrapped.prefill_all(&tuples[..cut]).unwrap();
+        plain.warm_start(&als_opts());
+        wrapped.warm_start(&als_opts());
+        for chunk in tuples[cut..].chunks(57) {
+            let a = plain.ingest_all(chunk).unwrap();
+            let b = wrapped.ingest_all(chunk).unwrap();
+            assert_eq!(a, b, "batch outcomes diverged");
+            assert_eq!(plain.fitness().to_bits(), wrapped.fitness().to_bits());
+            for m in 0..plain.kruskal().factors.len() {
+                assert_eq!(
+                    plain.kruskal().factors[m],
+                    wrapped.kruskal().factors[m],
+                    "mode {m} factors diverged"
+                );
+            }
+        }
+        assert_eq!(plain.advance_to(6 * W as u64 * T), wrapped.advance_to(6 * W as u64 * T));
+        assert_eq!(plain.updates_applied(), wrapped.updates_applied());
+        // The decorator did real scoring work on the side.
+        let summary = wrapped.summary();
+        assert_eq!(summary.scored as usize, tuples.len() - cut);
+        assert!(summary.mean_error >= 0.0);
+    }
+}
+
+/// Pooled decorated engines: built declaratively on the worker via
+/// `EngineSpec::with_anomaly`, bitwise-transparent, and their summaries
+/// ride back on every `StreamReport`.
+#[test]
+fn pooled_decorated_stream_reports_anomalies_and_preserves_factors() {
+    let clean = trace(0x5afe);
+    // Spike the live phase so the detector has something to flag.
+    let (tuples, injected) =
+        inject_anomalies(&clean, &BASE_DIMS, 5, 8.0, W as u64 * T + 1, 6 * W as u64 * T, 13);
+    assert_eq!(injected.len(), 5);
+
+    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: BASE_SEED, queue_depth: 8 });
+    // Identical engine + identical derived seed, with and without the
+    // decorator (same stream id ⇒ same seed; run sequentially).
+    let mut plain = pool.open(7, sns_spec()).unwrap();
+    replay(&mut plain, &tuples, &plan()).unwrap();
+    let plain_report = plain.report().unwrap();
+    assert_eq!(plain_report.error, None);
+    assert_eq!(plain_report.anomalies, None, "undecorated engines report no summary");
+    plain.close();
+
+    let decorated_spec = sns_spec().with_anomaly(AnomalyConfig { threshold: 4.0, max_events: 256 });
+    let mut decorated = pool.open(7, decorated_spec).unwrap();
+    replay(&mut decorated, &tuples, &plan()).unwrap();
+    let decorated_report = decorated.report().unwrap();
+    assert_eq!(decorated_report.error, None);
+    assert_eq!(decorated_report.name, "Anomaly(SNS+_RND)");
+    assert_eq!(
+        decorated_report.fitness.to_bits(),
+        plain_report.fitness.to_bits(),
+        "decoration must not perturb the pooled model"
+    );
+    assert_eq!(decorated_report.updates_applied, plain_report.updates_applied);
+
+    let summary = decorated_report.anomalies.expect("decorated stream must report a summary");
+    assert_eq!(summary.threshold, 4.0);
+    assert!(summary.scored > 0);
+    assert!(
+        summary.flagged >= 1,
+        "8x-magnitude spikes must trip the z-score threshold: {summary:?}"
+    );
+    assert!(summary.max_z >= 4.0);
+    decorated.close();
+    pool.join();
+}

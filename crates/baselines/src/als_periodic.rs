@@ -36,6 +36,11 @@ impl AlsPeriodic {
     pub fn sweeps(&self) -> usize {
         self.sweeps
     }
+
+    /// Rebuilds the baseline from captured state (bitwise continuation).
+    pub(crate) fn from_state(kruskal: KruskalTensor, grams: Vec<Mat>, sweeps: usize) -> Self {
+        AlsPeriodic { kruskal, grams, sweeps }
+    }
 }
 
 impl PeriodicCpd for AlsPeriodic {
@@ -66,6 +71,14 @@ impl PeriodicCpd for AlsPeriodic {
     fn install(&mut self, kruskal: KruskalTensor, grams: Vec<Mat>) {
         self.kruskal = kruskal;
         self.grams = grams;
+    }
+
+    fn capture(&self) -> Result<crate::state::BaselineAlgoState, sns_stream::SnsError> {
+        Ok(crate::state::BaselineAlgoState::AlsPeriodic {
+            kruskal: self.kruskal.clone(),
+            grams: self.grams.clone(),
+            sweeps: self.sweeps,
+        })
     }
 }
 

@@ -64,6 +64,37 @@ impl CpStream {
         self.mu
     }
 
+    /// Rebuilds the baseline from captured state (bitwise continuation).
+    pub(crate) fn from_state(
+        kruskal: KruskalTensor,
+        grams: Vec<Mat>,
+        p_hist: Vec<Mat>,
+        g_hist: Vec<Mat>,
+        mu: f64,
+        inner_iters: usize,
+    ) -> Result<Self, String> {
+        let cat_modes = kruskal.order() - 1;
+        let rank = kruskal.rank();
+        if !((0.0..=1.0).contains(&mu) && mu > 0.0) {
+            return Err(format!("forgetting factor µ={mu} outside (0, 1]"));
+        }
+        if p_hist.len() != cat_modes || g_hist.len() != cat_modes {
+            return Err(format!(
+                "{}/{} accumulators for {cat_modes} categorical modes",
+                p_hist.len(),
+                g_hist.len()
+            ));
+        }
+        for m in 0..cat_modes {
+            if p_hist[m].shape() != (kruskal.factors[m].rows(), rank)
+                || g_hist[m].shape() != (rank, rank)
+            {
+                return Err(format!("mode {m} accumulator shape mismatch"));
+            }
+        }
+        Ok(CpStream { kruskal, grams, p_hist, g_hist, mu, inner_iters })
+    }
+
     /// `s_t` least squares against the categorical factors.
     fn solve_time_row(&self, entries: &[(Coord, f64)], out: &mut [f64]) {
         let tm = self.kruskal.order() - 1;
@@ -210,6 +241,17 @@ impl PeriodicCpd for CpStream {
         }
         self.kruskal = kruskal;
         self.grams = grams;
+    }
+
+    fn capture(&self) -> Result<crate::state::BaselineAlgoState, sns_stream::SnsError> {
+        Ok(crate::state::BaselineAlgoState::CpStream {
+            kruskal: self.kruskal.clone(),
+            grams: self.grams.clone(),
+            p_hist: self.p_hist.clone(),
+            g_hist: self.g_hist.clone(),
+            mu: self.mu,
+            inner_iters: self.inner_iters,
+        })
     }
 }
 

@@ -1,8 +1,9 @@
 //! Driver pairing a discrete window with a periodic baseline.
 
 use crate::periodic::PeriodicCpd;
+use crate::state::BaselineEngineState;
 use sns_core::als::{warm_start_from, AlsOptions, AlsResult};
-use sns_stream::{DiscreteWindow, PeriodUpdate, StreamTuple};
+use sns_stream::{DiscreteWindow, PeriodUpdate, SnsError, StreamTuple};
 use sns_tensor::SparseTensor;
 
 /// A conventional-model engine: tuples go into a [`DiscreteWindow`]; the
@@ -89,6 +90,36 @@ impl<B: PeriodicCpd> BaselineEngine<B> {
     /// Number of periods processed.
     pub fn periods(&self) -> u64 {
         self.periods
+    }
+
+    /// Captures the engine's complete live state — window (with exact
+    /// iteration orders), pending accumulation, algorithm internals —
+    /// as plain serializable data. A
+    /// [`BaselineEngineState::into_engine`] rebuild continues
+    /// bitwise-identically.
+    ///
+    /// # Errors
+    /// [`SnsError::SnapshotUnsupported`] if the wrapped algorithm has no
+    /// capture path (external [`PeriodicCpd`] impls that keep the
+    /// default opt-out).
+    pub fn capture_state(&self) -> Result<BaselineEngineState, SnsError> {
+        Ok(BaselineEngineState {
+            window: self.window.capture_state(),
+            algo: self.algo.capture()?,
+            periods: self.periods,
+        })
+    }
+}
+
+impl BaselineEngine<Box<dyn PeriodicCpd>> {
+    /// Reassembles an engine from restored parts (state restore — see
+    /// [`BaselineEngineState::into_engine`]).
+    pub(crate) fn from_parts(
+        window: DiscreteWindow,
+        algo: Box<dyn PeriodicCpd>,
+        periods: u64,
+    ) -> Self {
+        BaselineEngine { window, algo, buf: Vec::new(), periods }
     }
 }
 

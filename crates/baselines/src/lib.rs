@@ -23,6 +23,7 @@ pub mod engine;
 pub mod necpd;
 pub mod onlinescp;
 pub mod periodic;
+pub mod state;
 
 pub use als_periodic::AlsPeriodic;
 pub use cpstream::CpStream;
@@ -30,3 +31,4 @@ pub use engine::BaselineEngine;
 pub use necpd::NeCpd;
 pub use onlinescp::OnlineScp;
 pub use periodic::PeriodicCpd;
+pub use state::{BaselineAlgoState, BaselineEngineState};

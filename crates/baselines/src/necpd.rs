@@ -60,6 +60,31 @@ impl NeCpd {
         self.epochs
     }
 
+    /// Rebuilds the baseline from captured state (bitwise continuation).
+    /// Momentum buffers restore as zeros: `on_period` clears them before
+    /// every use, so their between-period content is dead state.
+    pub(crate) fn from_state(
+        kruskal: KruskalTensor,
+        grams: Vec<Mat>,
+        epochs: usize,
+        periods_seen: u64,
+        rng: [u64; 4],
+    ) -> Self {
+        use rand::rngs::StdRng;
+        let rank = kruskal.rank();
+        let velocity = kruskal.dims().iter().map(|&n| Mat::zeros(n, rank)).collect();
+        NeCpd {
+            kruskal,
+            grams,
+            epochs: epochs.max(1),
+            lr: 0.002,
+            momentum: 0.5,
+            velocity,
+            periods_seen,
+            rng: StdRng::from_state(rng),
+        }
+    }
+
     /// One Nesterov-SGD step on a single observed entry.
     fn sgd_step(&mut self, coord: &Coord, value: f64, lr: f64) {
         let rank = self.kruskal.rank();
@@ -155,6 +180,16 @@ impl PeriodicCpd for NeCpd {
         for v in &mut self.velocity {
             v.fill_zero();
         }
+    }
+
+    fn capture(&self) -> Result<crate::state::BaselineAlgoState, sns_stream::SnsError> {
+        Ok(crate::state::BaselineAlgoState::NeCpd {
+            kruskal: self.kruskal.clone(),
+            grams: self.grams.clone(),
+            epochs: self.epochs,
+            periods_seen: self.periods_seen,
+            rng: self.rng.state(),
+        })
     }
 }
 

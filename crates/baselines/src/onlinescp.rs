@@ -40,6 +40,11 @@ impl OnlineScp {
         let grams = compute_grams(&kruskal.factors);
         OnlineScp { kruskal, grams }
     }
+
+    /// Rebuilds the baseline from captured state (bitwise continuation).
+    pub(crate) fn from_state(kruskal: KruskalTensor, grams: Vec<Mat>) -> Self {
+        OnlineScp { kruskal, grams }
+    }
 }
 
 impl PeriodicCpd for OnlineScp {
@@ -82,6 +87,13 @@ impl PeriodicCpd for OnlineScp {
             self.grams = grams;
         }
         self.kruskal = kruskal;
+    }
+
+    fn capture(&self) -> Result<crate::state::BaselineAlgoState, sns_stream::SnsError> {
+        Ok(crate::state::BaselineAlgoState::OnlineScp {
+            kruskal: self.kruskal.clone(),
+            grams: self.grams.clone(),
+        })
     }
 }
 

@@ -1,8 +1,9 @@
 //! The once-per-period update interface shared by all baselines.
 
+use crate::state::BaselineAlgoState;
 use sns_core::kruskal::KruskalTensor;
 use sns_linalg::Mat;
-use sns_stream::PeriodUpdate;
+use sns_stream::{PeriodUpdate, SnsError};
 use sns_tensor::SparseTensor;
 
 /// A conventional online CPD algorithm: reacts only when a period
@@ -25,6 +26,15 @@ pub trait PeriodicCpd {
 
     /// Installs a warm-started factorization.
     fn install(&mut self, kruskal: KruskalTensor, grams: Vec<Mat>);
+
+    /// Captures the algorithm's carried-forward state
+    /// ([`BaselineAlgoState`]) so the baseline can be frozen and resumed
+    /// bitwise-identically. All four workspace baselines implement this;
+    /// the default is the **explicit opt-out** for external algorithms
+    /// whose internals have no capture path.
+    fn capture(&self) -> Result<BaselineAlgoState, SnsError> {
+        Err(SnsError::SnapshotUnsupported { engine: self.name() })
+    }
 
     /// Fitness against a window tensor.
     fn fitness(&self, window: &SparseTensor) -> f64 {
@@ -53,6 +63,10 @@ impl<P: PeriodicCpd + ?Sized> PeriodicCpd for Box<P> {
 
     fn install(&mut self, kruskal: KruskalTensor, grams: Vec<Mat>) {
         (**self).install(kruskal, grams)
+    }
+
+    fn capture(&self) -> Result<BaselineAlgoState, SnsError> {
+        (**self).capture()
     }
 
     fn fitness(&self, window: &SparseTensor) -> f64 {

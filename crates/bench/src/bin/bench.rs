@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --release -p sns-bench --bin bench -- --smoke --out BENCH_pr3.json
 //! cargo run --release -p sns-bench --bin bench -- sweep --smoke --out SWEEP_pr4.json
+//! cargo run --release -p sns-bench --bin bench -- recover --smoke --out RECOVER_pr5.json
 //! ```
 //!
 //! Throughput flags:
@@ -21,11 +22,24 @@
 //! - `--ranks <a,b,c>`  CP ranks to sweep (default `5,10,20`);
 //! - `--shards <n>`     pool worker shards (default 4);
 //! - `--smoke`          fifth-length trace (CI-sized);
-//! - `--out <path>`     JSON output path (default `SWEEP_pr4.json`).
+//! - `--out <path>`     JSON output path (default `SWEEP_pr4.json`);
+//! - `--trace-for rank=R,method=M,path=P`  replay the CSV at `P` in the
+//!   `(R, M)` cell instead of the shared synthetic trace (repeatable;
+//!   opens dataset×rank sweeps).
 //!
-//! Both JSON schemas are documented in the README.
+//! `recover` subcommand flags:
+//! - `--shards <n>`     pool worker shards (default 4);
+//! - `--smoke`          quarter-length trace (CI-sized);
+//! - `--dir <path>`     checkpoint directory (default
+//!   `recover-checkpoint`; the manifest is left behind for artifacts);
+//! - `--out <path>`     JSON output path (default `RECOVER_pr5.json`).
+//!   Exits non-zero unless every recovered stream is **byte-identical**
+//!   to the uninterrupted reference run.
+//!
+//! All JSON schemas are documented in the README.
 
-use sns_bench::experiments::sweep::{run_sweep, SweepConfig};
+use sns_bench::experiments::recover::{run_recover, RecoverConfig};
+use sns_bench::experiments::sweep::{run_sweep, SweepConfig, TraceOverride};
 use sns_bench::runner::{split_prefill, ExperimentParams};
 use sns_bench::Method;
 use sns_core::als::AlsOptions;
@@ -122,6 +136,22 @@ fn run_sweep_command(args: &[String]) {
             cfg.shards = n.max(1);
         }
     }
+    for (i, arg) in args.iter().enumerate() {
+        if arg != "--trace-for" {
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--trace-for needs rank=R,method=M,path=P");
+            std::process::exit(2);
+        };
+        match parse_trace_override(value) {
+            Some(ov) => cfg.trace_overrides.push(ov),
+            None => {
+                eprintln!("malformed --trace-for {value:?} (want rank=R,method=M,path=P)");
+                std::process::exit(2);
+            }
+        }
+    }
     if smoke {
         cfg.events /= 5;
     }
@@ -147,10 +177,78 @@ fn run_sweep_command(args: &[String]) {
     }
 }
 
+/// Parses one `rank=R,method=M,path=P` value. The method name may
+/// itself contain `=` or `,` only if it is one of the known display
+/// names, which none do — so plain splitting is enough.
+fn parse_trace_override(value: &str) -> Option<TraceOverride> {
+    let mut rank = None;
+    let mut method = None;
+    let mut path = None;
+    for part in value.split(',') {
+        let (key, v) = part.split_once('=')?;
+        match key.trim() {
+            "rank" => rank = v.trim().parse::<usize>().ok(),
+            "method" => method = Some(v.trim().to_string()),
+            "path" => path = Some(std::path::PathBuf::from(v.trim())),
+            _ => return None,
+        }
+    }
+    Some(TraceOverride { rank: rank?, method: method?, path: path? })
+}
+
+/// `bench recover`: kill a pooled replay mid-trace, recover from disk,
+/// finish, and assert byte-identity with an uninterrupted run.
+fn run_recover_command(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "RECOVER_pr5.json".to_string());
+    let mut cfg = RecoverConfig::default();
+    if let Some(shards) = args.iter().position(|a| a == "--shards").and_then(|i| args.get(i + 1)) {
+        if let Ok(n) = shards.parse::<usize>() {
+            cfg.shards = n.max(1);
+        }
+    }
+    if let Some(dir) = args.iter().position(|a| a == "--dir").and_then(|i| args.get(i + 1)) {
+        cfg.dir = std::path::PathBuf::from(dir);
+    }
+    if smoke {
+        cfg.events /= 4;
+    }
+    println!(
+        "recover: {} events, crash at midpoint, {} shards, checkpoint dir {} ({} mode)",
+        cfg.events,
+        cfg.shards,
+        cfg.dir.display(),
+        if smoke { "smoke" } else { "full" },
+    );
+    let report = match run_recover(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("recover scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    println!("checkpoint manifest: {}", report.manifest.display());
+    std::fs::write(&out_path, report.to_json()).expect("write recover json");
+    println!("wrote {out_path}");
+    if !report.all_identical() {
+        eprintln!("RECOVERY DIVERGED: restored fleet is not byte-identical");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "sweep") {
         run_sweep_command(&args[1..]);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "recover") {
+        run_recover_command(&args[1..]);
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");

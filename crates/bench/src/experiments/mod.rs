@@ -2,8 +2,9 @@
 //! `run(scale: f64) -> String`; the binaries print that string, and
 //! `run_all` concatenates everything for `EXPERIMENTS.md`.
 //!
-//! [`sweep`] is not a paper figure: it is the pooled multi-rank sweep
-//! scenario (`bench sweep`), documented in the README.
+//! [`sweep`] and [`recover`] are not paper figures: they are the pooled
+//! multi-rank sweep scenario (`bench sweep`) and the pool-wide crash
+//! recovery scenario (`bench recover`), both documented in the README.
 
 pub mod fig1;
 pub mod fig4;
@@ -12,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod recover;
 pub mod sweep;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,326 @@
+//! Kill → recover → finish: pool-wide crash recovery, proven bitwise.
+//!
+//! The scenario behind `bench recover`:
+//!
+//! 1. **Reference run** — a pooled fleet covering every engine family
+//!    (the continuous SNS variants, all four conventional baselines, and
+//!    an anomaly-decorated engine) replays a trace end to end,
+//!    uninterrupted; each final engine state is serialized with
+//!    `sns-codec`.
+//! 2. **Interrupted run** — an identical fleet replays the *first half*
+//!    of the trace, the pool is checkpointed to a file-backed
+//!    [`CheckpointStore`], and the pool is dropped mid-trace (the
+//!    "crash"). A **brand-new** pool recovers every stream from disk and
+//!    finishes the trace.
+//! 3. **Verdict** — the recovered fleet's final snapshots are serialized
+//!    and compared **byte for byte** against the reference's. Because
+//!    the codec is canonical, byte equality is full state equality:
+//!    factors, Grams, window orders, pending events, RNG states,
+//!    detector statistics — everything.
+//!
+//! Any divergence — a field the codec forgot, dead state that turned out
+//! to be live, an iteration order that did not survive the disk round
+//! trip — fails the scenario (and CI, which runs it with `--smoke`).
+
+use crate::report::{f, Table};
+use sns_codec::store::{checkpoint_pool, recover_pool, CheckpointStore};
+use sns_codec::to_bytes;
+use sns_core::als::AlsOptions;
+use sns_core::config::{AlgorithmKind, SnsConfig};
+use sns_data::replay::{replay, ReplayPlan};
+use sns_data::{generate, nytaxi_like, DatasetSpec};
+use sns_runtime::{AnomalyConfig, EnginePool, EngineSpec, PoolConfig, SnsError};
+use sns_stream::StreamTuple;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// How to size the recover scenario.
+#[derive(Debug, Clone)]
+pub struct RecoverConfig {
+    /// Events generated for the trace.
+    pub events: usize,
+    /// Worker shards of both pools.
+    pub shards: usize,
+    /// Pool base seed.
+    pub base_seed: u64,
+    /// Trace generator seed.
+    pub data_seed: u64,
+    /// Directory the checkpoint is written to (kept afterwards so CI can
+    /// upload the manifest as an artifact).
+    pub dir: PathBuf,
+}
+
+impl Default for RecoverConfig {
+    fn default() -> Self {
+        RecoverConfig {
+            events: 20_000,
+            shards: 4,
+            base_seed: 0x5eed,
+            data_seed: 42,
+            dir: PathBuf::from("recover-checkpoint"),
+        }
+    }
+}
+
+/// Outcome for one stream of the fleet.
+#[derive(Debug, Clone)]
+pub struct RecoverCell {
+    /// Pooled stream id.
+    pub stream_id: u64,
+    /// Engine display name.
+    pub name: String,
+    /// Factor updates at end of trace (recovered run).
+    pub updates: u64,
+    /// Final fitness (recovered run).
+    pub fitness: f64,
+    /// Serialized snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// Whether the recovered final state is byte-identical to the
+    /// uninterrupted run's.
+    pub identical: bool,
+}
+
+/// A completed recover scenario.
+#[derive(Debug, Clone)]
+pub struct RecoverReport {
+    /// Dataset the trace mirrors.
+    pub dataset: String,
+    /// Events in the trace.
+    pub events: usize,
+    /// Trace index the crash was injected at.
+    pub crash_at: usize,
+    /// Per-stream outcomes, in stream-id order.
+    pub cells: Vec<RecoverCell>,
+    /// Path of the checkpoint manifest left on disk.
+    pub manifest: PathBuf,
+}
+
+impl RecoverReport {
+    /// True when every stream recovered bitwise.
+    pub fn all_identical(&self) -> bool {
+        self.cells.iter().all(|c| c.identical)
+    }
+
+    /// Renders the scenario as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["stream", "engine", "updates", "fitness", "bytes", "bitwise"]);
+        for c in &self.cells {
+            t.row(vec![
+                c.stream_id.to_string(),
+                c.name.clone(),
+                c.updates.to_string(),
+                f(c.fitness),
+                c.snapshot_bytes.to_string(),
+                if c.identical { "identical".to_string() } else { "DIVERGED".to_string() },
+            ]);
+        }
+        t.render()
+    }
+
+    /// Serializes the machine-readable report (schema in the README).
+    pub fn to_json(&self) -> String {
+        fn jf(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.6}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"sns-recover\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"dataset\": \"{}\", \"synthetic\": true, \"events\": {}, \"crash_at\": {}, \"streams\": {}}},\n",
+            self.dataset,
+            self.events,
+            self.crash_at,
+            self.cells.len(),
+        ));
+        out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str("  \"streams\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stream_id\": {}, \"engine\": \"{}\", \"updates\": {}, \"fitness\": {}, \"snapshot_bytes\": {}, \"identical\": {}}}{}\n",
+                c.stream_id,
+                c.name,
+                c.updates,
+                jf(c.fitness),
+                c.snapshot_bytes,
+                c.identical,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The fleet: every engine family plus the anomaly decorator, one
+/// pooled stream each. Rank is kept small — the scenario is about state
+/// fidelity, not fitting quality.
+fn fleet(spec: &DatasetSpec) -> Vec<(u64, EngineSpec)> {
+    let sns = |kind| {
+        EngineSpec::sns(
+            spec.base_dims,
+            spec.window,
+            spec.period,
+            kind,
+            &SnsConfig { rank: 4, theta: spec.theta, eta: spec.eta, init_scale: 1.0, seed: 0 },
+        )
+    };
+    let baseline = |algo| EngineSpec::baseline(spec.base_dims, spec.window, spec.period, 4, algo);
+    vec![
+        (0, sns(AlgorithmKind::PlusRnd)),
+        (1, sns(AlgorithmKind::PlusVec)),
+        (2, baseline(sns_runtime::BaselineKind::AlsPeriodic { sweeps: 1 })),
+        (3, baseline(sns_runtime::BaselineKind::OnlineScp)),
+        (4, baseline(sns_runtime::BaselineKind::CpStream { decay: 0.99, iters: 2 })),
+        (5, baseline(sns_runtime::BaselineKind::NeCpd { epochs: 1 })),
+        (6, sns(AlgorithmKind::PlusRnd).with_anomaly(AnomalyConfig::default())),
+    ]
+}
+
+/// Opens every fleet stream on `pool` and replays `tuples` through all
+/// of them concurrently (one driver thread per stream).
+fn replay_fleet(
+    pool: &EnginePool,
+    streams: &[(u64, EngineSpec)],
+    tuples: &[StreamTuple],
+    plan: &ReplayPlan,
+) -> Result<Vec<sns_runtime::StreamSession>, SnsError> {
+    let mut sessions = Vec::with_capacity(streams.len());
+    for (id, spec) in streams {
+        sessions.push(pool.open(*id, spec.clone())?);
+    }
+    drive_fleet(&mut sessions, tuples, plan)?;
+    Ok(sessions)
+}
+
+/// Replays `tuples` through already-open sessions concurrently.
+fn drive_fleet(
+    sessions: &mut [sns_runtime::StreamSession],
+    tuples: &[StreamTuple],
+    plan: &ReplayPlan,
+) -> Result<(), SnsError> {
+    let results: Vec<Result<(), SnsError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter_mut()
+            .map(|session| scope.spawn(move || replay(session, tuples, plan).map(|_| ())))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay thread panicked")).collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Runs the scenario; see the module docs for the three phases.
+///
+/// # Errors
+/// Any pool, replay, codec, or store error; a *non-identical* recovery
+/// is not an error — it is reported per stream (and the caller exits
+/// non-zero on [`RecoverReport::all_identical`] being false).
+pub fn run_recover(cfg: &RecoverConfig) -> Result<RecoverReport, SnsError> {
+    let spec = nytaxi_like();
+    let trace = generate(&spec.generator(cfg.events, cfg.data_seed));
+    let als = AlsOptions { max_iters: 8, tol: 1e-3, ..Default::default() };
+    let full_plan = ReplayPlan::for_dataset(&spec, als.clone());
+    let streams = fleet(&spec);
+    let pool_config =
+        || PoolConfig { shards: cfg.shards, base_seed: cfg.base_seed, queue_depth: 64 };
+
+    // Phase 1: the uninterrupted reference. Snapshots are taken while
+    // the sessions are still open (closing a session drops its slot).
+    let reference_pool = EnginePool::new(pool_config());
+    let sessions = replay_fleet(&reference_pool, &streams, &trace, &full_plan)?;
+    let mut reference_bytes: HashMap<u64, Vec<u8>> = HashMap::new();
+    for (id, snapshot) in reference_pool.checkpoint_all() {
+        reference_bytes.insert(id, to_bytes(&snapshot?));
+    }
+    drop(sessions);
+    reference_pool.join();
+
+    // Phase 2: replay half the trace, checkpoint to disk, crash.
+    let crash_at = trace.len() / 2;
+    let first_half_plan = ReplayPlan { advance_to: None, ..full_plan.clone() };
+    let store = CheckpointStore::create(&cfg.dir)?;
+    let doomed_pool = EnginePool::new(pool_config());
+    let sessions = replay_fleet(&doomed_pool, &streams, &trace[..crash_at], &first_half_plan)?;
+    checkpoint_pool(&doomed_pool, &store)?;
+    drop(sessions);
+    drop(doomed_pool); // the crash: no clean close, the process state is gone
+
+    // Phase 3: recover from disk into a brand-new pool, finish the trace.
+    let recovered_pool = EnginePool::new(pool_config());
+    let mut recovered = recover_pool(&recovered_pool, &store)?;
+    let tail_plan = ReplayPlan {
+        prefill_until: None,
+        warm_start: None,
+        bucket_ticks: full_plan.bucket_ticks,
+        max_batch: full_plan.max_batch,
+        advance_to: full_plan.advance_to,
+    };
+    drive_fleet(&mut recovered, &trace[crash_at..], &tail_plan)?;
+
+    let mut cells = Vec::with_capacity(streams.len());
+    for session in &mut recovered {
+        let report = session.report()?;
+        if let Some(e) = report.error {
+            return Err(e);
+        }
+        let snapshot = session.snapshot()?;
+        let bytes = to_bytes(&snapshot);
+        let reference = reference_bytes
+            .get(&report.stream_id)
+            .ok_or(SnsError::StreamClosed { stream_id: report.stream_id })?;
+        cells.push(RecoverCell {
+            stream_id: report.stream_id,
+            name: report.name,
+            updates: report.updates_applied,
+            fitness: report.fitness,
+            snapshot_bytes: bytes.len(),
+            identical: &bytes == reference,
+        });
+    }
+    cells.sort_by_key(|c| c.stream_id);
+    drop(recovered);
+    recovered_pool.join();
+
+    Ok(RecoverReport {
+        dataset: spec.name.to_string(),
+        events: trace.len(),
+        crash_at,
+        cells,
+        manifest: store.manifest_path(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_recover_finish_is_bitwise_identical() {
+        let dir = std::env::temp_dir().join(format!("sns-recover-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_recover(&RecoverConfig {
+            events: 3_000,
+            shards: 3,
+            base_seed: 0xbead,
+            data_seed: 7,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        assert_eq!(report.cells.len(), 7, "every engine family plus the decorator");
+        for c in &report.cells {
+            assert!(c.identical, "stream {} ({}) diverged after recovery", c.stream_id, c.name);
+            assert!(c.updates > 0, "stream {} applied no updates", c.stream_id);
+            assert!(c.snapshot_bytes > 0);
+        }
+        assert!(report.all_identical());
+        assert!(report.manifest.exists(), "manifest must stay on disk for CI artifacts");
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"sns-recover\""));
+        assert!(json.contains("\"all_identical\": true"));
+        assert!(report.render().contains("identical"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,10 +17,28 @@ use crate::method::Method;
 use crate::report::{f, Table};
 use crate::runner::ExperimentParams;
 use sns_core::als::AlsOptions;
-use sns_data::replay::{replay, ReplayPlan};
+use sns_data::replay::{read_trace, replay, ReplayPlan};
 use sns_data::{generate, nytaxi_like, DatasetSpec};
 use sns_runtime::{EnginePool, PoolConfig, StreamSession};
+use sns_stream::{SnsError, StreamTuple};
+use std::path::PathBuf;
 use std::time::Instant;
+
+/// A per-cell trace override: the named `(rank, method)` cell replays
+/// the CSV trace at `path` instead of the shared synthetic trace —
+/// opening dataset×rank sweeps where different cells evaluate different
+/// workloads side by side. The trace must fit the sweep's tensor-window
+/// geometry (coordinate bounds and chronological order), like any
+/// replayed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOverride {
+    /// The cell's CP rank.
+    pub rank: usize,
+    /// The cell's method display name (e.g. `SNS+_RND`, `OnlineSCP`).
+    pub method: String,
+    /// CSV trace path (see `sns-data::csvio` for the format).
+    pub path: PathBuf,
+}
 
 /// What to sweep and how to size the pool.
 #[derive(Debug, Clone)]
@@ -37,6 +55,9 @@ pub struct SweepConfig {
     pub base_seed: u64,
     /// Trace generator seed.
     pub data_seed: u64,
+    /// Per-cell trace overrides (`--trace-for rank=R,method=M,path=P`);
+    /// cells without an override replay the shared synthetic trace.
+    pub trace_overrides: Vec<TraceOverride>,
 }
 
 impl Default for SweepConfig {
@@ -52,6 +73,7 @@ impl Default for SweepConfig {
             shards: 4,
             base_seed: 0x5eed,
             data_seed: 42,
+            trace_overrides: Vec::new(),
         }
     }
 }
@@ -79,6 +101,8 @@ pub struct SweepCell {
     pub seconds: f64,
     /// Whether the model diverged.
     pub diverged: bool,
+    /// Which trace the cell replayed: `"shared"` or the override path.
+    pub trace: String,
     /// First error the cell hit, if any (rendered; `None` on success).
     pub error: Option<String>,
 }
@@ -100,7 +124,7 @@ impl SweepReport {
     /// Renders the sweep as an aligned text table.
     pub fn render(&self) -> String {
         let mut t = Table::new(&[
-            "rank", "method", "shard", "fitness", "updates", "params", "sec", "status",
+            "rank", "method", "shard", "fitness", "updates", "params", "sec", "trace", "status",
         ]);
         for c in &self.cells {
             t.row(vec![
@@ -111,6 +135,7 @@ impl SweepReport {
                 c.updates.to_string(),
                 c.parameters.to_string(),
                 f(c.seconds),
+                c.trace.clone(),
                 match (&c.error, c.diverged) {
                     (Some(e), _) => format!("error: {e}"),
                     (None, true) => "DIVERGED".to_string(),
@@ -143,7 +168,7 @@ impl SweepReport {
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"stream_id\": {}, \"shard\": {}, \"rank\": {}, \"method\": \"{}\", \"fitness\": {}, \"updates\": {}, \"parameters\": {}, \"tuples\": {}, \"seconds\": {}, \"diverged\": {}, \"error\": {}}}{}\n",
+                "    {{\"stream_id\": {}, \"shard\": {}, \"rank\": {}, \"method\": \"{}\", \"fitness\": {}, \"updates\": {}, \"parameters\": {}, \"tuples\": {}, \"seconds\": {}, \"diverged\": {}, \"trace\": {}, \"error\": {}}}{}\n",
                 c.stream_id,
                 c.shard,
                 c.rank,
@@ -154,7 +179,8 @@ impl SweepReport {
                 c.tuples,
                 jf(c.seconds),
                 c.diverged,
-                c.error.as_ref().map_or("null".to_string(), |e| format!("{:?}", e.to_string())),
+                crate::report::json_str(&c.trace),
+                c.error.as_ref().map_or("null".to_string(), |e| crate::report::json_str(e)),
                 if i + 1 < self.cells.len() { "," } else { "" },
             ));
         }
@@ -182,6 +208,21 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
     let als = AlsOptions { max_iters: 10, tol: 1e-3, ..Default::default() };
     let plan = ReplayPlan::for_dataset(&spec, als);
 
+    // Load each override trace once; cells reference them by index so
+    // several cells can share one file.
+    let mut override_traces: Vec<(String, Result<Vec<StreamTuple>, SnsError>)> = Vec::new();
+    let mut override_of = |rank: usize, method: &str| -> Option<usize> {
+        let ov = cfg.trace_overrides.iter().find(|o| o.rank == rank && o.method == method)?;
+        let key = ov.path.display().to_string();
+        if let Some(i) = override_traces.iter().position(|(k, _)| *k == key) {
+            return Some(i);
+        }
+        let loaded = read_trace(&ov.path)
+            .map_err(|e| SnsError::Io { path: key.clone(), message: e.to_string() });
+        override_traces.push((key, loaded));
+        Some(override_traces.len() - 1)
+    };
+
     let pool = EnginePool::new(PoolConfig {
         shards: cfg.shards,
         base_seed: cfg.base_seed,
@@ -194,6 +235,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
         stream_id: u64,
         rank: usize,
         method: Method,
+        trace_idx: Option<usize>,
         session: Option<StreamSession>,
         open_error: Option<String>,
     }
@@ -215,9 +257,11 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
                 Ok(s) => (Some(s), None),
                 Err(e) => (None, Some(e.to_string())),
             };
-            open_cells.push(OpenCell { stream_id, rank, method, session, open_error });
+            let trace_idx = override_of(rank, &method.name());
+            open_cells.push(OpenCell { stream_id, rank, method, trace_idx, session, open_error });
         }
     }
+    let override_traces = &override_traces;
 
     let cells: Vec<SweepCell> = std::thread::scope(|scope| {
         let handles: Vec<_> = open_cells
@@ -226,7 +270,17 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
                 let stream = &stream;
                 let plan = &plan;
                 scope.spawn(move || {
-                    let OpenCell { stream_id, rank, method, session, open_error } = cell;
+                    let OpenCell { stream_id, rank, method, trace_idx, session, open_error } = cell;
+                    let (trace_name, trace): (String, Option<&[StreamTuple]>) = match trace_idx {
+                        None => ("shared".to_string(), Some(stream)),
+                        Some(i) => {
+                            let (name, loaded) = &override_traces[i];
+                            match loaded {
+                                Ok(t) => (name.clone(), Some(t)),
+                                Err(_) => (name.clone(), None),
+                            }
+                        }
+                    };
                     let mut out = SweepCell {
                         stream_id,
                         shard: 0,
@@ -238,17 +292,25 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
                         tuples: 0,
                         seconds: 0.0,
                         diverged: false,
+                        trace: trace_name,
                         error: open_error,
                     };
+                    if out.error.is_none() {
+                        if let (Some(i), None) = (trace_idx, trace) {
+                            out.error = override_traces[i].1.as_ref().err().map(|e| e.to_string());
+                        }
+                    }
                     let Some(mut session) = session else { return out };
                     out.shard = session.shard();
-                    let start = Instant::now();
-                    match replay(&mut session, stream, plan) {
-                        Ok(r) => {
-                            out.tuples = r.ingested;
-                            out.seconds = start.elapsed().as_secs_f64();
+                    if let Some(trace) = trace {
+                        let start = Instant::now();
+                        match replay(&mut session, trace, plan) {
+                            Ok(r) => {
+                                out.tuples = r.ingested;
+                                out.seconds = start.elapsed().as_secs_f64();
+                            }
+                            Err(e) => out.error = Some(e.to_string()),
                         }
-                        Err(e) => out.error = Some(e.to_string()),
                     }
                     match session.report() {
                         Ok(r) => {
@@ -289,6 +351,7 @@ mod tests {
             shards: 3,
             base_seed: 7,
             data_seed: 11,
+            trace_overrides: Vec::new(),
         }
     }
 
@@ -328,12 +391,68 @@ mod tests {
             shards: 2,
             base_seed: 1,
             data_seed: 2,
+            trace_overrides: Vec::new(),
         });
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"sns-sweep\""));
         assert!(json.contains("\"rank\": 2"));
         assert!(json.contains("\"method\": \"SNS+_VEC\""));
+        assert!(json.contains("\"trace\": \"shared\""));
         let table = report.render();
         assert!(table.contains("SNS+_VEC"));
+    }
+
+    #[test]
+    fn trace_override_routes_one_cell_to_its_own_trace() {
+        // Write a tiny trace whose length differs from the shared one.
+        let spec = nytaxi_like();
+        let small = generate(&spec.generator(400, 99));
+        let path =
+            std::env::temp_dir().join(format!("sns-sweep-override-{}.csv", std::process::id()));
+        sns_data::csvio::write_stream(std::fs::File::create(&path).unwrap(), &small).unwrap();
+
+        let mut cfg = tiny();
+        cfg.trace_overrides =
+            vec![TraceOverride { rank: 2, method: "SNS+_RND".to_string(), path: path.clone() }];
+        let report = run_sweep(&cfg);
+        std::fs::remove_file(&path).ok();
+
+        let overridden = report
+            .cells
+            .iter()
+            .find(|c| c.rank == 2 && c.method == "SNS+_RND")
+            .expect("overridden cell present");
+        assert_eq!(overridden.error, None, "{:?}", overridden.error);
+        assert_eq!(overridden.trace, path.display().to_string());
+        let shared = report
+            .cells
+            .iter()
+            .find(|c| c.rank == 4 && c.method == "SNS+_RND")
+            .expect("shared cell present");
+        assert_eq!(shared.trace, "shared");
+        // The override actually changed the workload the cell saw.
+        assert!(overridden.tuples < shared.tuples);
+        assert!(report.to_json().contains("sns-sweep-override"));
+    }
+
+    #[test]
+    fn missing_override_trace_is_a_typed_cell_error_not_a_crash() {
+        let mut cfg = tiny();
+        cfg.trace_overrides = vec![TraceOverride {
+            rank: 2,
+            method: "OnlineSCP".to_string(),
+            path: PathBuf::from("/nonexistent/sns-trace.csv"),
+        }];
+        let report = run_sweep(&cfg);
+        let broken = report
+            .cells
+            .iter()
+            .find(|c| c.rank == 2 && c.method == "OnlineSCP")
+            .expect("cell present");
+        assert!(broken.error.is_some(), "missing trace must surface as a cell error");
+        // Every other cell is unaffected.
+        for c in report.cells.iter().filter(|c| !(c.rank == 2 && c.method == "OnlineSCP")) {
+            assert_eq!(c.error, None, "cell R={} {}", c.rank, c.method);
+        }
     }
 }

@@ -1,0 +1,327 @@
+//! File-backed checkpoint store: one snapshot file per stream plus a
+//! manifest, with pool-wide checkpoint/recover helpers.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST.sns            - text manifest (see below)
+//!   stream-<id>.snsc        - one versioned binary snapshot per stream
+//! ```
+//!
+//! The manifest is line-oriented text, written atomically **after** all
+//! snapshot files:
+//!
+//! ```text
+//! sns-checkpoint v1
+//! streams <count>
+//! stream <id> file <name> bytes <len> crc <fnv1a-hex>
+//! ```
+//!
+//! Loading is manifest-driven: a missing or size/checksum-mismatched
+//! file is a typed error, never a silently shorter fleet. Snapshot files
+//! are written to a temporary name and renamed into place, so a crash
+//! mid-checkpoint leaves the previous manifest (and therefore the
+//! previous consistent checkpoint) intact.
+
+use crate::bytes::fnv1a;
+use crate::{from_bytes, to_bytes};
+use sns_error::SnsError;
+use sns_runtime::{EnginePool, EngineSnapshot, StreamSession};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside a checkpoint directory.
+pub const MANIFEST: &str = "MANIFEST.sns";
+
+fn io_err(path: &Path, e: impl std::fmt::Display) -> SnsError {
+    SnsError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// One manifest row: a stream's snapshot file and its integrity data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The stream id.
+    pub stream_id: u64,
+    /// File name inside the store directory.
+    pub file: String,
+    /// Expected file size in bytes.
+    pub bytes: u64,
+    /// FNV-1a 64 of the file contents.
+    pub crc: u64,
+}
+
+/// A directory of per-stream snapshot files plus a manifest.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    /// [`SnsError::Io`] if the directory cannot be created.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, SnsError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST)
+    }
+
+    fn file_name(stream_id: u64) -> String {
+        format!("stream-{stream_id}.snsc")
+    }
+
+    /// Writes one file per snapshot plus the manifest (last, atomically
+    /// via rename), replacing any previous checkpoint in this directory.
+    ///
+    /// # Errors
+    /// [`SnsError::Io`] on the first filesystem failure.
+    pub fn save(&self, snapshots: &[EngineSnapshot]) -> Result<Vec<ManifestEntry>, SnsError> {
+        let mut entries = Vec::with_capacity(snapshots.len());
+        for snapshot in snapshots {
+            let bytes = to_bytes(snapshot);
+            let file = Self::file_name(snapshot.stream_id);
+            let path = self.dir.join(&file);
+            let tmp = self.dir.join(format!("{file}.tmp"));
+            {
+                // Each snapshot file is synced before the manifest is
+                // renamed into place: the manifest is the commit point,
+                // so everything it references must already be durable.
+                let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+                f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+                f.sync_all().map_err(|e| io_err(&tmp, e))?;
+            }
+            fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+            entries.push(ManifestEntry {
+                stream_id: snapshot.stream_id,
+                file,
+                bytes: bytes.len() as u64,
+                crc: fnv1a(&bytes),
+            });
+        }
+        entries.sort_by_key(|e| e.stream_id);
+        let mut manifest = String::new();
+        manifest.push_str("sns-checkpoint v1\n");
+        manifest.push_str(&format!("streams {}\n", entries.len()));
+        for e in &entries {
+            manifest.push_str(&format!(
+                "stream {} file {} bytes {} crc {:016x}\n",
+                e.stream_id, e.file, e.bytes, e.crc
+            ));
+        }
+        let tmp = self.dir.join(format!("{MANIFEST}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(manifest.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        let path = self.manifest_path();
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        Ok(entries)
+    }
+
+    /// Parses the manifest.
+    ///
+    /// # Errors
+    /// [`SnsError::Io`] if it is missing or malformed.
+    pub fn manifest(&self) -> Result<Vec<ManifestEntry>, SnsError> {
+        let path = self.manifest_path();
+        let text = fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("sns-checkpoint v1") {
+            return Err(io_err(&path, "not a v1 checkpoint manifest"));
+        }
+        let count: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("streams "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| io_err(&path, "missing stream count"))?;
+        let mut entries = Vec::with_capacity(count);
+        for line in lines {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let [kw, id, fkw, file, bkw, bytes, ckw, crc] = parts.as_slice() else {
+                return Err(io_err(&path, format!("malformed manifest line: {line}")));
+            };
+            if (*kw, *fkw, *bkw, *ckw) != ("stream", "file", "bytes", "crc") {
+                return Err(io_err(&path, format!("malformed manifest line: {line}")));
+            }
+            entries.push(ManifestEntry {
+                stream_id: id.parse().map_err(|e| io_err(&path, e))?,
+                file: (*file).to_string(),
+                bytes: bytes.parse().map_err(|e| io_err(&path, e))?,
+                crc: u64::from_str_radix(crc, 16).map_err(|e| io_err(&path, e))?,
+            });
+        }
+        if entries.len() != count {
+            return Err(io_err(
+                &path,
+                format!("manifest promises {count} streams, lists {}", entries.len()),
+            ));
+        }
+        Ok(entries)
+    }
+
+    /// Loads every snapshot listed in the manifest, verifying file size
+    /// and checksum before decoding, in manifest (stream id) order.
+    ///
+    /// # Errors
+    /// [`SnsError::Io`] for missing/mismatched files,
+    /// [`SnsError::Codec`] for undecodable snapshots.
+    pub fn load(&self) -> Result<Vec<EngineSnapshot>, SnsError> {
+        let mut snapshots = Vec::new();
+        for entry in self.manifest()? {
+            let path = self.dir.join(&entry.file);
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+            if bytes.len() as u64 != entry.bytes {
+                return Err(io_err(
+                    &path,
+                    format!("{} bytes on disk, manifest says {}", bytes.len(), entry.bytes),
+                ));
+            }
+            let crc = fnv1a(&bytes);
+            if crc != entry.crc {
+                return Err(io_err(
+                    &path,
+                    format!("crc {crc:016x} on disk, manifest says {:016x}", entry.crc),
+                ));
+            }
+            let snapshot = from_bytes(&bytes)?;
+            if snapshot.stream_id != entry.stream_id {
+                return Err(io_err(
+                    &path,
+                    format!(
+                        "file holds stream {}, manifest says {}",
+                        snapshot.stream_id, entry.stream_id
+                    ),
+                ));
+            }
+            snapshots.push(snapshot);
+        }
+        Ok(snapshots)
+    }
+}
+
+/// Pool-wide durability: checkpoint every stream of `pool` into `store`.
+/// All-or-nothing — a stream whose engine cannot be captured fails the
+/// checkpoint (a checkpoint that silently omits streams is worse than
+/// none), and the previous manifest stays in place.
+///
+/// # Errors
+/// The first capture error, or [`SnsError::Io`] from the store.
+pub fn checkpoint_pool(
+    pool: &EnginePool,
+    store: &CheckpointStore,
+) -> Result<Vec<ManifestEntry>, SnsError> {
+    let mut snapshots = Vec::new();
+    for (_, result) in pool.checkpoint_all() {
+        snapshots.push(result?);
+    }
+    store.save(&snapshots)
+}
+
+/// Pool-wide recovery: rebuild every checkpointed stream from `store`
+/// onto `pool`, returning the live sessions in stream-id order. Each
+/// restored engine continues **bitwise-identically** from its
+/// checkpoint.
+///
+/// # Errors
+/// Store/codec errors, or the first snapshot the pool cannot restore.
+pub fn recover_pool(
+    pool: &EnginePool,
+    store: &CheckpointStore,
+) -> Result<Vec<StreamSession>, SnsError> {
+    pool.recover_all(store.load()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_core::config::{AlgorithmKind, SnsConfig};
+    use sns_runtime::{EngineSpec, PoolConfig};
+    use sns_stream::StreamTuple;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sns-codec-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> EngineSpec {
+        let config = SnsConfig { rank: 2, theta: 4, ..Default::default() };
+        EngineSpec::sns(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config)
+    }
+
+    fn tuples(id: u64) -> Vec<StreamTuple> {
+        (0..80u64)
+            .map(|t| StreamTuple::new([((t + id) % 4) as u32, ((t * 3) % 3) as u32], 1.0, t))
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_then_recover_round_trips_a_pool() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 9, ..Default::default() });
+        let ids = [3u64, 1, 7];
+        let mut sessions: Vec<_> = ids.iter().map(|&id| pool.open(id, spec()).unwrap()).collect();
+        for (s, &id) in sessions.iter_mut().zip(&ids) {
+            s.ingest_batch(&tuples(id)[..40]).unwrap();
+        }
+        let entries = checkpoint_pool(&pool, &store).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.windows(2).all(|w| w[0].stream_id < w[1].stream_id));
+        assert!(store.manifest_path().exists());
+        drop(sessions);
+        pool.join(); // crash
+
+        let fresh = EnginePool::new(PoolConfig { shards: 2, base_seed: 9, ..Default::default() });
+        let mut recovered = recover_pool(&fresh, &store).unwrap();
+        assert_eq!(recovered.len(), 3);
+        // Sessions come back in stream-id order and keep working.
+        let sorted: Vec<u64> = recovered.iter().map(|s| s.stream_id()).collect();
+        assert_eq!(sorted, vec![1, 3, 7]);
+        for s in &mut recovered {
+            let id = s.stream_id();
+            s.ingest_batch(&tuples(id)[40..]).unwrap();
+            assert_eq!(s.report().unwrap().error, None);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_tampered_files_and_missing_manifest() {
+        let dir = temp_dir("tamper");
+        let store = CheckpointStore::create(&dir).unwrap();
+        assert!(matches!(store.load(), Err(SnsError::Io { .. })), "no manifest yet");
+
+        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 1, ..Default::default() });
+        let mut s = pool.open(5, spec()).unwrap();
+        s.ingest_batch(&tuples(5)[..20]).unwrap();
+        checkpoint_pool(&pool, &store).unwrap();
+
+        // Corrupt the snapshot file: the manifest crc catches it.
+        let file = dir.join("stream-5.snsc");
+        let mut bytes = fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&file, &bytes).unwrap();
+        assert!(matches!(store.load(), Err(SnsError::Io { .. })));
+
+        // Delete it: missing file is typed, not a shorter fleet.
+        fs::remove_file(&file).unwrap();
+        assert!(matches!(store.load(), Err(SnsError::Io { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -75,6 +75,17 @@ impl ZScoreTracker {
         self.mean += delta / self.count as f64;
         self.m2 += delta * (value - self.mean);
     }
+
+    /// The accumulated second central moment `M₂` (state capture).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds a tracker from captured Welford accumulators; it
+    /// continues bitwise-identically to the captured one.
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        ZScoreTracker { count, mean, m2 }
+    }
 }
 
 /// One scored stream event.
@@ -193,6 +204,54 @@ impl AnomalyDetector {
         }
         top.iter().filter(|e| is_true_anomaly(e)).count() as f64 / top.len() as f64
     }
+
+    /// Captures the detector's complete state — streaming statistics,
+    /// retained event log, retention cap — for durable serialization.
+    pub fn capture_state(&self) -> DetectorState {
+        DetectorState {
+            count: self.tracker.count(),
+            mean: self.tracker.mean(),
+            m2: self.tracker.m2(),
+            events: self.events.clone(),
+            max_events: self.max_events,
+        }
+    }
+
+    /// Rebuilds a detector from captured state; it scores, retains, and
+    /// ranks exactly as the captured one would have.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency.
+    pub fn from_state(state: DetectorState) -> Result<Self, String> {
+        let DetectorState { count, mean, m2, events, max_events } = state;
+        if max_events == 0 {
+            return Err("retention cap must be positive".to_string());
+        }
+        if (events.len() as u64) > count {
+            return Err(format!("{} retained events but only {count} scored", events.len()));
+        }
+        Ok(AnomalyDetector {
+            tracker: ZScoreTracker::from_parts(count, mean, m2),
+            events,
+            max_events,
+        })
+    }
+}
+
+/// Captured raw state of an [`AnomalyDetector`] (see
+/// [`AnomalyDetector::capture_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorState {
+    /// Observations absorbed by the z-score tracker.
+    pub count: u64,
+    /// Welford running mean.
+    pub mean: f64,
+    /// Welford second central moment.
+    pub m2: f64,
+    /// Retained scored events, in arrival order.
+    pub events: Vec<ScoredEvent>,
+    /// Retention cap (`usize::MAX` = unbounded).
+    pub max_events: usize,
 }
 
 #[cfg(test)]

@@ -152,6 +152,38 @@ impl KruskalTensor {
         out
     }
 
+    /// Validates that `grams` structurally matches this factorization —
+    /// one `R×R` Gram per mode, every factor with `R` columns — and,
+    /// when `require_unit_lambda`, that all weights are 1 (the form the
+    /// fast updaters and incremental baselines require). The single
+    /// shape check behind every state-restore path; returns a
+    /// description of the first inconsistency.
+    pub fn check_gram_shapes(
+        &self,
+        grams: &[Mat],
+        require_unit_lambda: bool,
+    ) -> Result<(), String> {
+        let rank = self.rank();
+        if self.order() == 0 {
+            return Err("factorization has no modes".to_string());
+        }
+        if grams.len() != self.order() {
+            return Err(format!("{} grams for {} modes", grams.len(), self.order()));
+        }
+        for (m, f) in self.factors.iter().enumerate() {
+            if f.cols() != rank {
+                return Err(format!("mode {m} factor has {} cols, rank is {rank}", f.cols()));
+            }
+            if grams[m].shape() != (rank, rank) {
+                return Err(format!("mode {m} gram is {:?}, want {rank}x{rank}", grams[m].shape()));
+            }
+        }
+        if require_unit_lambda && !self.lambda.iter().all(|&l| l == 1.0) {
+            return Err("factors must carry unit weights".to_string());
+        }
+        Ok(())
+    }
+
     /// True if every factor entry and weight is finite.
     pub fn is_finite(&self) -> bool {
         self.lambda.iter().all(|l| l.is_finite()) && self.factors.iter().all(|f| f.is_finite())

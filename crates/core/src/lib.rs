@@ -36,7 +36,8 @@ pub mod mttkrp;
 pub mod update;
 pub mod workspace;
 
+pub use anomaly::{AnomalyDetector, DetectorState, ZScoreTracker};
 pub use config::{AlgorithmKind, SnsConfig};
-pub use engine::SnsEngine;
+pub use engine::{SnsEngine, SnsEngineState};
 pub use kruskal::KruskalTensor;
-pub use update::ContinuousUpdater;
+pub use update::{ContinuousUpdater, UpdaterState};

@@ -38,6 +38,19 @@ impl FactorState {
         FactorState { kruskal, grams, versions }
     }
 
+    /// Rebuilds a factor state from captured factors and Grams (state
+    /// restore). Version counters restart at 1 — they are only cache
+    /// keys for a [`KernelWorkspace`], which a restored engine gets
+    /// fresh, so their absolute values are unobservable.
+    ///
+    /// # Errors
+    /// Returns a description of the first shape inconsistency.
+    pub fn from_parts(kruskal: KruskalTensor, grams: Vec<Mat>) -> Result<Self, String> {
+        kruskal.check_gram_shapes(&grams, true)?;
+        let versions = vec![1; kruskal.order()];
+        Ok(FactorState { kruskal, grams, versions })
+    }
+
     /// Number of modes.
     #[inline]
     pub fn order(&self) -> usize {

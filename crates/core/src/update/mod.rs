@@ -87,6 +87,94 @@ pub enum Updater {
     PlusRnd(SnsPlusRnd),
 }
 
+/// Captured state of an [`Updater`], sufficient to rebuild one that
+/// continues **bitwise-identically** — factors, Gram matrices, sampling
+/// RNG state, clipping/sampling hyperparameters, and the divergence
+/// freeze flag.
+///
+/// Deliberately *not* captured, because it is unobservable dead state:
+/// kernel workspaces (scratch + caches, rebuilt cold), `A_prev` Gram
+/// snapshots of the sampling variants (overwritten from the live Grams
+/// at the start of every event), and version counters (cache keys only).
+#[derive(Clone)]
+pub enum UpdaterState {
+    /// SNS_MAT: normalized factors (λ carries scale) + Grams.
+    Mat {
+        /// The factorization.
+        factors: KruskalTensor,
+        /// Maintained Gram matrices.
+        grams: Vec<Mat>,
+    },
+    /// SNS_VEC.
+    Vec {
+        /// The factorization (unit weights).
+        factors: KruskalTensor,
+        /// Maintained Gram matrices.
+        grams: Vec<Mat>,
+        /// Whether the updater froze after numerical runaway.
+        diverged: bool,
+    },
+    /// SNS_RND.
+    Rnd {
+        /// The factorization (unit weights).
+        factors: KruskalTensor,
+        /// Maintained Gram matrices.
+        grams: Vec<Mat>,
+        /// Sampling threshold `θ`.
+        theta: usize,
+        /// Sampling RNG state, mid-stream.
+        rng: [u64; 4],
+        /// Whether the updater froze after numerical runaway.
+        diverged: bool,
+    },
+    /// SNS⁺_VEC.
+    PlusVec {
+        /// The factorization (unit weights).
+        factors: KruskalTensor,
+        /// Maintained Gram matrices.
+        grams: Vec<Mat>,
+        /// Clipping bound `η`.
+        eta: f64,
+    },
+    /// SNS⁺_RND.
+    PlusRnd {
+        /// The factorization (unit weights).
+        factors: KruskalTensor,
+        /// Maintained Gram matrices.
+        grams: Vec<Mat>,
+        /// Sampling threshold `θ`.
+        theta: usize,
+        /// Clipping bound `η`.
+        eta: f64,
+        /// Sampling RNG state, mid-stream.
+        rng: [u64; 4],
+    },
+}
+
+impl UpdaterState {
+    /// Which algorithm the captured state belongs to.
+    pub fn kind(&self) -> AlgorithmKind {
+        match self {
+            UpdaterState::Mat { .. } => AlgorithmKind::Mat,
+            UpdaterState::Vec { .. } => AlgorithmKind::Vec,
+            UpdaterState::Rnd { .. } => AlgorithmKind::Rnd,
+            UpdaterState::PlusVec { .. } => AlgorithmKind::PlusVec,
+            UpdaterState::PlusRnd { .. } => AlgorithmKind::PlusRnd,
+        }
+    }
+
+    /// The captured factorization.
+    pub fn factors(&self) -> &KruskalTensor {
+        match self {
+            UpdaterState::Mat { factors, .. }
+            | UpdaterState::Vec { factors, .. }
+            | UpdaterState::Rnd { factors, .. }
+            | UpdaterState::PlusVec { factors, .. }
+            | UpdaterState::PlusRnd { factors, .. } => factors,
+        }
+    }
+}
+
 impl Updater {
     /// Builds the updater selected by `kind` with random initial factors.
     pub fn new(kind: AlgorithmKind, dims: &[usize], config: &crate::config::SnsConfig) -> Self {
@@ -97,6 +185,43 @@ impl Updater {
             AlgorithmKind::PlusVec => Updater::PlusVec(SnsPlusVec::new(dims, config)),
             AlgorithmKind::PlusRnd => Updater::PlusRnd(SnsPlusRnd::new(dims, config)),
         }
+    }
+
+    /// Captures the updater's complete live state (see [`UpdaterState`]).
+    pub fn capture_state(&self) -> UpdaterState {
+        match self {
+            Updater::Mat(u) => u.capture_state(),
+            Updater::Vec(u) => u.capture_state(),
+            Updater::Rnd(u) => u.capture_state(),
+            Updater::PlusVec(u) => u.capture_state(),
+            Updater::PlusRnd(u) => u.capture_state(),
+        }
+    }
+
+    /// Rebuilds an updater from captured state; it continues
+    /// bitwise-identically to the captured one.
+    ///
+    /// # Errors
+    /// Returns a description of the first shape inconsistency (decoded
+    /// snapshots are validated, not trusted).
+    pub fn from_state(state: UpdaterState) -> Result<Self, String> {
+        Ok(match state {
+            UpdaterState::Mat { factors, grams } => {
+                Updater::Mat(SnsMat::from_state(factors, grams)?)
+            }
+            UpdaterState::Vec { factors, grams, diverged } => {
+                Updater::Vec(SnsVec::from_state(factors, grams, diverged)?)
+            }
+            UpdaterState::Rnd { factors, grams, theta, rng, diverged } => {
+                Updater::Rnd(SnsRnd::from_state(factors, grams, theta, rng, diverged)?)
+            }
+            UpdaterState::PlusVec { factors, grams, eta } => {
+                Updater::PlusVec(SnsPlusVec::from_state(factors, grams, eta)?)
+            }
+            UpdaterState::PlusRnd { factors, grams, theta, eta, rng } => {
+                Updater::PlusRnd(SnsPlusRnd::from_state(factors, grams, theta, eta, rng)?)
+            }
+        })
     }
 }
 

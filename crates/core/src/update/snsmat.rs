@@ -30,6 +30,22 @@ impl SnsMat {
         let grams = compute_grams(&kruskal.factors);
         SnsMat { kruskal, grams }
     }
+
+    /// Captures the updater's complete live state.
+    pub fn capture_state(&self) -> crate::update::UpdaterState {
+        crate::update::UpdaterState::Mat {
+            factors: self.kruskal.clone(),
+            grams: self.grams.clone(),
+        }
+    }
+
+    /// Rebuilds an updater from captured state (bitwise continuation).
+    pub(crate) fn from_state(factors: KruskalTensor, grams: Vec<Mat>) -> Result<Self, String> {
+        // SNS_MAT carries scale in λ, so the unit-weight restriction of
+        // `FactorState::from_parts` does not apply; check shapes only.
+        factors.check_gram_shapes(&grams, false)?;
+        Ok(SnsMat { kruskal: factors, grams })
+    }
 }
 
 impl ContinuousUpdater for SnsMat {

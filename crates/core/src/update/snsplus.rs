@@ -91,6 +91,27 @@ impl SnsPlusVec {
         self.eta
     }
 
+    /// Captures the updater's complete live state.
+    pub fn capture_state(&self) -> crate::update::UpdaterState {
+        crate::update::UpdaterState::PlusVec {
+            factors: self.state.kruskal.clone(),
+            grams: self.state.grams.clone(),
+            eta: self.eta,
+        }
+    }
+
+    /// Rebuilds an updater from captured state (bitwise continuation).
+    pub(crate) fn from_state(
+        factors: KruskalTensor,
+        grams: Vec<Mat>,
+        eta: f64,
+    ) -> Result<Self, String> {
+        let order = factors.order();
+        let rank = factors.rank();
+        let state = FactorState::from_parts(factors, grams)?;
+        Ok(SnsPlusVec { state, eta, ws: KernelWorkspace::new(order, rank) })
+    }
+
     fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {
         let tm = self.state.time_mode();
         self.ws.bufs.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
@@ -198,6 +219,42 @@ impl SnsPlusRnd {
     /// Clipping bound `η`.
     pub fn eta(&self) -> f64 {
         self.eta
+    }
+
+    /// Captures the updater's complete live state. `A_prev` Grams are
+    /// not captured: they are overwritten from the live Grams at the
+    /// start of every event (Algorithm 3 line 1), so between events they
+    /// are dead state.
+    pub fn capture_state(&self) -> crate::update::UpdaterState {
+        crate::update::UpdaterState::PlusRnd {
+            factors: self.state.kruskal.clone(),
+            grams: self.state.grams.clone(),
+            theta: self.theta,
+            eta: self.eta,
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds an updater from captured state (bitwise continuation).
+    pub(crate) fn from_state(
+        factors: KruskalTensor,
+        grams: Vec<Mat>,
+        theta: usize,
+        eta: f64,
+        rng: [u64; 4],
+    ) -> Result<Self, String> {
+        let order = factors.order();
+        let rank = factors.rank();
+        let state = FactorState::from_parts(factors, grams)?;
+        Ok(SnsPlusRnd {
+            prev_grams: state.grams.clone(),
+            prev_versions: vec![1; order],
+            theta,
+            eta,
+            rng: StdRng::from_state(rng),
+            ws: KernelWorkspace::new(order, rank),
+            state,
+        })
     }
 
     fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {

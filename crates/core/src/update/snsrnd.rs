@@ -69,6 +69,42 @@ impl SnsRnd {
         self.theta
     }
 
+    /// Captures the updater's complete live state. `A_prev` Grams are
+    /// not captured: they are overwritten from the live Grams at the
+    /// start of every event (Algorithm 3 line 1), so between events they
+    /// are dead state.
+    pub fn capture_state(&self) -> crate::update::UpdaterState {
+        crate::update::UpdaterState::Rnd {
+            factors: self.state.kruskal.clone(),
+            grams: self.state.grams.clone(),
+            theta: self.theta,
+            rng: self.rng.state(),
+            diverged: self.diverged,
+        }
+    }
+
+    /// Rebuilds an updater from captured state (bitwise continuation).
+    pub(crate) fn from_state(
+        factors: KruskalTensor,
+        grams: Vec<Mat>,
+        theta: usize,
+        rng: [u64; 4],
+        diverged: bool,
+    ) -> Result<Self, String> {
+        let order = factors.order();
+        let rank = factors.rank();
+        let state = FactorState::from_parts(factors, grams)?;
+        Ok(SnsRnd {
+            prev_grams: state.grams.clone(),
+            prev_versions: vec![1; order],
+            ws: KernelWorkspace::new(order, rank),
+            theta,
+            rng: StdRng::from_state(rng),
+            state,
+            diverged,
+        })
+    }
+
     /// One `updateRowRan` call (Algorithm 4, lines 7–17).
     fn update_row(&mut self, window: &SparseTensor, delta: &Delta, mode: usize, index: u32) {
         let deg = window.deg(mode, index);

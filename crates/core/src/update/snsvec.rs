@@ -34,6 +34,27 @@ impl SnsVec {
         let ws = KernelWorkspace::new(dims.len(), config.rank);
         SnsVec { state, ws, diverged: false }
     }
+
+    /// Captures the updater's complete live state.
+    pub fn capture_state(&self) -> crate::update::UpdaterState {
+        crate::update::UpdaterState::Vec {
+            factors: self.state.kruskal.clone(),
+            grams: self.state.grams.clone(),
+            diverged: self.diverged,
+        }
+    }
+
+    /// Rebuilds an updater from captured state (bitwise continuation).
+    pub(crate) fn from_state(
+        factors: KruskalTensor,
+        grams: Vec<Mat>,
+        diverged: bool,
+    ) -> Result<Self, String> {
+        let order = factors.order();
+        let rank = factors.rank();
+        let state = FactorState::from_parts(factors, grams)?;
+        Ok(SnsVec { state, ws: KernelWorkspace::new(order, rank), diverged })
+    }
 }
 
 impl ContinuousUpdater for SnsVec {

@@ -106,6 +106,51 @@ pub enum SnsError {
         /// Number of shards in the pool.
         shards: usize,
     },
+    /// A serialized snapshot could not be decoded (or failed to encode).
+    /// Truncation, corruption, and version skew all surface here as
+    /// typed data instead of panics.
+    Codec {
+        /// What kind of failure was detected.
+        fault: CodecFault,
+        /// Byte offset at which the failure was detected.
+        offset: usize,
+        /// What was being decoded when it failed.
+        detail: String,
+    },
+    /// A checkpoint-store filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error, as text.
+        message: String,
+    },
+}
+
+/// Failure classes of the snapshot codec (see [`SnsError::Codec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecFault {
+    /// The byte stream ended before the structure it promised.
+    Truncated,
+    /// The leading magic bytes are not a SliceNStitch snapshot's.
+    BadMagic,
+    /// The snapshot's schema version is not supported by this build.
+    UnsupportedVersion,
+    /// The trailing checksum does not match the content.
+    Checksum,
+    /// The bytes parse but describe an inconsistent structure.
+    Invalid,
+}
+
+impl fmt::Display for CodecFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CodecFault::Truncated => "truncated",
+            CodecFault::BadMagic => "bad magic",
+            CodecFault::UnsupportedVersion => "unsupported schema version",
+            CodecFault::Checksum => "checksum mismatch",
+            CodecFault::Invalid => "invalid structure",
+        })
+    }
 }
 
 impl SnsError {
@@ -176,6 +221,12 @@ impl fmt::Display for SnsError {
             SnsError::ShardOutOfRange { shard, shards } => {
                 write!(f, "shard {shard} out of range (pool has {shards})")
             }
+            SnsError::Codec { fault, offset, detail } => {
+                write!(f, "snapshot codec: {fault} at byte {offset} ({detail})")
+            }
+            SnsError::Io { path, message } => {
+                write!(f, "checkpoint io: {path}: {message}")
+            }
         }
     }
 }
@@ -213,6 +264,25 @@ mod tests {
             .to_string()
             .contains("snapshot"));
         assert!(SnsError::ShardOutOfRange { shard: 7, shards: 4 }.to_string().contains('7'));
+        let codec =
+            SnsError::Codec { fault: CodecFault::Truncated, offset: 12, detail: "spec".into() };
+        assert!(codec.to_string().contains("truncated") && codec.to_string().contains("12"));
+        assert!(SnsError::Io { path: "/tmp/x".into(), message: "denied".into() }
+            .to_string()
+            .contains("denied"));
+    }
+
+    #[test]
+    fn codec_faults_display() {
+        for fault in [
+            CodecFault::Truncated,
+            CodecFault::BadMagic,
+            CodecFault::UnsupportedVersion,
+            CodecFault::Checksum,
+            CodecFault::Invalid,
+        ] {
+            assert!(!fault.to_string().is_empty());
+        }
     }
 
     #[test]

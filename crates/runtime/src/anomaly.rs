@@ -25,11 +25,12 @@
 //! [`StreamReport`](crate::pool::StreamReport) carries the
 //! [`AnomalySummary`] back to the session.
 
-use crate::snapshot::EngineState;
+use crate::snapshot::{EngineState, StateCapture};
 use crate::streaming::{BatchOutcome, StreamingCpd};
 use sns_core::als::{AlsOptions, AlsResult};
-use sns_core::anomaly::{AnomalyDetector, ScoredEvent, ZScoreTracker};
+use sns_core::anomaly::{AnomalyDetector, DetectorState, ScoredEvent, ZScoreTracker};
 use sns_core::kruskal::KruskalTensor;
+use sns_error::CodecFault;
 use sns_stream::{SnsError, StreamTuple};
 use sns_tensor::SparseTensor;
 
@@ -145,6 +146,48 @@ impl AnomalyCpd {
         self.inner
     }
 
+    /// Captures the decorator's complete live state: the wrapped
+    /// engine's state plus the detector (streaming statistics, retained
+    /// events) and the roll-up counters. A restored decorator scores and
+    /// delegates bitwise-identically.
+    ///
+    /// # Errors
+    /// Propagates the wrapped engine's
+    /// [`SnsError::SnapshotUnsupported`] if it has no capture path.
+    pub fn capture_state(&self) -> Result<AnomalyState, SnsError> {
+        Ok(AnomalyState {
+            inner: self.inner.snapshot()?,
+            detector: self.detector.capture_state(),
+            config: self.config,
+            flagged: self.flagged,
+            max_z: self.max_z,
+            error_sum: self.error_sum,
+            last_time: self.last_time,
+        })
+    }
+
+    /// Rebuilds a decorator from captured state.
+    ///
+    /// # Errors
+    /// [`SnsError::Codec`] if the state is internally inconsistent.
+    pub fn from_state(state: AnomalyState) -> Result<Self, SnsError> {
+        let AnomalyState { inner, detector, config, flagged, max_z, error_sum, last_time } = state;
+        let detector = AnomalyDetector::from_state(detector).map_err(|detail| SnsError::Codec {
+            fault: CodecFault::Invalid,
+            offset: 0,
+            detail,
+        })?;
+        Ok(AnomalyCpd {
+            inner: inner.into_engine()?,
+            detector,
+            config,
+            flagged,
+            max_z,
+            error_sum,
+            last_time,
+        })
+    }
+
     /// Scores one arrival against the wrapped engine's *current* model
     /// state, returning the event (`None` when the tuple does not fit
     /// the window and will be rejected by the engine anyway).
@@ -246,10 +289,7 @@ impl StreamingCpd for AnomalyCpd {
     }
 
     fn snapshot(&self) -> Result<EngineState, SnsError> {
-        // The wrapped engine may support capture, but the detector state
-        // has no snapshot path yet (ROADMAP follow-up); migrating only
-        // the inner engine would silently drop the scoring history.
-        Err(SnsError::SnapshotUnsupported { engine: self.name() })
+        StateCapture::capture(self)
     }
 
     fn anomalies(&self) -> Option<AnomalySummary> {
@@ -259,6 +299,37 @@ impl StreamingCpd for AnomalyCpd {
     fn arrival_residual(&self, tuple: &StreamTuple) -> f64 {
         // Nested decoration keeps the innermost engine's definition.
         self.inner.arrival_residual(tuple)
+    }
+}
+
+/// Captured state of an [`AnomalyCpd`] decorator: the wrapped engine's
+/// state plus the detector and roll-up counters (see
+/// [`AnomalyCpd::capture_state`]).
+#[derive(Clone)]
+pub struct AnomalyState {
+    /// The wrapped engine's captured state.
+    pub inner: EngineState,
+    /// The detector: streaming statistics + retained scored events.
+    pub detector: DetectorState,
+    /// Threshold and retention configuration.
+    pub config: AnomalyConfig,
+    /// Events flagged at or above the threshold.
+    pub flagged: u64,
+    /// Largest z-score observed.
+    pub max_z: f64,
+    /// Sum of all scored reconstruction errors.
+    pub error_sum: f64,
+    /// Largest accepted arrival timestamp.
+    pub last_time: Option<u64>,
+}
+
+impl std::fmt::Debug for AnomalyState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AnomalyState(scored={}, flagged={}, inner={:?})",
+            self.detector.count, self.flagged, self.inner
+        )
     }
 }
 
@@ -330,12 +401,75 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_is_reported_unsupported() {
-        let wrapped = AnomalyCpd::new(engine(), AnomalyConfig::default());
-        match wrapped.snapshot() {
-            Err(SnsError::SnapshotUnsupported { engine }) => {
-                assert_eq!(engine, "Anomaly(SNS+_RND)");
+    fn snapshot_restores_detector_and_engine_bitwise() {
+        let mut original = AnomalyCpd::new(engine(), AnomalyConfig::default());
+        let stream = tuples();
+        original.prefill_all(&stream[..50]).unwrap();
+        original.warm_start(&AlsOptions::default());
+        original.ingest_all(&stream[50..100]).unwrap();
+        original.ingest(StreamTuple::new([0u32, 0], 300.0, 100)).unwrap();
+
+        let state = original.snapshot().unwrap();
+        assert!(matches!(state, EngineState::Anomaly(_)));
+        let mut restored = state.into_engine().unwrap();
+        assert_eq!(restored.name(), "Anomaly(SNS+_RND)");
+        assert_eq!(restored.anomalies(), original.anomalies());
+
+        // Both continue identically: scores, flags, and model state.
+        for tu in &stream[100..] {
+            original.ingest(*tu).unwrap();
+            restored.ingest(*tu).unwrap();
+        }
+        assert_eq!(restored.anomalies(), original.anomalies());
+        assert_eq!(original.fitness().to_bits(), restored.fitness().to_bits());
+        for m in 0..3 {
+            assert_eq!(original.kruskal().factors[m], restored.kruskal().factors[m], "mode {m}");
+        }
+    }
+
+    #[test]
+    fn capture_propagates_inner_opt_out() {
+        // An engine without a capture path keeps the decorator honest:
+        // migrating only the detector would silently drop the model.
+        struct NoCapture(Box<dyn StreamingCpd>);
+        impl StreamingCpd for NoCapture {
+            fn prefill(&mut self, t: StreamTuple) -> sns_stream::Result<()> {
+                self.0.prefill(t)
             }
+            fn warm_start(&mut self, o: &AlsOptions) -> sns_core::als::AlsResult {
+                self.0.warm_start(o)
+            }
+            fn ingest(&mut self, t: StreamTuple) -> sns_stream::Result<usize> {
+                self.0.ingest(t)
+            }
+            fn advance_to(&mut self, t: u64) -> usize {
+                self.0.advance_to(t)
+            }
+            fn window(&self) -> &SparseTensor {
+                self.0.window()
+            }
+            fn kruskal(&self) -> &KruskalTensor {
+                self.0.kruskal()
+            }
+            fn fitness(&self) -> f64 {
+                self.0.fitness()
+            }
+            fn diverged(&self) -> bool {
+                self.0.diverged()
+            }
+            fn updates_applied(&self) -> u64 {
+                self.0.updates_applied()
+            }
+            fn num_parameters(&self) -> usize {
+                self.0.num_parameters()
+            }
+            fn name(&self) -> String {
+                "opaque".to_string()
+            }
+        }
+        let wrapped = AnomalyCpd::new(Box::new(NoCapture(engine())), AnomalyConfig::default());
+        match wrapped.snapshot() {
+            Err(SnsError::SnapshotUnsupported { engine }) => assert_eq!(engine, "opaque"),
             other => panic!("expected SnapshotUnsupported, got {:?}", other.map(|_| ())),
         }
     }

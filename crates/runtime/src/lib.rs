@@ -109,9 +109,9 @@ pub mod snapshot;
 pub mod spec;
 pub mod streaming;
 
-pub use anomaly::{AnomalyConfig, AnomalyCpd, AnomalySummary};
+pub use anomaly::{AnomalyConfig, AnomalyCpd, AnomalyState, AnomalySummary};
 pub use pool::{BatchReceipt, EnginePool, PoolConfig, StreamReport, StreamSession};
-pub use snapshot::{EngineSnapshot, EngineState};
+pub use snapshot::{EngineSnapshot, EngineState, StateCapture};
 pub use sns_error::SnsError;
 pub use spec::{BaselineKind, EngineSpec};
 pub use streaming::{BatchOutcome, StreamingCpd};

@@ -178,6 +178,13 @@ enum Command {
         id: u64,
         token: u64,
     },
+    /// Pool-wide checkpoint: snapshot every live slot on this shard
+    /// (after draining all previously enqueued commands) and reply on a
+    /// dedicated channel. Per-stream consistency follows from command
+    /// ordering; sessions stay open and unaffected.
+    CheckpointShard {
+        replies: Sender<Vec<(u64, Result<EngineSnapshot, SnsError>)>>,
+    },
     /// Unconditional slot removal (any token): open/restore send this to
     /// the shard that previously owned the stream id (per the pool's
     /// ownership map) so the id lives on at most one shard. Ordering is
@@ -330,18 +337,27 @@ fn worker_loop(rx: Receiver<Command>) {
             }
             Command::Restore { id, token, ticket, snapshot, replies } => {
                 let EngineSnapshot { spec, seed, state, .. } = *snapshot;
-                let engine = state.into_engine();
-                let slot = StreamSlot {
-                    name: engine.name(),
-                    token,
-                    spec,
-                    seed,
-                    engine: Some(engine),
-                    error: None,
-                    replies,
-                };
-                slot.acknowledge(id, ticket, Ok(BatchOutcome { accepted: 0, updates: 0 }));
-                slots.insert(id, slot);
+                match state.into_engine() {
+                    Ok(engine) => {
+                        let slot = StreamSlot {
+                            name: engine.name(),
+                            token,
+                            spec,
+                            seed,
+                            engine: Some(engine),
+                            error: None,
+                            replies,
+                        };
+                        slot.acknowledge(id, ticket, Ok(BatchOutcome { accepted: 0, updates: 0 }));
+                        slots.insert(id, slot);
+                    }
+                    Err(e) => {
+                        // An inconsistent snapshot installs nothing; the
+                        // caller sees the typed error on the open ack.
+                        let _ =
+                            replies.send(SessionReply { ticket, body: ReplyBody::Receipt(Err(e)) });
+                    }
+                }
             }
             Command::Prefill { id, token, ticket, tuples } => {
                 if let Some(s) = live(&mut slots, id, token) {
@@ -406,6 +422,26 @@ fn worker_loop(rx: Receiver<Command>) {
                 if slots.get(&id).is_some_and(|s| s.token == token) {
                     slots.remove(&id);
                 }
+            }
+            Command::CheckpointShard { replies } => {
+                let mut out: Vec<(u64, Result<EngineSnapshot, SnsError>)> = slots
+                    .iter()
+                    .map(|(&id, s)| {
+                        let result = match (&s.engine, &s.error) {
+                            (Some(engine), _) => engine.snapshot().map(|state| EngineSnapshot {
+                                stream_id: id,
+                                spec: s.spec.clone(),
+                                seed: s.seed,
+                                state,
+                            }),
+                            (None, Some(err)) => Err(err.clone()),
+                            (None, None) => Err(SnsError::StreamClosed { stream_id: id }),
+                        };
+                        (id, result)
+                    })
+                    .collect();
+                out.sort_by_key(|&(id, _)| id);
+                let _ = replies.send(out);
             }
             Command::Evict { id } => {
                 slots.remove(&id);
@@ -506,6 +542,14 @@ impl EnginePool {
         if shard >= self.senders.len() {
             return Err(SnsError::ShardOutOfRange { shard, shards: self.senders.len() });
         }
+        // Validate the snapshot *before* the session claim: start_session
+        // evicts the id's previous engine before the worker installs the
+        // new one, so an invalid snapshot (e.g. decoded from a corrupted
+        // store entry that passed its checksum) must be rejected here —
+        // otherwise it would destroy the still-healthy session and leave
+        // the stream id dead. A throwaway rebuild on the caller thread is
+        // the validation; restores are control-plane rare.
+        snapshot.state.clone().into_engine()?;
         let stream_id = snapshot.stream_id;
         self.start_session(stream_id, shard, |token, replies| Command::Restore {
             id: stream_id,
@@ -567,6 +611,63 @@ impl EnginePool {
             ReplyBody::Receipt(Err(e)) => Err(e),
             _ => unreachable!("open/restore acknowledge with a receipt"),
         }
+    }
+
+    /// Checkpoints **every** live stream in the pool: each worker drains
+    /// its previously enqueued commands, then snapshots all of its slots
+    /// in one step. The result is per-stream consistent (a stream's
+    /// snapshot reflects exactly the commands acknowledged before it)
+    /// and sorted by stream id; sessions stay open and unaffected.
+    ///
+    /// Streams whose engine cannot be captured (quarantined after a
+    /// panic, or an engine family with an explicit snapshot opt-out)
+    /// report their typed error in place, so one bad stream never hides
+    /// the rest of the fleet's checkpoint.
+    ///
+    /// For cross-stream consistency, quiesce the clients first (collect
+    /// all outstanding receipts); in-flight batches submitted *after*
+    /// this call may or may not be included.
+    pub fn checkpoint_all(&self) -> Vec<(u64, Result<EngineSnapshot, SnsError>)> {
+        let (tx, rx) = channel();
+        let mut expected = 0usize;
+        for sender in &self.senders {
+            if sender.send(Command::CheckpointShard { replies: tx.clone() }).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let mut all: Vec<(u64, Result<EngineSnapshot, SnsError>)> = Vec::new();
+        for _ in 0..expected {
+            match rx.recv() {
+                Ok(mut shard) => all.append(&mut shard),
+                Err(_) => break, // worker gone; its streams are lost
+            }
+        }
+        all.sort_by_key(|&(id, _)| id);
+        all
+    }
+
+    /// Rebuilds every snapshotted stream on this pool, each on its
+    /// stream id's home shard, and returns the live sessions in snapshot
+    /// order. Restored engines continue bitwise-identically — this is
+    /// the recovery half of [`EnginePool::checkpoint_all`], used after a
+    /// crash (typically with snapshots loaded from a
+    /// `CheckpointStore`).
+    ///
+    /// # Errors
+    /// Fails on the first snapshot that cannot be restored; streams
+    /// restored before the failure stay installed.
+    pub fn recover_all(
+        &self,
+        snapshots: Vec<EngineSnapshot>,
+    ) -> Result<Vec<StreamSession>, SnsError> {
+        snapshots
+            .into_iter()
+            .map(|snapshot| {
+                let shard = self.shard_of(snapshot.stream_id);
+                self.restore(snapshot, shard)
+            })
+            .collect()
     }
 
     /// Shuts the workers down and waits for them to finish. Sessions
@@ -1038,6 +1139,110 @@ mod tests {
         let receipt = migrated.ingest_batch(&tuples[20..]).unwrap();
         assert_eq!(receipt.accepted, 100);
         assert_eq!(migrated.report().unwrap().error, None);
+    }
+
+    #[test]
+    fn checkpoint_all_then_recover_matches_uninterrupted_run() {
+        let ids = [0u64, 1, 2, 3, 4];
+        let base_seed = 0xfeed;
+        let make_pool =
+            || EnginePool::new(PoolConfig { shards: 3, base_seed, ..Default::default() });
+
+        // Reference: uninterrupted pooled run over the whole stream.
+        let reference = make_pool();
+        let mut sessions: Vec<StreamSession> =
+            ids.iter().map(|&id| reference.open(id, spec()).unwrap()).collect();
+        for (session, &id) in sessions.iter_mut().zip(&ids) {
+            session.ingest_batch(&tuples_for(id)).unwrap();
+        }
+        let expected: Vec<(u64, u64)> = sessions
+            .iter_mut()
+            .map(|s| {
+                let r = s.report().unwrap();
+                (r.fitness.to_bits(), r.updates_applied)
+            })
+            .collect();
+        drop(sessions);
+        reference.join();
+
+        // Interrupted run: half the stream, checkpoint, "crash", recover
+        // into a brand-new pool, finish the stream.
+        let first = make_pool();
+        let mut sessions: Vec<StreamSession> =
+            ids.iter().map(|&id| first.open(id, spec()).unwrap()).collect();
+        for (session, &id) in sessions.iter_mut().zip(&ids) {
+            session.ingest_batch(&tuples_for(id)[..60]).unwrap();
+        }
+        // Quiesce (blocking batches are already acked), then checkpoint.
+        let checkpoints = first.checkpoint_all();
+        assert_eq!(checkpoints.len(), ids.len());
+        let snapshots: Vec<EngineSnapshot> =
+            checkpoints.into_iter().map(|(_, r)| r.unwrap()).collect();
+        assert!(snapshots.windows(2).all(|w| w[0].stream_id < w[1].stream_id));
+        drop(sessions);
+        first.join(); // the crash
+
+        let recovered_pool = make_pool();
+        let mut recovered = recovered_pool.recover_all(snapshots).unwrap();
+        for (session, &id) in recovered.iter_mut().zip(&ids) {
+            assert_eq!(session.stream_id(), id);
+            session.ingest_batch(&tuples_for(id)[60..]).unwrap();
+        }
+        for (session, (fitness, updates)) in recovered.iter_mut().zip(&expected) {
+            let r = session.report().unwrap();
+            assert_eq!(r.error, None);
+            assert_eq!(r.fitness.to_bits(), *fitness, "stream {}", r.stream_id);
+            assert_eq!(r.updates_applied, *updates, "stream {}", r.stream_id);
+        }
+    }
+
+    #[test]
+    fn checkpoint_reports_quarantined_streams_in_place() {
+        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 2, ..Default::default() });
+        let mut healthy = pool.open(1, spec()).unwrap();
+        healthy.ingest_batch(&tuples_for(1)[..10]).unwrap();
+        // A closed slot stays out of the checkpoint; only live slots show.
+        let gone = pool.open(2, spec()).unwrap();
+        gone.close();
+        let checkpoints = pool.checkpoint_all();
+        assert!(checkpoints.iter().any(|(id, r)| *id == 1 && r.is_ok()));
+        assert!(!checkpoints.iter().any(|(id, _)| *id == 2), "closed stream checkpointed");
+    }
+
+    #[test]
+    fn invalid_restore_leaves_the_live_session_untouched() {
+        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 4, ..Default::default() });
+        let mut live = pool.open(8, spec()).unwrap();
+        live.ingest_batch(&tuples_for(8)[..20]).unwrap();
+        let mut snapshot = live.snapshot().unwrap();
+        // Corrupt the snapshot: window from this engine, factors from a
+        // differently-shaped one — exactly what a damaged store entry
+        // that slipped past framing checks would look like.
+        let crate::snapshot::EngineState::Sns(state) = &mut snapshot.state else {
+            panic!("continuous snapshot expected");
+        };
+        let foreign = EngineSpec::sns(
+            &[9, 9],
+            3,
+            10,
+            sns_core::config::AlgorithmKind::PlusVec,
+            &SnsConfig { rank: 2, ..Default::default() },
+        )
+        .build(1);
+        let foreign_state = foreign.snapshot().unwrap();
+        let crate::snapshot::EngineState::Sns(foreign_sns) = foreign_state else {
+            panic!("continuous snapshot expected");
+        };
+        state.updater = foreign_sns.updater;
+
+        // The restore fails typed — and must NOT evict the live session.
+        assert!(matches!(
+            pool.restore(snapshot, 0),
+            Err(SnsError::Codec { fault: sns_error::CodecFault::Invalid, .. })
+        ));
+        let receipt = live.ingest_batch(&tuples_for(8)[20..30]).unwrap();
+        assert_eq!(receipt.accepted, 10, "healthy session must survive a failed restore");
+        assert_eq!(live.report().unwrap().error, None);
     }
 
     #[test]

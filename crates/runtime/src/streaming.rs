@@ -112,10 +112,12 @@ pub trait StreamingCpd {
         Ok(BatchOutcome { accepted: tuples.len(), updates })
     }
 
-    /// Captures the engine's complete state for migration; a restored
-    /// engine continues bitwise-identically. Engines without a faithful
-    /// capture path (currently the baselines) return
-    /// [`SnsError::SnapshotUnsupported`].
+    /// Captures the engine's complete state for migration and durable
+    /// checkpointing; a restored engine continues bitwise-identically.
+    /// Every workspace engine family implements this (continuous,
+    /// all four baselines, the anomaly decorator); the default is the
+    /// **explicit opt-out** for external engines without a faithful
+    /// capture path.
     fn snapshot(&self) -> Result<EngineState, SnsError> {
         Err(SnsError::SnapshotUnsupported { engine: self.name() })
     }
@@ -207,7 +209,7 @@ impl StreamingCpd for SnsEngine {
     }
 
     fn snapshot(&self) -> Result<EngineState, SnsError> {
-        Ok(EngineState::Sns(Box::new(self.clone())))
+        crate::snapshot::StateCapture::capture(self)
     }
 }
 
@@ -256,6 +258,10 @@ impl<B: PeriodicCpd> StreamingCpd for BaselineEngine<B> {
 
     fn name(&self) -> String {
         self.algo().name()
+    }
+
+    fn snapshot(&self) -> Result<EngineState, SnsError> {
+        crate::snapshot::StateCapture::capture(self)
     }
 
     fn arrival_residual(&self, tuple: &StreamTuple) -> f64 {
@@ -385,19 +391,21 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_support_is_per_engine_family() {
+    fn snapshot_is_supported_by_every_engine_family() {
         let config = SnsConfig { rank: 2, seed: 4, ..Default::default() };
         let sns: Box<dyn StreamingCpd> =
             Box::new(SnsEngine::new(&[3, 3], 3, 10, AlgorithmKind::PlusRnd, &config));
-        assert!(sns.snapshot().is_ok());
+        assert!(matches!(sns.snapshot(), Ok(EngineState::Sns(_))));
 
         let algo: Box<dyn PeriodicCpd> = Box::new(AlsPeriodic::new(&[3, 3, 3], 2, 1, 3));
-        let base: Box<dyn StreamingCpd> = Box::new(BaselineEngine::new(&[3, 3], 3, 10, algo));
-        match base.snapshot() {
-            Err(sns_stream::SnsError::SnapshotUnsupported { engine }) => {
-                assert_eq!(engine, "ALS(1)");
-            }
-            other => panic!("expected SnapshotUnsupported, got {:?}", other.map(|_| ())),
-        }
+        let mut base: Box<dyn StreamingCpd> = Box::new(BaselineEngine::new(&[3, 3], 3, 10, algo));
+        base.ingest(StreamTuple::new([1u32, 1], 2.0, 5)).unwrap();
+        let state = base.snapshot().unwrap();
+        assert!(matches!(state, EngineState::Baseline(_)));
+        let restored = state.into_engine().unwrap();
+        assert_eq!(restored.name(), "ALS(1)");
+        // The pending (mid-period) accumulation came along.
+        let tu = StreamTuple::new([1u32, 1], 1.0, 7);
+        assert_eq!(restored.arrival_residual(&tu).to_bits(), base.arrival_residual(&tu).to_bits());
     }
 }

@@ -14,7 +14,7 @@
 use crate::tuple::StreamTuple;
 use crate::Result;
 use sns_error::SnsError;
-use sns_tensor::{Coord, FxHashMap, Shape, SparseTensor};
+use sns_tensor::{Coord, IndexedCoordSet, Shape, SparseTensor, SparseTensorState};
 
 /// Notification that a period just completed and the window slid by one.
 #[derive(Debug, Clone)]
@@ -29,6 +29,12 @@ pub struct PeriodUpdate {
 }
 
 /// Discrete sliding tensor window (conventional model).
+///
+/// The pending (in-flight) unit accumulates in an insertion-ordered
+/// [`IndexedCoordSet`], so the order a completed period's slice is handed
+/// to the baselines — and with it their float summation order — is a
+/// deterministic function of the arrival history that survives state
+/// capture bitwise.
 #[derive(Clone)]
 pub struct DiscreteWindow {
     tensor: SparseTensor,
@@ -37,7 +43,7 @@ pub struct DiscreteWindow {
     /// Exclusive upper bound of the unit currently accumulating:
     /// the active unit covers `(boundary − T, boundary]`.
     boundary: u64,
-    pending: FxHashMap<Coord, f64>,
+    pending: IndexedCoordSet,
     last_arrival: Option<u64>,
     periods_completed: u64,
 }
@@ -55,7 +61,7 @@ impl DiscreteWindow {
             period,
             window,
             boundary: period,
-            pending: FxHashMap::default(),
+            pending: IndexedCoordSet::new(),
             last_arrival: None,
             periods_completed: 0,
         }
@@ -104,9 +110,11 @@ impl DiscreteWindow {
             }
             slid.add(&c.with(tm, t - 1), v);
         }
-        // Install the completed unit at the newest index.
+        // Install the completed unit at the newest index, in arrival
+        // order (deterministic; baselines sum slice entries in this
+        // order).
         let newest = (self.window - 1) as u32;
-        let slice: Vec<(Coord, f64)> = self.pending.drain().collect();
+        let slice: Vec<(Coord, f64)> = self.pending.take_entries();
         for (c, v) in &slice {
             slid.add(&c.extended(newest), *v);
         }
@@ -154,7 +162,7 @@ impl DiscreteWindow {
         self.last_arrival = Some(tuple.time);
         // Accumulate into the pending unit only; the window tensor does not
         // change until the period completes (conventional-model semantics).
-        *self.pending.entry(tuple.coords).or_insert(0.0) += tuple.value;
+        self.pending.add_value(tuple.coords, tuple.value);
         Ok(())
     }
 
@@ -171,8 +179,90 @@ impl DiscreteWindow {
     /// anomaly scoring uses this to compare an arrival against what its
     /// period has accumulated so far.
     pub fn pending_value(&self, coords: &Coord) -> f64 {
-        self.pending.get(coords).copied().unwrap_or(0.0)
+        self.pending.get(coords).unwrap_or(0.0)
     }
+
+    /// Captures the complete window state — tensor (with iteration
+    /// orders), pending accumulation (in arrival order), and period
+    /// bookkeeping — for durable serialization.
+    pub fn capture_state(&self) -> DiscreteWindowState {
+        DiscreteWindowState {
+            tensor: self.tensor.capture_state(),
+            period: self.period,
+            window: self.window,
+            boundary: self.boundary,
+            pending: self.pending.entries().map(|(c, v)| (*c, v)).collect(),
+            last_arrival: self.last_arrival,
+            periods_completed: self.periods_completed,
+        }
+    }
+
+    /// Rebuilds a window from captured state.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency.
+    pub fn from_state(state: DiscreteWindowState) -> std::result::Result<Self, String> {
+        let DiscreteWindowState {
+            tensor,
+            period,
+            window,
+            boundary,
+            pending,
+            last_arrival,
+            periods_completed,
+        } = state;
+        if window == 0 || period == 0 {
+            return Err(format!("degenerate window geometry W={window} T={period}"));
+        }
+        let tensor = SparseTensor::from_state(tensor)?;
+        if tensor.shape().dim(tensor.order() - 1) != window {
+            return Err(format!(
+                "time mode length {} does not match W={window}",
+                tensor.shape().dim(tensor.order() - 1)
+            ));
+        }
+        let base_order = tensor.order() - 1;
+        for (c, _) in &pending {
+            if c.order() != base_order {
+                return Err(format!("pending coord {c:?} has wrong order"));
+            }
+            for m in 0..base_order {
+                if c.get(m) as usize >= tensor.shape().dim(m) {
+                    return Err(format!("pending coord {c:?} out of bounds in mode {m}"));
+                }
+            }
+        }
+        let (members, values): (Vec<Coord>, Vec<f64>) = pending.into_iter().unzip();
+        Ok(DiscreteWindow {
+            tensor,
+            period,
+            window,
+            boundary,
+            pending: IndexedCoordSet::from_ordered_entries(members, values)?,
+            last_arrival,
+            periods_completed,
+        })
+    }
+}
+
+/// Captured raw state of a [`DiscreteWindow`] (see
+/// [`DiscreteWindow::capture_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteWindowState {
+    /// The window tensor (completed units) with exact iteration orders.
+    pub tensor: SparseTensorState,
+    /// Period `T`.
+    pub period: u64,
+    /// Window length `W`.
+    pub window: usize,
+    /// Exclusive upper bound of the accumulating unit.
+    pub boundary: u64,
+    /// The pending unit's accumulation, in arrival order.
+    pub pending: Vec<(Coord, f64)>,
+    /// Latest accepted arrival timestamp.
+    pub last_arrival: Option<u64>,
+    /// Completed periods so far.
+    pub periods_completed: u64,
 }
 
 impl std::fmt::Debug for DiscreteWindow {

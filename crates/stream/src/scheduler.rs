@@ -85,6 +85,29 @@ impl EventQueue {
     pub fn peek_due(&self) -> Option<u64> {
         self.heap.peek().map(|e| e.due)
     }
+
+    /// All pending events, sorted by `(due, seq)` — the exact pop order.
+    /// Pop order is the total order on `(due, seq)` regardless of the
+    /// heap's internal layout, so this canonical listing plus
+    /// [`EventQueue::from_events`] reproduces the queue's behaviour
+    /// bitwise (engine state capture).
+    pub fn events_in_order(&self) -> Vec<ScheduledEvent> {
+        let mut events: Vec<ScheduledEvent> = self.heap.iter().copied().collect();
+        events.sort_unstable_by_key(|e| (e.due, e.seq));
+        events
+    }
+
+    /// Sequence number the next [`EventQueue::schedule`] call will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuilds a queue from captured events and the sequence counter.
+    /// The heap layout may differ from the captured queue's, but the pop
+    /// order — all that downstream code can observe — is identical.
+    pub fn from_events(events: Vec<ScheduledEvent>, next_seq: u64) -> Self {
+        EventQueue { heap: events.into(), next_seq }
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! Event-driven continuous tensor window (Algorithm 1 of the paper).
 
 use crate::delta::{Changes, Delta, DeltaKind};
-use crate::scheduler::EventQueue;
+use crate::scheduler::{EventQueue, ScheduledEvent};
 use crate::tuple::StreamTuple;
 use crate::Result;
 use sns_error::SnsError;
-use sns_tensor::{Coord, Shape, SparseTensor};
+use sns_tensor::{Coord, Shape, SparseTensor, SparseTensorState};
 
 /// The continuous tensor window `X = D(t, W)`.
 ///
@@ -190,6 +190,102 @@ impl ContinuousWindow {
         self.ingest(tuple, &mut out)?;
         Ok(out)
     }
+
+    /// Captures the complete window state — tensor (with iteration
+    /// orders), pending boundary events, and clock — for durable
+    /// serialization. [`ContinuousWindow::from_state`] rebuilds a window
+    /// that continues bitwise-identically.
+    pub fn capture_state(&self) -> ContinuousWindowState {
+        ContinuousWindowState {
+            tensor: self.tensor.capture_state(),
+            period: self.period,
+            window: self.window,
+            events: self.queue.events_in_order(),
+            next_seq: self.queue.next_seq(),
+            now: self.now,
+            last_arrival: self.last_arrival,
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Rebuilds a window from captured state.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency (decoded
+    /// snapshots are validated, not trusted).
+    pub fn from_state(state: ContinuousWindowState) -> std::result::Result<Self, String> {
+        let ContinuousWindowState {
+            tensor,
+            period,
+            window,
+            events,
+            next_seq,
+            now,
+            last_arrival,
+            events_processed,
+        } = state;
+        if window == 0 || period == 0 {
+            return Err(format!("degenerate window geometry W={window} T={period}"));
+        }
+        let tensor = SparseTensor::from_state(tensor)?;
+        if tensor.shape().dim(tensor.order() - 1) != window {
+            return Err(format!(
+                "time mode length {} does not match W={window}",
+                tensor.shape().dim(tensor.order() - 1)
+            ));
+        }
+        let base_order = tensor.order() - 1;
+        for ev in &events {
+            if ev.w == 0 || ev.w > window as u32 {
+                return Err(format!("scheduled boundary w={} outside 1..={window}", ev.w));
+            }
+            if ev.seq >= next_seq {
+                return Err(format!("event seq {} not below next_seq {next_seq}", ev.seq));
+            }
+            let coords = &ev.tuple.coords;
+            if coords.order() != base_order {
+                return Err(format!("event coord {coords:?} has wrong order"));
+            }
+            for m in 0..base_order {
+                if coords.get(m) as usize >= tensor.shape().dim(m) {
+                    return Err(format!("event coord {coords:?} out of bounds in mode {m}"));
+                }
+            }
+        }
+        Ok(ContinuousWindow {
+            tensor,
+            period,
+            window,
+            queue: EventQueue::from_events(events, next_seq),
+            now,
+            last_arrival,
+            events_processed,
+        })
+    }
+}
+
+/// Captured raw state of a [`ContinuousWindow`] (see
+/// [`ContinuousWindow::capture_state`]). Events are listed in `(due,
+/// seq)` order — the queue's pop order — which makes the encoding
+/// canonical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousWindowState {
+    /// The window tensor with exact iteration orders.
+    pub tensor: SparseTensorState,
+    /// Period `T`.
+    pub period: u64,
+    /// Window length `W`.
+    pub window: usize,
+    /// Pending boundary events in pop order.
+    pub events: Vec<ScheduledEvent>,
+    /// The queue's FIFO tie-break counter.
+    pub next_seq: u64,
+    /// Current clock.
+    pub now: u64,
+    /// Latest accepted arrival timestamp.
+    pub last_arrival: Option<u64>,
+    /// Total events processed so far.
+    pub events_processed: u64,
 }
 
 impl std::fmt::Debug for ContinuousWindow {

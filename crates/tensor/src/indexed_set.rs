@@ -72,6 +72,76 @@ impl IndexedCoordSet {
         }
     }
 
+    /// Value of a member, `None` if absent.
+    #[inline]
+    pub fn get(&self, coord: &Coord) -> Option<f64> {
+        self.positions.get(coord).map(|&pos| self.values[pos as usize])
+    }
+
+    /// Position of a member in [`IndexedCoordSet::as_slice`], if present.
+    #[inline]
+    pub fn position(&self, coord: &Coord) -> Option<u32> {
+        self.positions.get(coord).copied()
+    }
+
+    /// Value at a position previously returned by
+    /// [`IndexedCoordSet::position`].
+    #[inline]
+    pub fn value_at(&self, pos: u32) -> f64 {
+        self.values[pos as usize]
+    }
+
+    /// Overwrites the value at a position previously returned by
+    /// [`IndexedCoordSet::position`].
+    #[inline]
+    pub fn set_value_at(&mut self, pos: u32, value: f64) {
+        self.values[pos as usize] = value;
+    }
+
+    /// Adds `delta` to a member's value, inserting it first if absent.
+    /// Returns the new value.
+    pub fn add_value(&mut self, coord: Coord, delta: f64) -> f64 {
+        match self.positions.get(&coord) {
+            Some(&pos) => {
+                let v = &mut self.values[pos as usize];
+                *v += delta;
+                *v
+            }
+            None => {
+                self.positions.insert(coord, self.members.len() as u32);
+                self.members.push(coord);
+                self.values.push(delta);
+                delta
+            }
+        }
+    }
+
+    /// Removes and returns every `(member, value)` pair **in member
+    /// order** — the deterministic order [`IndexedCoordSet::as_slice`]
+    /// exposes, which state capture relies on.
+    pub fn take_entries(&mut self) -> Vec<(Coord, f64)> {
+        self.positions.clear();
+        let values = std::mem::take(&mut self.values);
+        std::mem::take(&mut self.members).into_iter().zip(values).collect()
+    }
+
+    /// Rebuilds a set with an **exact** member order (state restore): the
+    /// resulting set iterates, samples, and swap-removes identically to
+    /// the one the order was captured from. Fails on duplicate members or
+    /// a member/value length mismatch.
+    pub fn from_ordered_entries(members: Vec<Coord>, values: Vec<f64>) -> Result<Self, String> {
+        if members.len() != values.len() {
+            return Err(format!("{} members but {} values", members.len(), values.len()));
+        }
+        let mut positions = FxHashMap::default();
+        for (pos, c) in members.iter().enumerate() {
+            if positions.insert(*c, pos as u32).is_some() {
+                return Err(format!("duplicate member {c:?}"));
+            }
+        }
+        Ok(IndexedCoordSet { members, values, positions })
+    }
+
     /// Removes `coord` by swapping with the last member; returns `true` if
     /// it was present.
     pub fn remove(&mut self, coord: &Coord) -> bool {

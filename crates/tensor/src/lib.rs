@@ -32,5 +32,6 @@ pub mod sparse;
 pub use coord::{Coord, MAX_ORDER};
 pub use dense::DenseTensor;
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use indexed_set::IndexedCoordSet;
 pub use shape::Shape;
-pub use sparse::SparseTensor;
+pub use sparse::{SparseTensor, SparseTensorState};

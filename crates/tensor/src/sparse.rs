@@ -19,21 +19,147 @@ use crate::shape::Shape;
 use rand::Rng;
 
 /// A sparse tensor with per-mode fiber indexes.
+///
+/// Entries are held in an **insertion-ordered** [`IndexedCoordSet`]
+/// (dense member/value vectors + a position map), not a bare hash map:
+/// [`SparseTensor::iter`] walks the dense vectors, so every float
+/// summation over the non-zeros (MTTKRP, fitness inner products) runs in
+/// a deterministic order that is a pure function of the tensor's
+/// add/remove history — and that order is exactly what
+/// [`SparseTensor::capture_state`] / [`SparseTensor::from_state`]
+/// preserve, making a restored tensor *bitwise* indistinguishable from
+/// the original in all downstream arithmetic.
 #[derive(Clone)]
 pub struct SparseTensor {
     shape: Shape,
-    entries: FxHashMap<Coord, f64>,
+    entries: IndexedCoordSet,
     /// `fibers[m][i]` = set of non-zero coordinates with mode-`m` index `i`.
     fibers: Vec<FxHashMap<u32, IndexedCoordSet>>,
     /// Incrementally maintained squared Frobenius norm.
     norm_sq: f64,
 }
 
+/// Captured raw state of a [`SparseTensor`]: entry and fiber member
+/// orders are recorded exactly, so [`SparseTensor::from_state`] rebuilds
+/// a tensor whose iteration, sampling, and swap-remove behaviour is
+/// bitwise-identical to the captured one. Fiber members are stored as
+/// positions into `coords` to keep snapshots compact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensorState {
+    /// Mode lengths.
+    pub dims: Vec<usize>,
+    /// Non-zero coordinates in entry-iteration order.
+    pub coords: Vec<Coord>,
+    /// Values parallel to `coords`.
+    pub values: Vec<f64>,
+    /// Per mode, sorted by fiber index: `(index, member positions into
+    /// `coords` in fiber order)`.
+    pub fibers: Vec<Vec<(u32, Vec<u32>)>>,
+    /// The incrementally accumulated `‖X‖²_F` — preserved bitwise (it
+    /// carries accumulated rounding that a recompute would not).
+    pub norm_sq: f64,
+}
+
 impl SparseTensor {
     /// Creates an empty tensor of the given shape.
     pub fn new(shape: Shape) -> Self {
         let fibers = (0..shape.order()).map(|_| fx_map()).collect();
-        SparseTensor { shape, entries: fx_map(), fibers, norm_sq: 0.0 }
+        SparseTensor { shape, entries: IndexedCoordSet::new(), fibers, norm_sq: 0.0 }
+    }
+
+    /// Captures the complete tensor state, including the exact entry and
+    /// fiber iteration orders (see [`SparseTensorState`]).
+    pub fn capture_state(&self) -> SparseTensorState {
+        let fibers = self
+            .fibers
+            .iter()
+            .map(|fiber| {
+                let mut sets: Vec<(u32, Vec<u32>)> = fiber
+                    .iter()
+                    .map(|(&index, set)| {
+                        let positions = set
+                            .as_slice()
+                            .iter()
+                            .map(|c| self.entries.position(c).expect("fiber member is an entry"))
+                            .collect();
+                        (index, positions)
+                    })
+                    .collect();
+                // The outer per-index map is never iterated by numeric
+                // code; sort for a canonical byte encoding.
+                sets.sort_unstable_by_key(|&(index, _)| index);
+                sets
+            })
+            .collect();
+        SparseTensorState {
+            dims: self.shape.dims().to_vec(),
+            coords: self.entries.as_slice().to_vec(),
+            values: self.entries.values().to_vec(),
+            fibers,
+            norm_sq: self.norm_sq,
+        }
+    }
+
+    /// Rebuilds a tensor from captured state, restoring entry and fiber
+    /// orders exactly.
+    ///
+    /// # Errors
+    /// Returns a description of the first internal inconsistency (length
+    /// mismatches, out-of-bounds coordinates, fiber/entry disagreement) —
+    /// decoded snapshots are validated rather than trusted.
+    pub fn from_state(state: SparseTensorState) -> Result<Self, String> {
+        let SparseTensorState { dims, coords, values, fibers, norm_sq } = state;
+        if dims.is_empty() || dims.len() > crate::coord::MAX_ORDER || dims.contains(&0) {
+            return Err(format!("invalid tensor dims {dims:?}"));
+        }
+        let shape = Shape::new(&dims);
+        if coords.len() != values.len() {
+            return Err(format!("{} coords but {} values", coords.len(), values.len()));
+        }
+        for (c, &v) in coords.iter().zip(&values) {
+            if !shape.contains(c) {
+                return Err(format!("coord {c:?} out of shape {dims:?}"));
+            }
+            if v == 0.0 {
+                return Err(format!("stored zero at {c:?}"));
+            }
+        }
+        if fibers.len() != shape.order() {
+            return Err(format!("{} fiber modes for order {}", fibers.len(), shape.order()));
+        }
+        let entries = IndexedCoordSet::from_ordered_entries(coords, values)?;
+        let mut built: Vec<FxHashMap<u32, IndexedCoordSet>> = Vec::with_capacity(fibers.len());
+        for (m, sets) in fibers.into_iter().enumerate() {
+            let mut fiber: FxHashMap<u32, IndexedCoordSet> = fx_map();
+            let mut total = 0usize;
+            for (index, positions) in sets {
+                let mut members = Vec::with_capacity(positions.len());
+                let mut vals = Vec::with_capacity(positions.len());
+                for pos in positions {
+                    let Some(&c) = entries.as_slice().get(pos as usize) else {
+                        return Err(format!("fiber position {pos} out of range"));
+                    };
+                    if c.get(m) != index {
+                        return Err(format!("coord {c:?} filed under mode {m} index {index}"));
+                    }
+                    members.push(c);
+                    vals.push(entries.values()[pos as usize]);
+                }
+                if members.is_empty() {
+                    return Err(format!("empty fiber set at mode {m} index {index}"));
+                }
+                total += members.len();
+                let set = IndexedCoordSet::from_ordered_entries(members, vals)?;
+                if fiber.insert(index, set).is_some() {
+                    return Err(format!("duplicate fiber index {index} in mode {m}"));
+                }
+            }
+            if total != entries.len() {
+                return Err(format!("mode {m} indexes {total} of {} entries", entries.len()));
+            }
+            built.push(fiber);
+        }
+        Ok(SparseTensor { shape, entries, fibers: built, norm_sq })
     }
 
     /// Creates a tensor from `(coord, value)` pairs, summing duplicates.
@@ -72,7 +198,7 @@ impl SparseTensor {
     #[inline]
     pub fn get(&self, coord: &Coord) -> f64 {
         debug_assert!(self.shape.contains(coord), "coord {coord:?} out of {:?}", self.shape);
-        self.entries.get(coord).copied().unwrap_or(0.0)
+        self.entries.get(coord).unwrap_or(0.0)
     }
 
     /// Adds `delta` to the entry at `coord`, returning the new value.
@@ -83,9 +209,9 @@ impl SparseTensor {
         if delta == 0.0 {
             return self.get(coord);
         }
-        match self.entries.get_mut(coord) {
-            Some(v) => {
-                let old = *v;
+        match self.entries.position(coord) {
+            Some(pos) => {
+                let old = self.entries.value_at(pos);
                 let new = old + delta;
                 self.norm_sq += new * new - old * old;
                 if new == 0.0 {
@@ -93,7 +219,7 @@ impl SparseTensor {
                     self.unindex(coord);
                     0.0
                 } else {
-                    *v = new;
+                    self.entries.set_value_at(pos, new);
                     // Keep the denormalized per-fiber values in sync.
                     for m in 0..self.order() {
                         if let Some(set) = self.fibers[m].get_mut(&coord.get(m)) {
@@ -250,9 +376,12 @@ impl SparseTensor {
         Coord::new(&idx[..order])
     }
 
-    /// Iterates over all `(coord, value)` entries (arbitrary order).
+    /// Iterates over all `(coord, value)` entries, in the tensor's
+    /// deterministic entry order (two dense vector walks; the order is a
+    /// pure function of the add/remove history and survives state
+    /// capture bitwise).
     pub fn iter(&self) -> impl Iterator<Item = (&Coord, f64)> + '_ {
-        self.entries.iter().map(|(c, &v)| (c, v))
+        self.entries.entries()
     }
 
     /// Squared Frobenius norm `‖X‖²_F` (incrementally maintained).
@@ -271,7 +400,7 @@ impl SparseTensor {
     /// Recomputes the squared norm from scratch (drift control for long
     /// streams); returns the absolute correction applied.
     pub fn recompute_norm(&mut self) -> f64 {
-        let fresh: f64 = self.entries.values().map(|v| v * v).sum();
+        let fresh: f64 = self.entries.values().iter().map(|v| v * v).sum();
         let drift = (fresh - self.norm_sq).abs();
         self.norm_sq = fresh;
         drift
@@ -284,7 +413,7 @@ impl SparseTensor {
 
     /// Removes every entry, keeping the shape.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.entries = IndexedCoordSet::new();
         for f in &mut self.fibers {
             f.clear();
         }
@@ -302,7 +431,7 @@ impl SparseTensor {
     /// Debug-only invariant check: every entry is indexed in every mode,
     /// every fiber member exists, and the norm accumulator is accurate.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (c, &v) in &self.entries {
+        for (c, v) in self.entries.entries() {
             if v == 0.0 {
                 return Err(format!("stored zero at {c:?}"));
             }
@@ -325,7 +454,7 @@ impl SparseTensor {
                 for (c, v) in set.entries() {
                     match self.entries.get(c) {
                         None => return Err(format!("fiber ghost {c:?} at mode {m}")),
-                        Some(&ev) if ev.to_bits() != v.to_bits() => {
+                        Some(ev) if ev.to_bits() != v.to_bits() => {
                             return Err(format!(
                                 "fiber value {v} at {c:?} mode {m} diverged from entry {ev}"
                             ));
@@ -343,7 +472,7 @@ impl SparseTensor {
                 self.entries.len() * self.order()
             ));
         }
-        let fresh: f64 = self.entries.values().map(|v| v * v).sum();
+        let fresh: f64 = self.entries.values().iter().map(|v| v * v).sum();
         if (fresh - self.norm_sq).abs() > 1e-6 * (1.0 + fresh) {
             return Err(format!("norm drift: stored {} vs fresh {}", self.norm_sq, fresh));
         }
@@ -605,6 +734,70 @@ mod tests {
         let mut used_t: Vec<u32> = t.used_indices(2).collect();
         used_t.sort_unstable();
         assert_eq!(used_t, vec![0, 2]);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_orders_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut t = small();
+        // A history with removals, so swap-remove scrambles both the
+        // entry order and the fiber orders away from insertion order.
+        for _ in 0..600 {
+            let coord = c(
+                rand::Rng::gen_range(&mut rng, 0..4),
+                rand::Rng::gen_range(&mut rng, 0..5),
+                rand::Rng::gen_range(&mut rng, 0..3),
+            );
+            let delta = if rand::Rng::gen_bool(&mut rng, 0.4) { -1.0 } else { 1.0 };
+            t.add(&coord, delta);
+        }
+        let state = t.capture_state();
+        let restored = SparseTensor::from_state(state.clone()).unwrap();
+        restored.check_invariants().unwrap();
+        // Entry iteration order is identical, not merely set-equal.
+        let a: Vec<_> = t.iter().map(|(c, v)| (*c, v.to_bits())).collect();
+        let b: Vec<_> = restored.iter().map(|(c, v)| (*c, v.to_bits())).collect();
+        assert_eq!(a, b);
+        // Fiber orders are identical (MTTKRP summation order).
+        for m in 0..3 {
+            for i in 0..t.shape().dim(m) as u32 {
+                let fa: Vec<_> = t.fiber_entries(m, i).map(|(c, v)| (*c, v.to_bits())).collect();
+                let fb: Vec<_> =
+                    restored.fiber_entries(m, i).map(|(c, v)| (*c, v.to_bits())).collect();
+                assert_eq!(fa, fb, "mode {m} index {i}");
+            }
+        }
+        assert_eq!(t.norm_sq().to_bits(), restored.norm_sq().to_bits());
+        // Re-capture is canonical: identical state both times.
+        assert_eq!(state, restored.capture_state());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistencies() {
+        let mut t = small();
+        t.add(&c(1, 2, 0), 3.0);
+        t.add(&c(0, 1, 1), 2.0);
+        let good = t.capture_state();
+
+        let mut bad = good.clone();
+        bad.values.pop();
+        assert!(SparseTensor::from_state(bad).is_err(), "length mismatch accepted");
+
+        let mut bad = good.clone();
+        bad.coords[0] = c(9, 0, 0);
+        assert!(SparseTensor::from_state(bad).is_err(), "out-of-shape coord accepted");
+
+        let mut bad = good.clone();
+        bad.fibers[0][0].1.push(99);
+        assert!(SparseTensor::from_state(bad).is_err(), "dangling fiber position accepted");
+
+        let mut bad = good.clone();
+        bad.fibers.pop();
+        assert!(SparseTensor::from_state(bad).is_err(), "missing fiber mode accepted");
+
+        let mut bad = good;
+        bad.values[0] = 0.0;
+        assert!(SparseTensor::from_state(bad).is_err(), "stored zero accepted");
     }
 
     #[test]

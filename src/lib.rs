@@ -16,6 +16,8 @@
 //! - [`runtime`] — the unified drive layer: every engine behind one
 //!   `StreamingCpd` trait, plus the sharded, session-based `EnginePool`
 //!   multi-stream runtime,
+//! - [`codec`] — versioned binary serialization of engine snapshots and
+//!   the file-backed `CheckpointStore` (pool-wide crash recovery),
 //! - [`SnsError`] — the single typed error surface shared by all of the
 //!   above.
 //!
@@ -45,6 +47,7 @@
 //! ```
 
 pub use sns_baselines as baselines;
+pub use sns_codec as codec;
 pub use sns_core as core;
 pub use sns_data as data;
 pub use sns_linalg as linalg;

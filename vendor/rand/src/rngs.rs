@@ -20,6 +20,24 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The generator's complete internal state. Together with
+    /// [`StdRng::from_state`] this allows a generator to be captured
+    /// mid-stream and resumed bitwise-identically (engine snapshots).
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured state; the
+    /// resulting generator continues the exact stream the captured one
+    /// would have produced.
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;

@@ -101,7 +101,8 @@ impl CpStream {
         let rank = self.kruskal.rank();
         let mut u = vec![0.0; rank];
         let mut prod = vec![0.0; rank];
-        mttkrp_row_from_entries(entries, &self.kruskal.factors, tm, &mut u, &mut prod);
+        mttkrp_row_from_entries(entries, &self.kruskal.factors, tm, &mut u, &mut prod)
+            .expect("rank-sized buffers");
         // H = ∗_cat A(n)ᵀA(n) (exclude the time factor entirely).
         let mut h = Mat::filled(rank, rank, 1.0);
         for m in 0..tm {

@@ -135,7 +135,8 @@ impl PeriodicCpd for NeCpd {
         // Warm init of the new time row by least squares.
         let mut u = vec![0.0; rank];
         let mut prod = vec![0.0; rank];
-        mttkrp_row_from_entries(&entries, &self.kruskal.factors, tm, &mut u, &mut prod);
+        mttkrp_row_from_entries(&entries, &self.kruskal.factors, tm, &mut u, &mut prod)
+            .expect("rank-sized buffers");
         let h = hadamard_except(&self.grams, tm, rank);
         let mut s = vec![0.0; rank];
         sns_linalg::lstsq::solve_row_sym(&h, &u, &mut s);

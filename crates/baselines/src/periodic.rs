@@ -94,7 +94,8 @@ pub fn solve_new_time_row(kruskal: &mut KruskalTensor, grams: &mut [Mat], update
         update.slice.iter().map(|&(c, v)| (c.extended(newest), v)).collect();
     let mut u = vec![0.0; rank];
     let mut prod = vec![0.0; rank];
-    sns_core::mttkrp::mttkrp_row_from_entries(&entries, &kruskal.factors, tm, &mut u, &mut prod);
+    sns_core::mttkrp::mttkrp_row_from_entries(&entries, &kruskal.factors, tm, &mut u, &mut prod)
+        .expect("rank-sized buffers");
     let h = sns_core::grams::hadamard_except(grams, tm, rank);
     let mut s = vec![0.0; rank];
     sns_linalg::lstsq::solve_row_sym(&h, &u, &mut s);

@@ -60,7 +60,7 @@ fn bench_kernels(c: &mut Criterion) {
         let mut out = vec![0.0; 20];
         let mut scratch = vec![0.0; 20];
         b.iter(|| {
-            mttkrp_row(&x, &k.factors, 0, 7, &mut out, &mut scratch);
+            mttkrp_row(&x, &k.factors, 0, 7, &mut out, &mut scratch).expect("rank-sized buffers");
             std::hint::black_box(out[0])
         })
     });

@@ -10,7 +10,10 @@
 //! - [`kruskal`] — the factorization object `[[λ; A(1),…,A(M)]]`,
 //! - [`grams`] — incrementally maintained Gram matrices `A(m)ᵀA(m)`,
 //! - [`mttkrp`] — sparse MTTKRP kernels (full, all-modes prefix/suffix,
-//!   per-row, fused sampled-residual),
+//!   per-row with entry-pair blocking, interleaved-mirror and
+//!   rank-split parallel variants, fused sampled-residual),
+//! - [`mirror`] — [`mirror::FactorMirror`]: interleaved, padded (and
+//!   optionally `f32`) factor storage the fiber kernels read,
 //! - [`workspace`] — [`workspace::KernelWorkspace`]: per-updater scratch
 //!   buffers and version-keyed cached `H(m)` Cholesky solves that make
 //!   the steady-state per-event path allocation-free,
@@ -32,12 +35,13 @@ pub mod engine;
 pub mod fitness;
 pub mod grams;
 pub mod kruskal;
+pub mod mirror;
 pub mod mttkrp;
 pub mod update;
 pub mod workspace;
 
 pub use anomaly::{AnomalyDetector, DetectorState, ZScoreTracker};
-pub use config::{AlgorithmKind, SnsConfig};
+pub use config::{AlgorithmKind, Precision, SnsConfig};
 pub use engine::{SnsEngine, SnsEngineState};
 pub use kruskal::KruskalTensor;
 pub use update::{ContinuousUpdater, UpdaterState};

@@ -5,19 +5,41 @@
 //! non-zero `x_J`, a scaled element-wise product of factor rows — the
 //! Khatri–Rao product is never materialized.
 //!
+//! # Kernel variants
+//!
+//! The fiber kernel exists in three layouts that are **bitwise
+//! interchangeable** (identical per-`k` accumulation order and
+//! multiplication grouping, pinned by the proptest parity suite):
+//!
+//! - [`mttkrp_row`] walks the master row-major factors,
+//! - [`mttkrp_row_interleaved`] walks a padded
+//!   [`FactorMirror`] plane (contiguous,
+//!   block-aligned rows; `f32` mirrors widen to `f64` per element and
+//!   recover the f32-rounded masters exactly),
+//! - [`mttkrp_row_par`] splits the rank range over scoped worker
+//!   threads — each worker owns a contiguous `k`-range of `out` and
+//!   walks the whole fiber, so per-`k` accumulation order is identical
+//!   to serial at **any** thread count.
+//!
+//! All three accumulate fiber entries in *pairs* (two entries fused per
+//! pass over `out`, halving the accumulator traffic) over explicit
+//! width-4 register blocks with a scalar tail, so the inner loops
+//! autovectorize on stable Rust.
+//!
 //! # Rank invariants
 //!
 //! Every kernel here works on length-`R` row buffers, where `R` is the
-//! common column count of all `factors`. Callers must pass `out` and
-//! `scratch` slices of exactly that length: a longer `scratch` would
-//! silently leave stale tail entries in the product (the classic
-//! wrong-length-scratch bug), a shorter one would truncate it. The
-//! kernels `debug_assert!` these invariants; release builds trust the
-//! caller (the buffers all come from
+//! common column count of all `factors`. The public entry points return
+//! [`SnsError::KernelShape`] when `out`/`scratch` do not match (a longer
+//! `scratch` would silently leave stale tail entries in the product,
+//! a shorter one would truncate it); the inner loops keep
+//! `debug_assert!`s only. The updaters pass buffers from
 //! [`KernelWorkspace`](crate::workspace::KernelWorkspace), which sizes
-//! them once at construction).
+//! them once at construction.
 
 use crate::kruskal::KruskalTensor;
+use crate::mirror::FactorMirror;
+use sns_error::SnsError;
 use sns_linalg::Mat;
 use sns_tensor::{Coord, SparseTensor};
 
@@ -28,6 +50,155 @@ fn debug_assert_rank(factors: &[Mat], len: usize, what: &str) {
         "{what}: buffer length {len} must equal the factor rank {:?}",
         factors.iter().map(|f| f.cols()).collect::<Vec<_>>()
     );
+}
+
+/// Typed rank check for the public kernel entry points (panic-free
+/// release behavior for malformed buffer lengths).
+#[inline]
+fn check_rank(factors: &[Mat], len: usize, what: &'static str) -> Result<(), SnsError> {
+    match factors.iter().find(|f| f.cols() != len) {
+        None => Ok(()),
+        Some(f) => Err(SnsError::KernelShape { what, expected: f.cols(), got: len }),
+    }
+}
+
+/// The two categorical-or-time modes a 3-mode fiber kernel reads when
+/// mode `skip` is being updated, in ascending order (which fixes the
+/// multiplication grouping `a·b` across every kernel variant).
+#[inline]
+fn other_two(skip: usize) -> (usize, usize) {
+    match skip {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+/// Element type a mirror plane stores. Widening to `f64` is exact for
+/// both widths, so accumulation is always full-precision `f64`.
+pub trait MirrorElem: Copy + Send + Sync {
+    /// Widens to `f64` (exact).
+    fn widen(self) -> f64;
+}
+
+impl MirrorElem for f64 {
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        self
+    }
+}
+
+impl MirrorElem for f32 {
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        self as f64
+    }
+}
+
+/// `out[k] += v0·(a0[k]·b0[k]) + v1·(a1[k]·b1[k])` over explicit
+/// width-4 blocks plus a scalar tail. The per-`k` expression is the
+/// single source of truth for the fused two-entry accumulation: every
+/// kernel variant (row-major, interleaved, parallel, f32) funnels
+/// through here, which is what makes them bitwise interchangeable.
+#[inline]
+fn accum_pair<T: MirrorElem>(
+    out: &mut [f64],
+    v0: f64,
+    a0: &[T],
+    b0: &[T],
+    v1: f64,
+    a1: &[T],
+    b1: &[T],
+) {
+    let n = out.len();
+    debug_assert!(a0.len() == n && b0.len() == n && a1.len() == n && b1.len() == n);
+    let mut o = out.chunks_exact_mut(4);
+    let mut a0c = a0.chunks_exact(4);
+    let mut b0c = b0.chunks_exact(4);
+    let mut a1c = a1.chunks_exact(4);
+    let mut b1c = b1.chunks_exact(4);
+    for ((((o, x0), y0), x1), y1) in
+        (&mut o).zip(&mut a0c).zip(&mut b0c).zip(&mut a1c).zip(&mut b1c)
+    {
+        o[0] += v0 * (x0[0].widen() * y0[0].widen()) + v1 * (x1[0].widen() * y1[0].widen());
+        o[1] += v0 * (x0[1].widen() * y0[1].widen()) + v1 * (x1[1].widen() * y1[1].widen());
+        o[2] += v0 * (x0[2].widen() * y0[2].widen()) + v1 * (x1[2].widen() * y1[2].widen());
+        o[3] += v0 * (x0[3].widen() * y0[3].widen()) + v1 * (x1[3].widen() * y1[3].widen());
+    }
+    for ((((o, x0), y0), x1), y1) in o
+        .into_remainder()
+        .iter_mut()
+        .zip(a0c.remainder())
+        .zip(b0c.remainder())
+        .zip(a1c.remainder())
+        .zip(b1c.remainder())
+    {
+        *o += v0 * (x0.widen() * y0.widen()) + v1 * (x1.widen() * y1.widen());
+    }
+}
+
+/// `out[k] += v·(a[k]·b[k])` — the odd-entry tail of the pair-blocked
+/// fiber walk, same blocking and grouping as [`accum_pair`].
+#[inline]
+fn accum_single<T: MirrorElem>(out: &mut [f64], v: f64, a: &[T], b: &[T]) {
+    let n = out.len();
+    debug_assert!(a.len() == n && b.len() == n);
+    let mut o = out.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for ((o, x), y) in (&mut o).zip(&mut ac).zip(&mut bc) {
+        o[0] += v * (x[0].widen() * y[0].widen());
+        o[1] += v * (x[1].widen() * y[1].widen());
+        o[2] += v * (x[2].widen() * y[2].widen());
+        o[3] += v * (x[3].widen() * y[3].widen());
+    }
+    for ((o, x), y) in o.into_remainder().iter_mut().zip(ac.remainder()).zip(bc.remainder()) {
+        *o += v * (x.widen() * y.widen());
+    }
+}
+
+/// Pair-blocked fiber walk over two mirror planes, restricted to the
+/// `k`-range `[k0, k0 + out.len())` of every row — the shared core of
+/// the interleaved serial kernel (`k0 = 0`, full width) and each
+/// parallel worker (its own contiguous sub-range).
+#[allow(clippy::too_many_arguments)]
+fn fiber_accum_planes<T: MirrorElem>(
+    coords: &[Coord],
+    values: &[f64],
+    pa: &[T],
+    pb: &[T],
+    ma: usize,
+    mb: usize,
+    stride: usize,
+    k0: usize,
+    out: &mut [f64],
+) {
+    let w = out.len();
+    let n = coords.len();
+    let mut i = 0;
+    while i + 2 <= n {
+        let (c0, c1) = (&coords[i], &coords[i + 1]);
+        let a0 = c0.get(ma) as usize * stride + k0;
+        let b0 = c0.get(mb) as usize * stride + k0;
+        let a1 = c1.get(ma) as usize * stride + k0;
+        let b1 = c1.get(mb) as usize * stride + k0;
+        accum_pair(
+            out,
+            values[i],
+            &pa[a0..a0 + w],
+            &pb[b0..b0 + w],
+            values[i + 1],
+            &pa[a1..a1 + w],
+            &pb[b1..b1 + w],
+        );
+        i += 2;
+    }
+    if i < n {
+        let c = &coords[i];
+        let a = c.get(ma) as usize * stride + k0;
+        let b = c.get(mb) as usize * stride + k0;
+        accum_single(out, values[i], &pa[a..a + w], &pb[b..b + w]);
+    }
 }
 
 /// Collects the participating factor rows of one coordinate (all modes
@@ -91,12 +262,33 @@ pub fn khatri_rao_row(factors: &[Mat], coord: &Coord, skip: usize, out: &mut [f6
 /// `rows[m·R..(m+1)·R]`). Each row matches [`khatri_rao_row`] up to
 /// floating-point reassociation (≤ 1e-12 relative; the factor rows
 /// multiply in a different order).
-pub fn khatri_rao_rows_all(factors: &[Mat], coord: &Coord, scratch: &mut [f64], rows: &mut [f64]) {
+///
+/// # Errors
+/// [`SnsError::KernelShape`] when `scratch` or `rows` is shorter than
+/// the documented size.
+pub fn khatri_rao_rows_all(
+    factors: &[Mat],
+    coord: &Coord,
+    scratch: &mut [f64],
+    rows: &mut [f64],
+) -> Result<(), SnsError> {
     let m = factors.len();
     let r = factors[0].cols();
-    debug_assert_rank(factors, r, "khatri_rao_rows_all");
-    debug_assert!(scratch.len() >= (m + 2) * r, "scratch must be (M+2)·R");
-    debug_assert_eq!(rows.len(), m * r, "rows buffer must be M·R");
+    check_rank(factors, r, "khatri_rao_rows_all(factors)")?;
+    if scratch.len() < (m + 2) * r {
+        return Err(SnsError::KernelShape {
+            what: "khatri_rao_rows_all(scratch)",
+            expected: (m + 2) * r,
+            got: scratch.len(),
+        });
+    }
+    if rows.len() != m * r {
+        return Err(SnsError::KernelShape {
+            what: "khatri_rao_rows_all(rows)",
+            expected: m * r,
+            got: rows.len(),
+        });
+    }
     let (suffix, prefix) = scratch.split_at_mut((m + 1) * r);
     let prefix = &mut prefix[..r];
     // Backward sweep: S_M = 1, S_n = row_n ∗ S_{n+1} (S_0 never read).
@@ -124,6 +316,7 @@ pub fn khatri_rao_rows_all(factors: &[Mat], coord: &Coord, scratch: &mut [f64], 
             }
         }
     }
+    Ok(())
 }
 
 /// Full MTTKRP `U = X(m)·K(m) ∈ R^{N_m×R}` over all non-zeros of `x`.
@@ -155,7 +348,8 @@ pub fn mttkrp_full_all(x: &SparseTensor, factors: &[Mat]) -> Vec<Mat> {
     let mut scratch = vec![0.0; (m + 2) * rank];
     let mut rows = vec![0.0; m * rank];
     for (coord, value) in x.iter() {
-        khatri_rao_rows_all(factors, coord, &mut scratch, &mut rows);
+        khatri_rao_rows_all(factors, coord, &mut scratch, &mut rows)
+            .expect("internally sized buffers");
         for (n, u) in us.iter_mut().enumerate() {
             let dst = u.row_mut(coord.get(n) as usize);
             let src = &rows[n * rank..(n + 1) * rank];
@@ -169,8 +363,14 @@ pub fn mttkrp_full_all(x: &SparseTensor, factors: &[Mat]) -> Vec<Mat> {
 /// `out[k] = Σ_{J : J_mode = index} x_J · Π_{n≠mode} factors[n](J_n, k)`.
 /// This is `(X)(m)(i,:)·K(m)` of Eq. (12). `O(deg·M·R)`.
 ///
-/// `out` and `scratch` must both have length equal to the factor rank
-/// `R` (see the module docs on rank invariants).
+/// Three-mode tensors (every Table-III dataset but one) run the
+/// pair-blocked fast path: two fiber entries fuse into one pass over
+/// `out`, halving the accumulator load/store traffic, with explicit
+/// width-4 register blocks inside.
+///
+/// # Errors
+/// [`SnsError::KernelShape`] when `out` or `scratch` does not match the
+/// factor rank (see the module docs on rank invariants).
 pub fn mttkrp_row(
     x: &SparseTensor,
     factors: &[Mat],
@@ -178,45 +378,179 @@ pub fn mttkrp_row(
     index: u32,
     out: &mut [f64],
     scratch: &mut [f64],
-) {
-    debug_assert_rank(factors, out.len(), "mttkrp_row(out)");
-    debug_assert_rank(factors, scratch.len(), "mttkrp_row(scratch)");
+) -> Result<(), SnsError> {
+    check_rank(factors, out.len(), "mttkrp_row(out)")?;
+    check_rank(factors, scratch.len(), "mttkrp_row(scratch)")?;
     out.iter_mut().for_each(|v| *v = 0.0);
-    for (coord, value) in x.fiber_entries(mode, index) {
-        let (rows, n) = gather_rows(factors, coord, mode);
-        if n == 2 {
-            // Three-mode tensors (every Table-III dataset but one):
-            // accumulate the fused product directly, skipping the scratch
-            // round-trip. Same multiplication grouping, bitwise-equal.
-            out.iter_mut()
-                .zip(rows[0].iter().zip(rows[1]))
-                .for_each(|(o, (&a, &b))| *o += value * (a * b));
-        } else {
+    let (coords, values) = x.fiber_slices(mode, index);
+    if coords.is_empty() {
+        return Ok(());
+    }
+    if factors.len() == 3 {
+        let (ma, mb) = other_two(mode);
+        let (fa, fb) = (&factors[ma], &factors[mb]);
+        let r = out.len();
+        let n = coords.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let (c0, c1) = (&coords[i], &coords[i + 1]);
+            accum_pair(
+                out,
+                values[i],
+                &fa.row(c0.get(ma) as usize)[..r],
+                &fb.row(c0.get(mb) as usize)[..r],
+                values[i + 1],
+                &fa.row(c1.get(ma) as usize)[..r],
+                &fb.row(c1.get(mb) as usize)[..r],
+            );
+            i += 2;
+        }
+        if i < n {
+            let c = &coords[i];
+            accum_single(
+                out,
+                values[i],
+                &fa.row(c.get(ma) as usize)[..r],
+                &fb.row(c.get(mb) as usize)[..r],
+            );
+        }
+    } else {
+        for (coord, &value) in coords.iter().zip(values) {
             khatri_rao_row(factors, coord, mode, scratch);
             out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += value * p);
         }
     }
+    Ok(())
+}
+
+/// Row MTTKRP over one fiber reading a [`FactorMirror`] instead of the
+/// master factors — contiguous, block-aligned (optionally `f32`) rows.
+/// Bitwise-identical to [`mttkrp_row`] for an `f64` mirror, and to the
+/// master-factor walk for an `f32` mirror of f32-rounded masters
+/// (widening is exact; accumulation is `f64` either way).
+///
+/// Three-mode tensors only — the callers'
+/// [`FactorState`](crate::update::FactorState) dispatch falls back to
+/// [`mttkrp_row`] for other orders.
+///
+/// # Errors
+/// [`SnsError::KernelShape`] when `out` does not match the mirror's
+/// rank or the tensor is not 3-mode.
+pub fn mttkrp_row_interleaved(
+    x: &SparseTensor,
+    mirror: &FactorMirror,
+    mode: usize,
+    index: u32,
+    out: &mut [f64],
+) -> Result<(), SnsError> {
+    mttkrp_row_par(x, mirror, mode, index, out, 1)
+}
+
+/// [`mttkrp_row_interleaved`] with the rank range split across `threads`
+/// scoped worker threads. Each worker owns a contiguous `k`-range of
+/// `out` and walks the whole fiber, so the per-`k` accumulation order —
+/// and therefore the result, bit for bit — is independent of the thread
+/// count. `threads ≤ 1` runs serially on the calling thread.
+///
+/// Spawning scoped threads costs microseconds, so callers gate this on
+/// rank/work thresholds ([`crate::workspace::ParConfig`]) — at the
+/// paper's default `R = 20` the dispatch never parallelizes.
+///
+/// # Errors
+/// [`SnsError::KernelShape`] when `out` does not match the mirror's
+/// rank or the tensor is not 3-mode.
+pub fn mttkrp_row_par(
+    x: &SparseTensor,
+    mirror: &FactorMirror,
+    mode: usize,
+    index: u32,
+    out: &mut [f64],
+    threads: usize,
+) -> Result<(), SnsError> {
+    if out.len() != mirror.rank() {
+        return Err(SnsError::KernelShape {
+            what: "mttkrp_row_interleaved(out)",
+            expected: mirror.rank(),
+            got: out.len(),
+        });
+    }
+    if x.order() != 3 {
+        return Err(SnsError::KernelShape {
+            what: "mttkrp_row_interleaved(order)",
+            expected: 3,
+            got: x.order(),
+        });
+    }
+    out.iter_mut().for_each(|v| *v = 0.0);
+    let (coords, values) = x.fiber_slices(mode, index);
+    if coords.is_empty() {
+        return Ok(());
+    }
+    let (ma, mb) = other_two(mode);
+    let stride = mirror.stride();
+    enum Planes<'a> {
+        F64(&'a [f64], &'a [f64]),
+        F32(&'a [f32], &'a [f32]),
+    }
+    let planes = match (mirror.f64_plane(ma), mirror.f32_plane(ma)) {
+        (Some(pa), _) => Planes::F64(pa, mirror.f64_plane(mb).expect("planes share precision")),
+        (_, Some(pa)) => Planes::F32(pa, mirror.f32_plane(mb).expect("planes share precision")),
+        _ => unreachable!("a mirror plane is either f64 or f32"),
+    };
+    let workers = threads.max(1).min(out.len());
+    if workers == 1 {
+        match planes {
+            Planes::F64(pa, pb) => {
+                fiber_accum_planes(coords, values, pa, pb, ma, mb, stride, 0, out)
+            }
+            Planes::F32(pa, pb) => {
+                fiber_accum_planes(coords, values, pa, pb, ma, mb, stride, 0, out)
+            }
+        }
+        return Ok(());
+    }
+    let chunk = out.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, piece) in out.chunks_mut(chunk).enumerate() {
+            let k0 = ci * chunk;
+            match planes {
+                Planes::F64(pa, pb) => {
+                    s.spawn(move || {
+                        fiber_accum_planes(coords, values, pa, pb, ma, mb, stride, k0, piece)
+                    });
+                }
+                Planes::F32(pa, pb) => {
+                    s.spawn(move || {
+                        fiber_accum_planes(coords, values, pa, pb, ma, mb, stride, k0, piece)
+                    });
+                }
+            }
+        }
+    });
+    Ok(())
 }
 
 /// Row MTTKRP over an explicit list of `(coord, value)` pairs (used for
 /// the sampled correction `X̄ + ΔX` of Eq. (16) and Eq. (23)).
 ///
-/// `out` and `scratch` must both have length equal to the factor rank
-/// `R` (see the module docs on rank invariants).
+/// # Errors
+/// [`SnsError::KernelShape`] when `out` or `scratch` does not match the
+/// factor rank (see the module docs on rank invariants).
 pub fn mttkrp_row_from_entries(
     entries: &[(Coord, f64)],
     factors: &[Mat],
     mode: usize,
     out: &mut [f64],
     scratch: &mut [f64],
-) {
-    debug_assert_rank(factors, out.len(), "mttkrp_row_from_entries(out)");
-    debug_assert_rank(factors, scratch.len(), "mttkrp_row_from_entries(scratch)");
+) -> Result<(), SnsError> {
+    check_rank(factors, out.len(), "mttkrp_row_from_entries(out)")?;
+    check_rank(factors, scratch.len(), "mttkrp_row_from_entries(scratch)")?;
     out.iter_mut().for_each(|v| *v = 0.0);
     for (coord, value) in entries {
         khatri_rao_row(factors, coord, mode, scratch);
         out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += value * p);
     }
+    Ok(())
 }
 
 /// The sampled-correction row MTTKRP of Eq. (16)/Eq. (23), fused:
@@ -232,6 +566,10 @@ pub fn mttkrp_row_from_entries(
 /// path). Matches the unfused form to ≤ 1e-12: the model value
 /// multiplies factors in a different order than
 /// [`KruskalTensor::eval`].
+///
+/// # Errors
+/// [`SnsError::KernelShape`] when `out` or `scratch` does not match the
+/// factor rank (see the module docs on rank invariants).
 pub fn mttkrp_row_sampled_residuals(
     window: &SparseTensor,
     kruskal: &KruskalTensor,
@@ -239,21 +577,88 @@ pub fn mttkrp_row_sampled_residuals(
     samples: &[Coord],
     out: &mut [f64],
     scratch: &mut [f64],
-) {
-    debug_assert_rank(&kruskal.factors, out.len(), "mttkrp_row_sampled_residuals(out)");
-    debug_assert_rank(&kruskal.factors, scratch.len(), "mttkrp_row_sampled_residuals(scratch)");
+) -> Result<(), SnsError> {
+    check_rank(&kruskal.factors, out.len(), "mttkrp_row_sampled_residuals(out)")?;
+    check_rank(&kruskal.factors, scratch.len(), "mttkrp_row_sampled_residuals(scratch)")?;
     out.iter_mut().for_each(|v| *v = 0.0);
-    for coord in samples {
-        khatri_rao_row(&kruskal.factors, coord, mode, scratch);
-        let frow = kruskal.factors[mode].row(coord.get(mode) as usize);
-        let model: f64 = scratch
-            .iter()
-            .zip(frow.iter().zip(&kruskal.lambda))
-            .map(|(&p, (&a, &l))| l * p * a)
-            .sum();
-        let residual = window.get(coord) - model;
-        out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += residual * p);
+    if kruskal.factors.len() == 3 {
+        // Fast path for the ubiquitous 3-mode case: the Khatri–Rao row
+        // is a single element-wise product (same ascending-mode order as
+        // `khatri_rao_row`, so `scratch` is bitwise identical), and the
+        // model evaluation fuses into the same register-blocked sweep.
+        let (ma, mb) = other_two(mode);
+        let (fa, fb) = (&kruskal.factors[ma], &kruskal.factors[mb]);
+        let fm = &kruskal.factors[mode];
+        let r = out.len();
+        for coord in samples {
+            let a = &fa.row(coord.get(ma) as usize)[..r];
+            let b = &fb.row(coord.get(mb) as usize)[..r];
+            let frow = &fm.row(coord.get(mode) as usize)[..r];
+            let model = fused_model_pass(a, b, frow, &kruskal.lambda, scratch);
+            let residual = window.get(coord) - model;
+            out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += residual * p);
+        }
+    } else {
+        for coord in samples {
+            khatri_rao_row(&kruskal.factors, coord, mode, scratch);
+            let frow = kruskal.factors[mode].row(coord.get(mode) as usize);
+            let model: f64 = scratch
+                .iter()
+                .zip(frow.iter().zip(&kruskal.lambda))
+                .map(|(&p, (&a, &l))| l * p * a)
+                .sum();
+            let residual = window.get(coord) - model;
+            out.iter_mut().zip(scratch.iter()).for_each(|(o, &p)| *o += residual * p);
+        }
     }
+    Ok(())
+}
+
+/// One fused sample pass of the 3-mode sampled-residual kernel:
+/// `scratch[k] = a[k]·b[k]` (the Khatri–Rao row) while accumulating the
+/// model value `Σ_k λ[k]·scratch[k]·f[k]` in four independent lanes —
+/// one register-blocked sweep instead of a product pass plus a dot pass.
+/// The lane sums reduce as `((m0+m1)+(m2+m3))+tail` (≤ 1e-12 relative
+/// reassociation versus the sequential sum).
+#[inline]
+fn fused_model_pass(
+    a: &[f64],
+    b: &[f64],
+    frow: &[f64],
+    lambda: &[f64],
+    scratch: &mut [f64],
+) -> f64 {
+    let n = scratch.len();
+    debug_assert!(a.len() == n && b.len() == n && frow.len() == n && lambda.len() >= n);
+    let mut s = scratch.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    let mut fc = frow.chunks_exact(4);
+    let mut lc = lambda[..n].chunks_exact(4);
+    let (mut m0, mut m1, mut m2, mut m3) = (0.0f64, 0.0, 0.0, 0.0);
+    for ((((s, x), y), f), l) in (&mut s).zip(&mut ac).zip(&mut bc).zip(&mut fc).zip(&mut lc) {
+        s[0] = x[0] * y[0];
+        s[1] = x[1] * y[1];
+        s[2] = x[2] * y[2];
+        s[3] = x[3] * y[3];
+        m0 += l[0] * s[0] * f[0];
+        m1 += l[1] * s[1] * f[1];
+        m2 += l[2] * s[2] * f[2];
+        m3 += l[3] * s[3] * f[3];
+    }
+    let mut tail = 0.0;
+    for ((((s, &x), &y), &f), &l) in s
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+        .zip(fc.remainder())
+        .zip(lc.remainder())
+    {
+        *s = x * y;
+        tail += l * *s * f;
+    }
+    ((m0 + m1) + (m2 + m3)) + tail
 }
 
 /// Dense-oracle MTTKRP: materializes `X(m)` and the full Khatri–Rao
@@ -276,6 +681,7 @@ pub fn inner_with_kruskal(x: &SparseTensor, k: &KruskalTensor) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Precision;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use sns_tensor::{DenseTensor, Shape};
@@ -365,12 +771,112 @@ mod tests {
         for (mode, &dim) in dims.iter().enumerate() {
             let full = mttkrp_full(&x, &f, mode);
             for i in 0..dim as u32 {
-                mttkrp_row(&x, &f, mode, i, &mut out, &mut scratch);
+                mttkrp_row(&x, &f, mode, i, &mut out, &mut scratch).unwrap();
                 for k in 0..4 {
                     assert!((out[k] - full[(i as usize, k)]).abs() < 1e-10);
                 }
             }
         }
+    }
+
+    #[test]
+    fn row_mttkrp_4mode_matches_full() {
+        // The non-3-mode (scratch) path of mttkrp_row.
+        let mut rng = StdRng::seed_from_u64(14);
+        let dims = [3usize, 2, 4, 3];
+        let x = random_sparse(&mut rng, &dims, 25);
+        let f = random_factors(&mut rng, &dims, 3);
+        let mut out = vec![0.0; 3];
+        let mut scratch = vec![0.0; 3];
+        for (mode, &dim) in dims.iter().enumerate() {
+            let full = mttkrp_full(&x, &f, mode);
+            for i in 0..dim as u32 {
+                mttkrp_row(&x, &f, mode, i, &mut out, &mut scratch).unwrap();
+                for k in 0..3 {
+                    assert!((out[k] - full[(i as usize, k)]).abs() < 1e-10, "mode {mode} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_matches_row_major_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dims = [6usize, 5, 7];
+        let x = random_sparse(&mut rng, &dims, 60);
+        let f = random_factors(&mut rng, &dims, 5);
+        let mirror = FactorMirror::new(&f, Precision::F64);
+        let mut a = vec![0.0; 5];
+        let mut b = vec![0.0; 5];
+        let mut scratch = vec![0.0; 5];
+        for (mode, &dim) in dims.iter().enumerate() {
+            for i in 0..dim as u32 {
+                mttkrp_row(&x, &f, mode, i, &mut a, &mut scratch).unwrap();
+                mttkrp_row_interleaved(&x, &mirror, mode, i, &mut b).unwrap();
+                for k in 0..5 {
+                    assert_eq!(a[k].to_bits(), b[k].to_bits(), "mode {mode} row {i} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise_any_thread_count() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dims = [5usize, 4, 6];
+        let x = random_sparse(&mut rng, &dims, 80);
+        let f = random_factors(&mut rng, &dims, 11);
+        let mirror = FactorMirror::new(&f, Precision::F64);
+        let mut serial = vec![0.0; 11];
+        let mut par = vec![0.0; 11];
+        for threads in [2, 3, 4, 7, 11, 16] {
+            for (mode, &dim) in dims.iter().enumerate() {
+                for i in 0..dim as u32 {
+                    mttkrp_row_interleaved(&x, &mirror, mode, i, &mut serial).unwrap();
+                    mttkrp_row_par(&x, &mirror, mode, i, &mut par, threads).unwrap();
+                    for k in 0..11 {
+                        assert_eq!(
+                            serial[k].to_bits(),
+                            par[k].to_bits(),
+                            "threads {threads} mode {mode} row {i} k {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_shape_errors_are_typed_not_panics() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let dims = [4usize, 3, 5];
+        let x = random_sparse(&mut rng, &dims, 10);
+        let f = random_factors(&mut rng, &dims, 4);
+        let mut short = vec![0.0; 3];
+        let mut ok = vec![0.0; 4];
+        assert!(matches!(
+            mttkrp_row(&x, &f, 0, 0, &mut short, &mut ok),
+            Err(SnsError::KernelShape { what: "mttkrp_row(out)", expected: 4, got: 3 })
+        ));
+        assert!(matches!(
+            mttkrp_row(&x, &f, 0, 0, &mut ok, &mut short),
+            Err(SnsError::KernelShape { what: "mttkrp_row(scratch)", .. })
+        ));
+        let mirror = FactorMirror::new(&f, Precision::F64);
+        assert!(matches!(
+            mttkrp_row_interleaved(&x, &mirror, 0, 0, &mut short),
+            Err(SnsError::KernelShape { .. })
+        ));
+        let entries: Vec<(Coord, f64)> = vec![];
+        assert!(mttkrp_row_from_entries(&entries, &f, 0, &mut short, &mut ok).is_err());
+        let k = KruskalTensor::random(&mut rng, &dims, 4, 1.0);
+        assert!(mttkrp_row_sampled_residuals(&x, &k, 0, &[], &mut short, &mut ok).is_err());
+        let mut scratch = vec![0.0; 4]; // needs (M+2)·R = 20
+        let mut rows = vec![0.0; 12];
+        assert!(matches!(
+            khatri_rao_rows_all(&f, &Coord::new(&[0, 0, 0]), &mut scratch, &mut rows),
+            Err(SnsError::KernelShape { what: "khatri_rao_rows_all(scratch)", .. })
+        ));
     }
 
     #[test]
@@ -383,8 +889,8 @@ mod tests {
         let mut b = vec![0.0; 4];
         let mut scratch = vec![0.0; 4];
         let entries: Vec<(Coord, f64)> = x.fiber_entries(0, 2).map(|(c, v)| (*c, v)).collect();
-        mttkrp_row(&x, &f, 0, 2, &mut a, &mut scratch);
-        mttkrp_row_from_entries(&entries, &f, 0, &mut b, &mut scratch);
+        mttkrp_row(&x, &f, 0, 2, &mut a, &mut scratch).unwrap();
+        mttkrp_row_from_entries(&entries, &f, 0, &mut b, &mut scratch).unwrap();
         for k in 0..4 {
             assert!((a[k] - b[k]).abs() < 1e-12);
         }
@@ -413,7 +919,7 @@ mod tests {
             let c = Coord::new(&coord);
             let mut scratch = vec![0.0; (m + 2) * 4];
             let mut rows = vec![0.0; m * 4];
-            khatri_rao_rows_all(&f, &c, &mut scratch, &mut rows);
+            khatri_rao_rows_all(&f, &c, &mut scratch, &mut rows).unwrap();
             let mut reference = vec![0.0; 4];
             for skip in 0..m {
                 khatri_rao_row(&f, &c, skip, &mut reference);
@@ -465,12 +971,12 @@ mod tests {
             .collect();
         let mut fused = vec![0.0; 4];
         let mut scratch = vec![0.0; 4];
-        mttkrp_row_sampled_residuals(&x, &k, mode, &samples, &mut fused, &mut scratch);
+        mttkrp_row_sampled_residuals(&x, &k, mode, &samples, &mut fused, &mut scratch).unwrap();
         // Unfused reference: residuals via eval, then the entry-list MTTKRP.
         let entries: Vec<(Coord, f64)> =
             samples.iter().map(|c| (*c, x.get(c) - k.eval(c))).collect();
         let mut reference = vec![0.0; 4];
-        mttkrp_row_from_entries(&entries, &k.factors, mode, &mut reference, &mut scratch);
+        mttkrp_row_from_entries(&entries, &k.factors, mode, &mut reference, &mut scratch).unwrap();
         for j in 0..4 {
             assert!(
                 (fused[j] - reference[j]).abs() <= 1e-12 * (1.0 + reference[j].abs()),
@@ -489,5 +995,10 @@ mod tests {
         let f = random_factors(&mut rng, &dims, 2);
         let u = mttkrp_full(&x, &f, 0);
         assert_eq!(u.frob_norm(), 0.0);
+        // Empty fibers also zero the row kernels.
+        let mirror = FactorMirror::new(&f, Precision::F64);
+        let mut out = vec![9.0; 2];
+        mttkrp_row_interleaved(&x, &mirror, 0, 1, &mut out).unwrap();
+        assert_eq!(out, vec![0.0; 2]);
     }
 }

@@ -20,10 +20,10 @@
 //! applied as the equivalent end-of-row rank-1 forms (the per-coordinate
 //! entrywise updates telescope to exactly these — see `grams.rs`).
 
-use crate::config::{AlgorithmKind, SnsConfig};
+use crate::config::{AlgorithmKind, Precision, SnsConfig};
 use crate::grams::prev_gram_row_update;
 use crate::kruskal::KruskalTensor;
-use crate::mttkrp::{mttkrp_row, mttkrp_row_sampled_residuals};
+use crate::mttkrp::mttkrp_row_sampled_residuals;
 use crate::update::common::{delta_entries_for_row, FactorState};
 use crate::update::ContinuousUpdater;
 use crate::workspace::KernelWorkspace;
@@ -80,7 +80,13 @@ impl SnsPlusVec {
     /// Creates an SNS⁺_VEC updater with random initial factors.
     pub fn new(dims: &[usize], config: &SnsConfig) -> Self {
         SnsPlusVec {
-            state: FactorState::random(dims, config.rank, config.init_scale, config.seed),
+            state: FactorState::random(
+                dims,
+                config.rank,
+                config.init_scale,
+                config.seed,
+                config.precision,
+            ),
             eta: config.eta,
             ws: KernelWorkspace::new(dims.len(), config.rank),
         }
@@ -96,6 +102,7 @@ impl SnsPlusVec {
         crate::update::UpdaterState::PlusVec {
             factors: self.state.kruskal.clone(),
             grams: self.state.grams.clone(),
+            precision: self.state.precision(),
             eta: self.eta,
         }
     }
@@ -104,11 +111,12 @@ impl SnsPlusVec {
     pub(crate) fn from_state(
         factors: KruskalTensor,
         grams: Vec<Mat>,
+        precision: Precision,
         eta: f64,
     ) -> Result<Self, String> {
         let order = factors.order();
         let rank = factors.rank();
-        let state = FactorState::from_parts(factors, grams)?;
+        let state = FactorState::from_parts(factors, grams, precision)?;
         Ok(SnsPlusVec { state, eta, ws: KernelWorkspace::new(order, rank) })
     }
 
@@ -138,26 +146,24 @@ impl SnsPlusVec {
             }
         } else {
             // Eq. (21): exact fiber sum over X+ΔX (already in `window`).
-            mttkrp_row(
+            self.state.mttkrp_row_ws(
                 window,
-                &self.state.kruskal.factors,
                 mode,
                 index,
                 &mut self.ws.bufs.acc,
                 &mut self.ws.bufs.prod,
+                &self.ws.par,
             );
         }
         descend_row(&mut self.state.kruskal.factors[mode], index, g, &self.ws.bufs.acc, self.eta);
-        self.ws.bufs.row.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
-        self.state.note_row_changed(mode, &self.ws.bufs.old, &self.ws.bufs.row);
+        self.state.note_row_changed(mode, index, &self.ws.bufs.old);
     }
 }
 
 impl ContinuousUpdater for SnsPlusVec {
     fn apply(&mut self, window: &SparseTensor, delta: &Delta) {
         let tm = self.state.time_mode();
-        let time_rows: Vec<u32> = delta.time_indices().collect();
-        for index in time_rows {
+        for index in delta.time_indices() {
             self.update_row(window, delta, tm, index);
         }
         for m in 0..tm {
@@ -198,7 +204,13 @@ pub struct SnsPlusRnd {
 impl SnsPlusRnd {
     /// Creates an SNS⁺_RND updater with random initial factors.
     pub fn new(dims: &[usize], config: &SnsConfig) -> Self {
-        let state = FactorState::random(dims, config.rank, config.init_scale, config.seed);
+        let state = FactorState::random(
+            dims,
+            config.rank,
+            config.init_scale,
+            config.seed,
+            config.precision,
+        );
         let prev_grams = state.grams.clone();
         SnsPlusRnd {
             prev_grams,
@@ -229,6 +241,7 @@ impl SnsPlusRnd {
         crate::update::UpdaterState::PlusRnd {
             factors: self.state.kruskal.clone(),
             grams: self.state.grams.clone(),
+            precision: self.state.precision(),
             theta: self.theta,
             eta: self.eta,
             rng: self.rng.state(),
@@ -239,13 +252,14 @@ impl SnsPlusRnd {
     pub(crate) fn from_state(
         factors: KruskalTensor,
         grams: Vec<Mat>,
+        precision: Precision,
         theta: usize,
         eta: f64,
         rng: [u64; 4],
     ) -> Result<Self, String> {
         let order = factors.order();
         let rank = factors.rank();
-        let state = FactorState::from_parts(factors, grams)?;
+        let state = FactorState::from_parts(factors, grams, precision)?;
         Ok(SnsPlusRnd {
             prev_grams: state.grams.clone(),
             prev_versions: vec![1; order],
@@ -262,13 +276,13 @@ impl SnsPlusRnd {
         self.ws.bufs.old.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
         if deg <= self.theta {
             // Eq. (21): exact fiber sum.
-            mttkrp_row(
+            self.state.mttkrp_row_ws(
                 window,
-                &self.state.kruskal.factors,
                 mode,
                 index,
                 &mut self.ws.bufs.acc,
                 &mut self.ws.bufs.prod,
+                &self.ws.par,
             );
         } else {
             // Eq. (23): e (model part via Ĝ) + sampled residuals + ΔX.
@@ -295,7 +309,8 @@ impl SnsPlusRnd {
                 &self.ws.bufs.samples,
                 &mut self.ws.bufs.extra,
                 &mut self.ws.bufs.prod,
-            );
+            )
+            .expect("workspace-sized buffers");
             for (c, v) in delta_entries_for_row(delta, mode, index) {
                 if v != 0.0 {
                     crate::mttkrp::khatri_rao_row(
@@ -311,8 +326,10 @@ impl SnsPlusRnd {
         }
         let g = self.ws.solves.h(&self.state.grams, self.state.gram_versions(), mode);
         descend_row(&mut self.state.kruskal.factors[mode], index, g, &self.ws.bufs.acc, self.eta);
-        self.ws.bufs.row.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
-        if self.state.note_row_changed(mode, &self.ws.bufs.old, &self.ws.bufs.row) {
+        // note_row_changed may round the live row (f32 profile), so read
+        // the committed row back for the U(m) update.
+        if self.state.note_row_changed(mode, index, &self.ws.bufs.old) {
+            self.ws.bufs.row.copy_from_slice(self.state.kruskal.factors[mode].row(index as usize));
             prev_gram_row_update(&mut self.prev_grams[mode], &self.ws.bufs.old, &self.ws.bufs.row);
             self.prev_versions[mode] += 1;
         }

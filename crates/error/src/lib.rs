@@ -124,6 +124,18 @@ pub enum SnsError {
         /// The underlying error, as text.
         message: String,
     },
+    /// A compute-kernel entry point received a buffer whose length does
+    /// not match the factor rank (the classic wrong-length-scratch bug).
+    /// Kernels report this instead of panicking in release builds; the
+    /// inner loops keep `debug_assert!`s only.
+    KernelShape {
+        /// Which buffer was mis-sized (e.g. `"mttkrp_row(out)"`).
+        what: &'static str,
+        /// The factor rank the buffer must match.
+        expected: usize,
+        /// The length actually received.
+        got: usize,
+    },
 }
 
 /// Failure classes of the snapshot codec (see [`SnsError::Codec`]).
@@ -227,6 +239,12 @@ impl fmt::Display for SnsError {
             SnsError::Io { path, message } => {
                 write!(f, "checkpoint io: {path}: {message}")
             }
+            SnsError::KernelShape { what, expected, got } => {
+                write!(
+                    f,
+                    "kernel buffer {what}: length {got} must equal the factor rank {expected}"
+                )
+            }
         }
     }
 }
@@ -270,6 +288,9 @@ mod tests {
         assert!(SnsError::Io { path: "/tmp/x".into(), message: "denied".into() }
             .to_string()
             .contains("denied"));
+        let shape = SnsError::KernelShape { what: "mttkrp_row(out)", expected: 20, got: 19 };
+        assert!(shape.to_string().contains("mttkrp_row(out)"));
+        assert!(shape.to_string().contains("19") && shape.to_string().contains("20"));
     }
 
     #[test]

@@ -185,10 +185,31 @@ pub fn sub(a: &Mat, b: &Mat) -> Result<Mat> {
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Accumulates in four independent lanes (width-4 blocks plus a scalar
+/// tail) so the reduction has no loop-carried dependency chain and
+/// autovectorizes on stable Rust. The lane split reassociates the sum,
+/// which moves results by at most the workspace-wide ≤1e-12
+/// fp-reassociation bound relative to a strictly sequential sum; every
+/// caller sees the *same* association on every run, so bitwise
+/// run-to-run determinism is unaffected.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        s0 += xa[0] * xb[0];
+        s1 += xa[1] * xb[1];
+        s2 += xa[2] * xb[2];
+        s3 += xa[3] * xb[3];
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// `y += alpha * x` over slices.

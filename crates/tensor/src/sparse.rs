@@ -283,6 +283,16 @@ impl SparseTensor {
         self.fibers[mode].get(&index).into_iter().flat_map(|s| s.entries())
     }
 
+    /// The `(mode, index)` fiber as parallel coordinate/value slices —
+    /// the same entries, in the same deterministic order, as
+    /// [`SparseTensor::fiber_entries`], exposed as slices so blocked
+    /// kernels can walk entry *pairs* without iterator state. Both
+    /// slices are empty when the fiber has no non-zeros.
+    #[inline]
+    pub fn fiber_slices(&self, mode: usize, index: u32) -> (&[Coord], &[f64]) {
+        self.fibers[mode].get(&index).map_or((&[][..], &[][..]), |s| (s.as_slice(), s.values()))
+    }
+
     /// Samples up to `k` distinct non-zero coordinates from the
     /// `(mode, index)` fiber, uniformly without replacement, appending to
     /// `out`. Coordinates present in `exclude` are dropped *after*

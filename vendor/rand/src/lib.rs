@@ -90,7 +90,17 @@ macro_rules! impl_uniform_uint {
         impl SampleUniform for $t {
             fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
                 let span = (hi as u128).wrapping_sub(lo as u128) + inclusive as u128;
-                lo + (rng.next_u64() as u128 % span) as $t
+                let draw = rng.next_u64();
+                // The 128-bit modulo below compiles to a libcall; every
+                // span that fits in 64 bits (all but the full inclusive
+                // `u64` range) takes the single-instruction path. Both
+                // branches compute the same value, so the stream a seed
+                // produces is unchanged.
+                if span <= u64::MAX as u128 {
+                    lo + (draw % span as u64) as $t
+                } else {
+                    lo + (draw as u128 % span) as $t
+                }
             }
         }
     )*};

@@ -39,6 +39,16 @@
 //!   `(R, M)` cell instead of the shared synthetic trace (repeatable;
 //!   opens dataset×rank sweeps).
 //!
+//! `soak` subcommand flags (default output `METRICS_<tag>.json`, tag
+//! default `pr7`):
+//! - `--streams <n>`    concurrent pooled streams (default 240);
+//! - `--shards <n>`     pool worker shards (default 4);
+//! - `--smoke`          third-length traces (CI-sized);
+//! - `--tag <tag>` / `--out <path>`  artifact naming.
+//!   Exits non-zero unless the chaos fleet survives: zero stream
+//!   deaths, every quarantined batch replayed **byte-identically**
+//!   after repair, every stream present in the metrics dump.
+//!
 //! `recover` subcommand flags:
 //! - `--shards <n>`     pool worker shards (default 4);
 //! - `--smoke`          quarter-length trace (CI-sized);
@@ -51,6 +61,7 @@
 //! All JSON schemas are documented in the README.
 
 use sns_bench::experiments::recover::{run_recover, RecoverConfig};
+use sns_bench::experiments::soak::{run_soak, SoakConfig};
 use sns_bench::experiments::sweep::{run_sweep, SweepConfig, TraceOverride};
 use sns_bench::runner::{split_prefill, ExperimentParams};
 use sns_bench::Method;
@@ -421,6 +432,64 @@ fn parse_trace_override(value: &str) -> Option<TraceOverride> {
     Some(TraceOverride { rank: rank?, method: method?, path: path? })
 }
 
+/// `bench soak`: a large pooled fleet with injected engine panics —
+/// quarantine, repair, bitwise replay, and the ops-layer metrics
+/// artifact. Exits non-zero unless every acceptance condition holds
+/// (no stream deaths, every stream bitwise after repair, every stream
+/// observable in the metrics dump, backpressure and quarantine events
+/// seen on the bus).
+fn run_soak_command(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = {
+        let tag = args
+            .iter()
+            .position(|a| a == "--tag")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "pr7".to_string());
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| format!("METRICS_{tag}.json"))
+    };
+    let mut cfg = SoakConfig::default();
+    if let Some(shards) = args.iter().position(|a| a == "--shards").and_then(|i| args.get(i + 1)) {
+        if let Ok(n) = shards.parse::<usize>() {
+            cfg.shards = n.max(1);
+        }
+    }
+    if let Some(streams) = args.iter().position(|a| a == "--streams").and_then(|i| args.get(i + 1))
+    {
+        if let Ok(n) = streams.parse::<usize>() {
+            cfg.streams = n.max(1);
+        }
+    }
+    if smoke {
+        cfg.events /= 3;
+    }
+    println!(
+        "soak: {} streams ({} chaos), {} events each, {} shards ({} mode)",
+        cfg.streams,
+        (0..cfg.streams as u64).filter(|id| id % cfg.chaos_every == 0).count(),
+        cfg.events,
+        cfg.shards,
+        if smoke { "smoke" } else { "full" },
+    );
+    let report = match run_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soak scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    std::fs::write(&out_path, &report.metrics_json).expect("write metrics json");
+    println!("wrote {out_path}");
+    if !report.all_ok() {
+        eprintln!("SOAK FAILED: a stream died, diverged after replay, or went unobserved");
+        std::process::exit(1);
+    }
+}
+
 /// `bench recover`: kill a pooled replay mid-trace, recover from disk,
 /// finish, and assert byte-identity with an uninterrupted run.
 fn run_recover_command(args: &[String]) {
@@ -474,6 +543,10 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "recover") {
         run_recover_command(&args[1..]);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "soak") {
+        run_soak_command(&args[1..]);
         return;
     }
     if args.first().is_some_and(|a| a == "resources") {

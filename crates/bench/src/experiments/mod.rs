@@ -2,9 +2,10 @@
 //! `run(scale: f64) -> String`; the binaries print that string, and
 //! `run_all` concatenates everything for `EXPERIMENTS.md`.
 //!
-//! [`sweep`] and [`recover`] are not paper figures: they are the pooled
-//! multi-rank sweep scenario (`bench sweep`) and the pool-wide crash
-//! recovery scenario (`bench recover`), both documented in the README.
+//! [`sweep`], [`recover`], and [`soak`] are not paper figures: they are
+//! the pooled multi-rank sweep scenario (`bench sweep`), the pool-wide
+//! crash recovery scenario (`bench recover`), and the chaos/quarantine
+//! soak (`bench soak`), all documented in the README.
 
 pub mod fig1;
 pub mod fig4;
@@ -14,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod recover;
+pub mod soak;
 pub mod sweep;
 pub mod table2;
 pub mod table3;

@@ -231,8 +231,12 @@ pub fn run_recover(cfg: &RecoverConfig) -> Result<RecoverReport, SnsError> {
     let als = AlsOptions { max_iters: 8, tol: 1e-3, ..Default::default() };
     let full_plan = ReplayPlan::for_dataset(&spec, als.clone());
     let streams = fleet(&spec);
-    let pool_config =
-        || PoolConfig { shards: cfg.shards, base_seed: cfg.base_seed, queue_depth: 64 };
+    let pool_config = || PoolConfig {
+        shards: cfg.shards,
+        base_seed: cfg.base_seed,
+        queue_depth: 64,
+        ..Default::default()
+    };
 
     // Phase 1: the uninterrupted reference. Snapshots are taken while
     // the sessions are still open (closing a session drops its slot).

@@ -1,0 +1,555 @@
+//! Soak: a large pooled fleet with injected engine panics, proving the
+//! ops layer keeps every stream alive and observable.
+//!
+//! The scenario behind `bench soak`:
+//!
+//! 1. **Fleet** — hundreds of small tenant streams (continuous SNS
+//!    variants, a conventional baseline, anomaly-decorated engines)
+//!    served concurrently through one [`EnginePool`]. Every
+//!    `chaos_every`-th stream is wrapped in the chaos decorator and its
+//!    trace is spiked with two [`POISON_VALUE`] tuples, so its engine
+//!    panics **twice** mid-trace.
+//! 2. **Quarantine** — each panic is caught by the worker: the engine is
+//!    rolled back to its pre-batch snapshot, the batch goes to the
+//!    dead-letter queue, and the stream rejects further batches (which
+//!    are diverted behind it, in order) instead of dying. Healthy
+//!    streams never notice.
+//! 3. **Repair & replay** — the quarantined letters are repaired
+//!    (poison → `1.0`) and re-driven through
+//!    [`StreamSession::replay_quarantined`]. The final pooled state of
+//!    *every* stream — chaos included — is then serialized with
+//!    `sns-codec` and compared **byte for byte** against a serial
+//!    single-threaded run of the same spec, same derived seed, over the
+//!    repaired trace.
+//! 4. **Observability** — an event-bus subscriber tallies the lifecycle
+//!    events (opens, quarantines, checkpoint, evictions, anomalies); a
+//!    second single-shard pool with a `queue_depth = 2` queue and a
+//!    deliberately slow (chaos-delayed) engine exercises the typed
+//!    [`SnsError::Backpressure`] path and its onset/relief events. The
+//!    per-stream ingest-latency histograms and queue-depth gauges are
+//!    exported as the `METRICS_*.json` artifact via `PoolOps::dump`.
+//!
+//! Any stream death, any non-bitwise replay, or any stream missing from
+//! the metrics registry fails the scenario (and CI, which runs it with
+//! `--smoke`).
+
+use sns_core::als::AlsOptions;
+use sns_core::config::{AlgorithmKind, SnsConfig};
+use sns_data::{generate, GeneratorConfig};
+use sns_ops::{BusItem, PoolEvent, Subscription};
+use sns_runtime::pool::stream_seed;
+use sns_runtime::{
+    AnomalyConfig, BaselineKind, ChaosConfig, EnginePool, EngineSnapshot, EngineSpec, PoolConfig,
+    SnsError, StreamSession, POISON_VALUE,
+};
+use sns_stream::StreamTuple;
+
+/// Tiny tenant tensors: the soak is about fleet survival, not fitting.
+const BASE_DIMS: [usize; 2] = [4, 3];
+const W: usize = 3;
+const T: u64 = 5;
+const BATCH: usize = 25;
+
+/// How to size the soak.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Concurrent pooled streams (the issue floor is 200).
+    pub streams: usize,
+    /// Events generated per stream.
+    pub events: usize,
+    /// Worker shards of the main pool.
+    pub shards: usize,
+    /// Every `chaos_every`-th stream id gets the chaos decorator and a
+    /// poisoned trace.
+    pub chaos_every: u64,
+    /// Pool base seed (per-stream seeds are derived from it).
+    pub base_seed: u64,
+    /// Trace generator seed (per-stream traces are derived from it).
+    pub data_seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            streams: 240,
+            events: 600,
+            shards: 4,
+            chaos_every: 8,
+            base_seed: 0x50ac,
+            data_seed: 77,
+        }
+    }
+}
+
+/// Per-event-kind tallies observed by the bus subscriber.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventCounts {
+    /// `StreamOpened`.
+    pub opened: u64,
+    /// `StreamEvicted` (any reason).
+    pub evicted: u64,
+    /// `StreamMigrated`.
+    pub migrated: u64,
+    /// `CheckpointCommitted`.
+    pub checkpoints: u64,
+    /// `AnomalyFlagged`.
+    pub anomalies: u64,
+    /// `TupleQuarantined`.
+    pub quarantines: u64,
+    /// `BackpressureOnset`.
+    pub onsets: u64,
+    /// `BackpressureRelief`.
+    pub reliefs: u64,
+    /// Events the subscriber missed (drop-oldest ring overwrote them).
+    pub lagged: u64,
+}
+
+impl EventCounts {
+    fn absorb(&mut self, item: BusItem<PoolEvent>) {
+        match item {
+            BusItem::Lagged { missed } => self.lagged += missed,
+            BusItem::Event(e) => match *e {
+                PoolEvent::StreamOpened { .. } => self.opened += 1,
+                PoolEvent::StreamEvicted { .. } => self.evicted += 1,
+                PoolEvent::StreamMigrated { .. } => self.migrated += 1,
+                PoolEvent::CheckpointCommitted { .. } => self.checkpoints += 1,
+                PoolEvent::AnomalyFlagged { .. } => self.anomalies += 1,
+                PoolEvent::TupleQuarantined { .. } => self.quarantines += 1,
+                PoolEvent::BackpressureOnset { .. } => self.onsets += 1,
+                PoolEvent::BackpressureRelief { .. } => self.reliefs += 1,
+            },
+        }
+    }
+
+    fn drain(&mut self, sub: &mut Subscription<PoolEvent>) {
+        for item in sub.drain() {
+            self.absorb(item);
+        }
+    }
+}
+
+/// A completed soak.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Streams served by the main pool.
+    pub streams: usize,
+    /// How many of them were chaos streams.
+    pub chaos_streams: usize,
+    /// Streams whose final report carried a sticky error (must be 0).
+    pub deaths: Vec<u64>,
+    /// Total batches quarantined across the fleet (DLQ counter).
+    pub quarantined_total: u64,
+    /// Total letters successfully replayed after repair.
+    pub replayed_total: u64,
+    /// Streams whose final pooled state was byte-identical to the
+    /// serial repaired-trace reference.
+    pub bitwise: usize,
+    /// Streams that diverged (must be empty).
+    pub mismatched: Vec<u64>,
+    /// Streams absent from the metrics registry, or present with an
+    /// empty latency histogram / zero batches (must be empty).
+    pub missing_metrics: Vec<u64>,
+    /// Worst per-stream p99 ingest latency observed (µs).
+    pub p99_max_us: f64,
+    /// Typed `SnsError::Backpressure` rejections observed in the
+    /// backpressure sub-phase.
+    pub typed_backpressure: usize,
+    /// Event tallies from the main pool's subscriber.
+    pub events: EventCounts,
+    /// Event tallies from the backpressure sub-phase's subscriber.
+    pub backpressure_events: EventCounts,
+    /// The main pool's `PoolOps::dump()` — the `METRICS_*.json`
+    /// artifact (schema in the README).
+    pub metrics_json: String,
+}
+
+impl SoakReport {
+    /// True when every acceptance condition held: no stream died, every
+    /// stream (chaos included) is bitwise-identical to its serial
+    /// reference, every stream is present in the metrics dump with a
+    /// non-empty latency histogram, panics were actually injected and
+    /// replayed, and the event taxonomy was observed end to end.
+    pub fn all_ok(&self) -> bool {
+        self.deaths.is_empty()
+            && self.mismatched.is_empty()
+            && self.missing_metrics.is_empty()
+            && self.bitwise == self.streams
+            && self.chaos_streams > 0
+            && self.quarantined_total > 0
+            && self.replayed_total >= self.quarantined_total
+            && self.typed_backpressure > 0
+            && self.events.opened as usize >= self.streams
+            && self.events.quarantines > 0
+            && self.events.checkpoints > 0
+            && self.events.evicted > 0
+            && self.backpressure_events.onsets > 0
+            && self.backpressure_events.reliefs > 0
+            && self.p99_max_us.is_finite()
+    }
+
+    /// Renders the soak summary as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "soak: {} streams ({} chaos), {} deaths, {} batches quarantined, {} replayed\n",
+            self.streams,
+            self.chaos_streams,
+            self.deaths.len(),
+            self.quarantined_total,
+            self.replayed_total,
+        ));
+        out.push_str(&format!(
+            "  bitwise after repair: {}/{} ({} diverged), worst p99 ingest {:.1}us\n",
+            self.bitwise,
+            self.streams,
+            self.mismatched.len(),
+            self.p99_max_us,
+        ));
+        out.push_str(&format!(
+            "  events: {} opened, {} evicted, {} quarantined, {} anomalies, {} checkpoints, {} lagged\n",
+            self.events.opened,
+            self.events.evicted,
+            self.events.quarantines,
+            self.events.anomalies,
+            self.events.checkpoints,
+            self.events.lagged,
+        ));
+        out.push_str(&format!(
+            "  backpressure: {} typed rejections, {} onsets, {} reliefs (queue_depth=2)\n",
+            self.typed_backpressure,
+            self.backpressure_events.onsets,
+            self.backpressure_events.reliefs,
+        ));
+        if !self.missing_metrics.is_empty() {
+            out.push_str(&format!("  MISSING METRICS for streams {:?}\n", self.missing_metrics));
+        }
+        if !self.deaths.is_empty() {
+            out.push_str(&format!("  DEAD streams {:?}\n", self.deaths));
+        }
+        out
+    }
+}
+
+/// True when `id` hosts a chaos-decorated engine.
+fn is_chaos(id: u64, cfg: &SoakConfig) -> bool {
+    id % cfg.chaos_every == 0
+}
+
+/// The tenant mix: continuous SNS variants, one conventional baseline,
+/// anomaly-decorated engines, and (on chaos ids) the chaos decorator
+/// around the paper's reference method.
+fn stream_spec(id: u64, cfg: &SoakConfig) -> EngineSpec {
+    let sns = |kind| {
+        EngineSpec::sns(
+            &BASE_DIMS,
+            W,
+            T,
+            kind,
+            &SnsConfig { rank: 2, theta: 10, ..Default::default() },
+        )
+    };
+    if is_chaos(id, cfg) {
+        return sns(AlgorithmKind::PlusRnd).with_chaos(ChaosConfig::default());
+    }
+    match id % 4 {
+        1 => sns(AlgorithmKind::PlusVec),
+        2 => EngineSpec::baseline(&BASE_DIMS, W, T, 2, BaselineKind::OnlineScp),
+        3 => sns(AlgorithmKind::PlusRnd).with_anomaly(AnomalyConfig::default()),
+        _ => sns(AlgorithmKind::PlusRnd),
+    }
+}
+
+/// One tenant's trace; chaos ids get two poison tuples spiked into the
+/// live region (so the panic fires mid-stream, after warm start, and
+/// the DLQ holds more than one letter when the second poison arrives
+/// behind the quarantine).
+fn stream_trace(id: u64, cfg: &SoakConfig) -> Vec<StreamTuple> {
+    let mut trace = generate(&GeneratorConfig {
+        base_dims: BASE_DIMS.to_vec(),
+        n_components: 2,
+        events: cfg.events,
+        duration: 10 * W as u64 * T,
+        zipf_exponent: 1.2,
+        noise_fraction: 0.1,
+        day_ticks: 50,
+        seed: cfg.data_seed.wrapping_add(id),
+        ..Default::default()
+    });
+    if is_chaos(id, cfg) {
+        let cut = prefill_cut(&trace);
+        let live = trace.len() - cut;
+        assert!(live >= 6, "trace too short to poison");
+        trace[cut + live / 3].value = POISON_VALUE;
+        trace[cut + 2 * live / 3].value = POISON_VALUE;
+    }
+    trace
+}
+
+/// Index of the first live (post-initialization) tuple.
+fn prefill_cut(trace: &[StreamTuple]) -> usize {
+    trace.partition_point(|t| t.time <= W as u64 * T)
+}
+
+/// Undoes the poison: the repair applied to quarantined letters, and to
+/// the serial reference trace.
+fn repair_tuples(tuples: &mut [StreamTuple]) {
+    for t in tuples {
+        if t.value.to_bits() == POISON_VALUE.to_bits() {
+            t.value = 1.0;
+        }
+    }
+}
+
+fn als_opts() -> AlsOptions {
+    AlsOptions { max_iters: 4, tol: 1e-3, ..Default::default() }
+}
+
+/// True for the two error classes a quarantine surfaces to the driver:
+/// the caught panic itself, and the diversion of batches submitted
+/// while the stream is quarantined.
+fn is_quarantine_class(e: &SnsError) -> bool {
+    matches!(e.root_cause(), SnsError::EnginePanicked { .. } | SnsError::StreamQuarantined { .. })
+}
+
+/// Drives one stream's full trace through its session. Chaos streams
+/// tolerate quarantine-class rejections (that is the scenario); any
+/// other error — on any stream — is fatal.
+fn drive_stream(
+    session: &mut StreamSession,
+    trace: &[StreamTuple],
+    chaos: bool,
+) -> Result<(), SnsError> {
+    let cut = prefill_cut(trace);
+    for chunk in trace[..cut].chunks(BATCH) {
+        session.prefill_batch(chunk)?;
+    }
+    session.warm_start(&als_opts())?;
+    for chunk in trace[cut..].chunks(BATCH) {
+        match session.ingest_batch(chunk) {
+            Ok(_) => {}
+            Err(e) if chaos && is_quarantine_class(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// The serial reference: same spec, same derived seed, repaired trace,
+/// single-threaded — serialized through the same canonical codec.
+fn serial_reference_bytes(
+    id: u64,
+    cfg: &SoakConfig,
+    trace: &[StreamTuple],
+) -> Result<Vec<u8>, SnsError> {
+    let mut repaired = trace.to_vec();
+    repair_tuples(&mut repaired);
+    let spec = stream_spec(id, cfg);
+    let seed = spec.effective_seed(stream_seed(cfg.base_seed, id));
+    let mut engine = spec.build(stream_seed(cfg.base_seed, id));
+    let cut = prefill_cut(&repaired);
+    engine.prefill_all(&repaired[..cut])?;
+    engine.warm_start(&als_opts());
+    engine.ingest_all(&repaired[cut..])?;
+    let snapshot = EngineSnapshot { stream_id: id, spec, seed, state: engine.snapshot()? };
+    Ok(sns_codec::to_bytes(&snapshot))
+}
+
+/// The backpressure sub-phase: a single shard with a `queue_depth = 2`
+/// queue in front of a chaos-delayed (slow, never-poisoned) engine.
+/// Non-blocking submits observe typed [`SnsError::Backpressure`] with
+/// live depth and capacity; the blocking path publishes onset/relief.
+fn backpressure_phase(cfg: &SoakConfig) -> Result<(usize, EventCounts), SnsError> {
+    const QUEUE: usize = 2;
+    let pool = EnginePool::new(PoolConfig {
+        shards: 1,
+        base_seed: cfg.base_seed,
+        queue_depth: QUEUE,
+        bus_capacity: 1 << 12,
+        ..Default::default()
+    });
+    let mut sub = pool.ops().subscribe();
+    let id = cfg.streams as u64 + 1;
+    let spec = EngineSpec::sns(
+        &BASE_DIMS,
+        W,
+        T,
+        AlgorithmKind::PlusRnd,
+        &SnsConfig { rank: 2, theta: 10, ..Default::default() },
+    )
+    .with_chaos(ChaosConfig { poison_value: POISON_VALUE, delay_micros: 200 });
+    let mut session = pool.open(id, spec)?;
+    let trace = stream_trace(id, cfg); // id is off the chaos grid check
+    assert!(
+        trace.iter().all(|t| t.value.to_bits() != POISON_VALUE.to_bits()),
+        "backpressure trace must not poison",
+    );
+    let cut = prefill_cut(&trace);
+    let mut typed = 0usize;
+    for chunk in trace[cut..].chunks(8) {
+        match session.try_ingest_batch(chunk) {
+            Ok(_ticket) => {}
+            Err(SnsError::Backpressure { depth, capacity, .. }) => {
+                assert!(capacity == QUEUE && depth <= capacity);
+                typed += 1;
+                session.ingest_batch(chunk)?; // shed to the blocking path
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    while let Some(receipt) = session.recv_receipt() {
+        receipt?;
+    }
+    drop(session);
+    pool.join();
+    let mut counts = EventCounts::default();
+    counts.drain(&mut sub);
+    Ok((typed, counts))
+}
+
+/// Runs the soak; see the module docs for the four phases.
+///
+/// # Errors
+/// Any error on a *healthy* stream, or a non-quarantine error on a
+/// chaos stream. Acceptance shortfalls (a death, a diverged replay, a
+/// missing metric) are not errors — they are reported per stream and
+/// the caller exits non-zero on [`SoakReport::all_ok`] being false.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, SnsError> {
+    let ids: Vec<u64> = (0..cfg.streams as u64).collect();
+    let traces: Vec<Vec<StreamTuple>> = ids.iter().map(|&id| stream_trace(id, cfg)).collect();
+
+    let pool = EnginePool::new(PoolConfig {
+        shards: cfg.shards,
+        base_seed: cfg.base_seed,
+        queue_depth: 64,
+        bus_capacity: 1 << 16,
+        ..Default::default()
+    });
+    let mut sub = pool.ops().subscribe();
+    let mut sessions: Vec<StreamSession> = Vec::with_capacity(ids.len());
+    for &id in &ids {
+        sessions.push(pool.open(id, stream_spec(id, cfg))?);
+    }
+
+    // Phase 1+2: every stream driven concurrently; chaos engines panic
+    // twice mid-trace and get quarantined instead of killed.
+    let results: Vec<Result<(), SnsError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter_mut()
+            .zip(&ids)
+            .zip(&traces)
+            .map(|((session, &id), trace)| {
+                let chaos = is_chaos(id, cfg);
+                scope.spawn(move || drive_stream(session, trace, chaos))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("driver thread panicked")).collect()
+    });
+    results.into_iter().collect::<Result<Vec<()>, SnsError>>()?;
+
+    // Phase 3: repair the dead letters (poison → 1.0) and re-drive
+    // them, in original submission order, through the repaired engines.
+    let mut replayed_total = 0u64;
+    for (session, &id) in sessions.iter_mut().zip(&ids) {
+        if is_chaos(id, cfg) {
+            replayed_total += session.replay_quarantined(|letter| {
+                repair_tuples(&mut letter.tuples);
+            })? as u64;
+        }
+    }
+    let quarantined_total = pool.ops().dlq().stats().quarantined_total;
+
+    // Verdict: final pooled state vs the serial repaired-trace run,
+    // byte for byte, for every stream.
+    let mut deaths = Vec::new();
+    let mut mismatched = Vec::new();
+    let mut bitwise = 0usize;
+    for (session, (&id, trace)) in sessions.iter_mut().zip(ids.iter().zip(&traces)) {
+        let report = session.report()?;
+        if report.error.is_some() {
+            deaths.push(id);
+            continue;
+        }
+        let pooled = sns_codec::to_bytes(&session.snapshot()?);
+        if pooled == serial_reference_bytes(id, cfg, trace)? {
+            bitwise += 1;
+        } else {
+            mismatched.push(id);
+        }
+    }
+
+    // Phase 4: checkpoint (for the CheckpointCommitted event), export
+    // the metrics artifact, validate per-stream observability.
+    for (_, snapshot) in pool.checkpoint_all() {
+        snapshot?;
+    }
+    let metrics = pool.ops().metrics();
+    let mut missing_metrics = Vec::new();
+    let mut p99_max_us = 0.0f64;
+    let known = metrics.stream_ids();
+    for &id in &ids {
+        if !known.contains(&id) {
+            missing_metrics.push(id);
+            continue;
+        }
+        let m = metrics.stream(id);
+        let latency = m.latency.snapshot();
+        let batches = m.batches.load(std::sync::atomic::Ordering::Relaxed);
+        if latency.count == 0 || batches == 0 || !latency.p99_us.is_finite() {
+            missing_metrics.push(id);
+            continue;
+        }
+        p99_max_us = p99_max_us.max(latency.p99_us);
+    }
+    let metrics_json = pool.ops().dump();
+    drop(sessions);
+    pool.join();
+    let mut events = EventCounts::default();
+    events.drain(&mut sub);
+
+    let (typed_backpressure, backpressure_events) = backpressure_phase(cfg)?;
+
+    Ok(SoakReport {
+        streams: cfg.streams,
+        chaos_streams: ids.iter().filter(|&&id| is_chaos(id, cfg)).count(),
+        deaths,
+        quarantined_total,
+        replayed_total,
+        bitwise,
+        mismatched,
+        missing_metrics,
+        p99_max_us,
+        typed_backpressure,
+        events,
+        backpressure_events,
+        metrics_json,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_survives_panics_and_replays_bitwise() {
+        let cfg = SoakConfig { streams: 24, events: 150, shards: 3, ..Default::default() };
+        let report = run_soak(&cfg).unwrap();
+        assert_eq!(report.streams, 24);
+        assert_eq!(report.chaos_streams, 3);
+        assert!(report.deaths.is_empty(), "streams died: {:?}", report.deaths);
+        assert!(report.mismatched.is_empty(), "diverged: {:?}", report.mismatched);
+        assert_eq!(report.bitwise, 24, "every stream must be bitwise after repair");
+        assert!(report.quarantined_total >= 6, "two poisons per chaos stream quarantine");
+        assert!(report.replayed_total >= report.quarantined_total);
+        assert!(report.missing_metrics.is_empty(), "missing: {:?}", report.missing_metrics);
+        assert!(report.typed_backpressure > 0);
+        assert!(report.backpressure_events.onsets > 0);
+        assert!(report.backpressure_events.reliefs > 0);
+        assert!(report.events.opened >= 24);
+        assert!(report.events.quarantines > 0);
+        assert!(report.events.checkpoints > 0);
+        assert!(report.all_ok(), "\n{}", report.render());
+        for key in ["\"metrics\"", "\"shards\"", "\"streams\"", "\"events\"", "\"dlq\""] {
+            assert!(report.metrics_json.contains(key), "dump missing {key}");
+        }
+    }
+}

@@ -227,6 +227,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
         shards: cfg.shards,
         base_seed: cfg.base_seed,
         queue_depth: 64,
+        ..Default::default()
     });
 
     // Open every cell first (cheap; engines build on their workers), then

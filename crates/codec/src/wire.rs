@@ -18,6 +18,7 @@ use sns_core::update::UpdaterState;
 use sns_error::SnsError;
 use sns_linalg::Mat;
 use sns_runtime::anomaly::{AnomalyConfig, AnomalyState};
+use sns_runtime::chaos::{ChaosConfig, ChaosState};
 use sns_runtime::{BaselineKind, EngineSpec, EngineState};
 use sns_stream::{ContinuousWindowState, DiscreteWindowState, ScheduledEvent, StreamTuple};
 use sns_tensor::{Coord, SparseTensorState, MAX_ORDER};
@@ -369,6 +370,11 @@ pub fn put_spec(w: &mut Writer, spec: &EngineSpec) {
             put_spec(w, inner);
             put_anomaly_config(w, config);
         }
+        EngineSpec::Chaos { inner, config } => {
+            w.u8(4);
+            put_spec(w, inner);
+            put_chaos_config(w, config);
+        }
     }
 }
 
@@ -433,6 +439,12 @@ fn get_spec_at(r: &mut Reader, depth: usize) -> Result<EngineSpec, SnsError> {
             let config = get_anomaly_config(r)?;
             Ok(EngineSpec::Anomaly { inner, config })
         }
+        4 => {
+            check_depth(r, depth, "chaos spec")?;
+            let inner = Box::new(get_spec_at(r, depth + 1)?);
+            let config = get_chaos_config(r)?;
+            Ok(EngineSpec::Chaos { inner, config })
+        }
         t => Err(r.invalid(format!("spec tag {t}"))),
     }
 }
@@ -446,6 +458,17 @@ fn get_anomaly_config(r: &mut Reader) -> Result<AnomalyConfig, SnsError> {
     let threshold = r.f64("threshold")?;
     let max_events = r.usize("max_events")?;
     Ok(AnomalyConfig { threshold, max_events })
+}
+
+fn put_chaos_config(w: &mut Writer, c: &ChaosConfig) {
+    w.f64(c.poison_value);
+    w.u64(c.delay_micros);
+}
+
+fn get_chaos_config(r: &mut Reader) -> Result<ChaosConfig, SnsError> {
+    let poison_value = r.f64("poison_value")?;
+    let delay_micros = r.u64("delay_micros")?;
+    Ok(ChaosConfig { poison_value, delay_micros })
 }
 
 // ---- updater / engine states ---------------------------------------------
@@ -665,6 +688,11 @@ pub fn put_engine_state(w: &mut Writer, s: &EngineState) {
             w.f64(a.error_sum);
             w.opt_u64(a.last_time);
         }
+        EngineState::Chaos(c) => {
+            w.u8(3);
+            put_engine_state(w, &c.inner);
+            put_chaos_config(w, &c.config);
+        }
     }
 }
 
@@ -704,6 +732,12 @@ fn get_engine_state_at(r: &mut Reader, depth: usize) -> Result<EngineState, SnsE
                 error_sum,
                 last_time,
             })))
+        }
+        3 => {
+            check_depth(r, depth, "chaos state")?;
+            let inner = get_engine_state_at(r, depth + 1)?;
+            let config = get_chaos_config(r)?;
+            Ok(EngineState::Chaos(Box::new(ChaosState { inner, config })))
         }
         t => Err(r.invalid(format!("engine state tag {t}"))),
     }

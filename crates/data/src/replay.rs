@@ -224,7 +224,12 @@ mod tests {
     #[test]
     fn replay_reports_protocol_phases() {
         let stream = tuples();
-        let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1, queue_depth: 16 });
+        let pool = EnginePool::new(PoolConfig {
+            shards: 2,
+            base_seed: 1,
+            queue_depth: 16,
+            ..Default::default()
+        });
         let spec = EngineSpec::sns(
             &[8, 6],
             4,
@@ -253,7 +258,12 @@ mod tests {
 
     #[test]
     fn replay_surfaces_typed_errors_with_progress() {
-        let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 0, queue_depth: 8 });
+        let pool = EnginePool::new(PoolConfig {
+            shards: 1,
+            base_seed: 0,
+            queue_depth: 8,
+            ..Default::default()
+        });
         let spec =
             EngineSpec::sns(&[4, 3], 3, 10, AlgorithmKind::PlusVec, &SnsConfig::with_rank(2));
         let mut session = pool.open(1, spec).unwrap();
@@ -315,7 +325,12 @@ mod tests {
         serial.ingest_all(&stream[cut..]).unwrap();
         serial.advance_to(1400);
 
-        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed, queue_depth: 8 });
+        let pool = EnginePool::new(PoolConfig {
+            shards: 3,
+            base_seed,
+            queue_depth: 8,
+            ..Default::default()
+        });
         let mut session = pool.open(id, spec).unwrap();
         replay(&mut session, &stream, &plan).unwrap();
         let report = session.report().unwrap();

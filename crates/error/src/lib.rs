@@ -67,8 +67,12 @@ pub enum SnsError {
     Backpressure {
         /// The stream whose shard queue is full.
         stream_id: u64,
-        /// Configured queue depth (commands) of the shard.
+        /// The shard whose queue is full.
+        shard: usize,
+        /// Commands in flight on that shard when the submit failed.
         depth: usize,
+        /// Configured queue capacity (commands) of the shard.
+        capacity: usize,
     },
     /// The stream's worker is gone or the stream was closed/replaced;
     /// the session can no longer be used.
@@ -91,6 +95,16 @@ pub enum SnsError {
         stream_id: u64,
         /// Panic payload, as text.
         message: String,
+    },
+    /// The stream has quarantined batches pending replay; this batch
+    /// was diverted to the dead-letter queue (in order) instead of
+    /// being applied, so a later replay stays deterministic. Repair and
+    /// replay the stream's dead letters to resume normal service.
+    StreamQuarantined {
+        /// The quarantined stream.
+        stream_id: u64,
+        /// Dead letters pending for the stream (including this one).
+        pending: usize,
     },
     /// The engine does not implement state capture; only engines with a
     /// bitwise-faithful snapshot (currently the continuous `SnsEngine`)
@@ -215,8 +229,12 @@ impl fmt::Display for SnsError {
                      ({applied} updates applied): {source}"
                 )
             }
-            SnsError::Backpressure { stream_id, depth } => {
-                write!(f, "stream {stream_id}: shard queue full (depth {depth})")
+            SnsError::Backpressure { stream_id, shard, depth, capacity } => {
+                write!(
+                    f,
+                    "stream {stream_id}: shard {shard} queue full \
+                     ({depth}/{capacity} commands in flight)"
+                )
             }
             SnsError::StreamClosed { stream_id } => {
                 write!(f, "stream {stream_id} is closed")
@@ -226,6 +244,13 @@ impl fmt::Display for SnsError {
             }
             SnsError::EnginePanicked { stream_id, message } => {
                 write!(f, "stream {stream_id}: engine panicked: {message}")
+            }
+            SnsError::StreamQuarantined { stream_id, pending } => {
+                write!(
+                    f,
+                    "stream {stream_id}: quarantined ({pending} dead-letter \
+                     batches pending replay)"
+                )
             }
             SnsError::SnapshotUnsupported { engine } => {
                 write!(f, "engine {engine} does not support snapshots")
@@ -270,8 +295,14 @@ mod tests {
         let batch = SnsError::OutOfOrder { previous: 7, got: 2 }.aborted_at(11, 30);
         assert!(batch.to_string().contains("11 accepted"));
         assert!(batch.to_string().contains("after 7"));
-        assert!(SnsError::Backpressure { stream_id: 1, depth: 4 }.to_string().contains("full"));
+        let bp = SnsError::Backpressure { stream_id: 1, shard: 2, depth: 4, capacity: 4 };
+        assert!(bp.to_string().contains("full"));
+        assert!(bp.to_string().contains("shard 2"));
+        assert!(bp.to_string().contains("4/4"));
         assert!(SnsError::StreamClosed { stream_id: 8 }.to_string().contains("closed"));
+        assert!(SnsError::StreamQuarantined { stream_id: 5, pending: 3 }
+            .to_string()
+            .contains("3 dead-letter"));
         assert!(SnsError::EngineBuildFailed { stream_id: 1, message: "w=0".into() }
             .to_string()
             .contains("build failed"));
@@ -313,8 +344,10 @@ mod tests {
         assert_eq!(e.accepted(), Some(3));
         assert_eq!(e.root_cause(), &inner);
         assert_eq!(inner.accepted(), None);
-        assert!(SnsError::Backpressure { stream_id: 0, depth: 1 }.is_retryable());
+        let bp = SnsError::Backpressure { stream_id: 0, shard: 0, depth: 1, capacity: 1 };
+        assert!(bp.is_retryable());
         assert!(!inner.is_retryable());
+        assert!(!SnsError::StreamQuarantined { stream_id: 0, pending: 1 }.is_retryable());
     }
 
     #[test]

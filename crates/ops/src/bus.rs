@@ -1,0 +1,317 @@
+//! Bounded in-process broadcast bus with lag-tolerant subscribers.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Publishers never block.** The pool's shard workers publish from
+//!    the ingest hot path; a stalled subscriber must not be able to
+//!    slow them down. The ring is bounded and *drop-oldest*: when it is
+//!    full the oldest event is evicted and lagging subscribers observe
+//!    a [`BusItem::Lagged`] gap marker instead of holding memory.
+//! 2. **Zero cost when nobody listens.** `publish` first checks an
+//!    atomic subscriber count and returns without locking when it is
+//!    zero — an unsubscribed pool pays one relaxed load + one atomic
+//!    increment per event site (and event construction is skipped by
+//!    callers via [`EventBus::has_subscribers`]).
+//! 3. **Causal per-publisher order.** Events published by one thread
+//!    are observed by every subscriber in publication order; no order
+//!    is guaranteed across publishers.
+//!
+//! The implementation is a `Mutex<VecDeque>` ring plus a `Condvar` for
+//! blocking receives — deliberately boring, std-only, and obviously
+//! correct rather than lock-free.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One receive result from a [`Subscription`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BusItem<E> {
+    /// The next event in publication order.
+    Event(Arc<E>),
+    /// The subscriber fell behind and `missed` events were evicted
+    /// before it read them; the cursor has jumped to the oldest
+    /// retained event.
+    Lagged {
+        /// Events lost to ring eviction since the last receive.
+        missed: u64,
+    },
+}
+
+/// Aggregate counters of a bus, for the metrics dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusStats {
+    /// Total publish calls (including those skipped with no subscriber).
+    pub published: u64,
+    /// Events evicted from the ring before every subscriber saw them.
+    pub dropped: u64,
+    /// Live subscriptions right now.
+    pub subscribers: usize,
+    /// Events currently retained in the ring.
+    pub depth: usize,
+    /// Configured ring capacity.
+    pub capacity: usize,
+}
+
+struct Ring<E> {
+    /// Sequence number the *next* published event will get.
+    next_seq: u64,
+    /// Retained events; front has sequence `next_seq - buf.len()`.
+    buf: VecDeque<Arc<E>>,
+}
+
+struct BusInner<E> {
+    capacity: usize,
+    subscribers: AtomicUsize,
+    published: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<Ring<E>>,
+    readable: Condvar,
+}
+
+/// Bounded broadcast channel: every subscriber sees every event
+/// published after it subscribed, except those it lost by lagging.
+///
+/// Cloning the bus is cheap (an `Arc` bump); all clones share one ring.
+pub struct EventBus<E> {
+    inner: Arc<BusInner<E>>,
+}
+
+impl<E> Clone for EventBus<E> {
+    fn clone(&self) -> Self {
+        EventBus { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<E> EventBus<E> {
+    /// Creates a bus retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventBus {
+            inner: Arc::new(BusInner {
+                capacity,
+                subscribers: AtomicUsize::new(0),
+                published: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                ring: Mutex::new(Ring { next_seq: 0, buf: VecDeque::with_capacity(capacity) }),
+                readable: Condvar::new(),
+            }),
+        }
+    }
+
+    /// True if at least one subscription is live. Callers on the hot
+    /// path use this to skip event *construction* entirely.
+    #[inline]
+    pub fn has_subscribers(&self) -> bool {
+        self.inner.subscribers.load(Ordering::Acquire) != 0
+    }
+
+    /// Publishes an event. Never blocks. Returns `true` if the event
+    /// entered the ring (i.e. somebody was subscribed to receive it).
+    ///
+    /// With zero subscribers this is a counter bump and an atomic load —
+    /// the event is dropped without taking the lock. A subscriber that
+    /// races `subscribe` against this check may miss the event; a
+    /// subscription only guarantees events published after it is
+    /// established.
+    pub fn publish(&self, event: E) -> bool {
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        if !self.has_subscribers() {
+            return false;
+        }
+        {
+            let mut ring = self.inner.ring.lock().unwrap();
+            if ring.buf.len() == self.inner.capacity {
+                ring.buf.pop_front();
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.buf.push_back(Arc::new(event));
+            ring.next_seq += 1;
+        }
+        self.inner.readable.notify_all();
+        true
+    }
+
+    /// Opens a subscription positioned at "now": it will observe every
+    /// event published after this call (minus any it loses by lagging).
+    pub fn subscribe(&self) -> Subscription<E> {
+        // Count up *before* reading the cursor so a concurrent publish
+        // either sees the subscriber (event retained) or happened
+        // before the cursor (event legitimately missed).
+        self.inner.subscribers.fetch_add(1, Ordering::AcqRel);
+        let cursor = self.inner.ring.lock().unwrap().next_seq;
+        Subscription { inner: Arc::clone(&self.inner), cursor }
+    }
+
+    /// Aggregate counters for the metrics dump.
+    pub fn stats(&self) -> BusStats {
+        let depth = self.inner.ring.lock().unwrap().buf.len();
+        BusStats {
+            published: self.inner.published.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+            subscribers: self.inner.subscribers.load(Ordering::Acquire),
+            depth,
+            capacity: self.inner.capacity,
+        }
+    }
+}
+
+/// A receiver endpoint of an [`EventBus`]. Dropping it unsubscribes.
+pub struct Subscription<E> {
+    inner: Arc<BusInner<E>>,
+    /// Sequence number of the next event this subscriber wants.
+    cursor: u64,
+}
+
+impl<E> Subscription<E> {
+    /// Non-blocking receive. `None` means no new event is available.
+    pub fn try_next(&mut self) -> Option<BusItem<E>> {
+        let ring = self.inner.ring.lock().unwrap();
+        take_from(&mut self.cursor, &ring)
+    }
+
+    /// Blocking receive with a deadline. `None` on timeout.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<BusItem<E>> {
+        let deadline = Instant::now() + timeout;
+        let mut ring = self.inner.ring.lock().unwrap();
+        loop {
+            if let Some(item) = take_from(&mut self.cursor, &ring) {
+                return Some(item);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, res) = self.inner.readable.wait_timeout(ring, deadline - now).unwrap();
+            ring = guard;
+            if res.timed_out() {
+                return take_from(&mut self.cursor, &ring);
+            }
+        }
+    }
+
+    /// Drains everything currently available (gap markers included).
+    pub fn drain(&mut self) -> Vec<BusItem<E>> {
+        let ring = self.inner.ring.lock().unwrap();
+        let mut out = Vec::new();
+        while let Some(item) = take_from(&mut self.cursor, &ring) {
+            out.push(item);
+        }
+        out
+    }
+}
+
+fn take_from<E>(cursor: &mut u64, ring: &Ring<E>) -> Option<BusItem<E>> {
+    let oldest = ring.next_seq - ring.buf.len() as u64;
+    if *cursor < oldest {
+        let missed = oldest - *cursor;
+        *cursor = oldest;
+        return Some(BusItem::Lagged { missed });
+    }
+    if *cursor == ring.next_seq {
+        return None;
+    }
+    let idx = (*cursor - oldest) as usize;
+    let event = Arc::clone(&ring.buf[idx]);
+    *cursor += 1;
+    Some(BusItem::Event(event))
+}
+
+impl<E> Drop for Subscription<E> {
+    fn drop(&mut self) {
+        self.inner.subscribers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsubscribed_publish_is_dropped() {
+        let bus: EventBus<u32> = EventBus::new(8);
+        assert!(!bus.publish(1));
+        let stats = bus.stats();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.depth, 0);
+        assert_eq!(stats.subscribers, 0);
+    }
+
+    #[test]
+    fn subscriber_sees_events_in_order() {
+        let bus: EventBus<u32> = EventBus::new(8);
+        let mut sub = bus.subscribe();
+        for i in 0..5u32 {
+            assert!(bus.publish(i));
+        }
+        for i in 0..5u32 {
+            match sub.try_next() {
+                Some(BusItem::Event(e)) => assert_eq!(*e, i),
+                other => panic!("expected event {i}, got {other:?}"),
+            }
+        }
+        assert_eq!(sub.try_next(), None);
+    }
+
+    #[test]
+    fn lagging_subscriber_observes_gap_then_tail() {
+        let bus: EventBus<u32> = EventBus::new(4);
+        let mut sub = bus.subscribe();
+        for i in 0..10u32 {
+            bus.publish(i);
+        }
+        // Ring holds 6..10; the first read reports the 6-event gap.
+        match sub.try_next() {
+            Some(BusItem::Lagged { missed }) => assert_eq!(missed, 6),
+            other => panic!("expected lag marker, got {other:?}"),
+        }
+        for i in 6..10u32 {
+            match sub.try_next() {
+                Some(BusItem::Event(e)) => assert_eq!(*e, i),
+                other => panic!("expected event {i}, got {other:?}"),
+            }
+        }
+        assert_eq!(bus.stats().dropped, 6);
+    }
+
+    #[test]
+    fn subscription_starts_at_now() {
+        let bus: EventBus<u32> = EventBus::new(8);
+        let mut early = bus.subscribe();
+        bus.publish(1);
+        let mut late = bus.subscribe();
+        bus.publish(2);
+        assert_eq!(early.drain().len(), 2);
+        let items = late.drain();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0], BusItem::Event(Arc::new(2)));
+    }
+
+    #[test]
+    fn drop_unsubscribes() {
+        let bus: EventBus<u32> = EventBus::new(8);
+        let sub = bus.subscribe();
+        assert!(bus.has_subscribers());
+        drop(sub);
+        assert!(!bus.has_subscribers());
+        assert!(!bus.publish(3));
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_publish() {
+        let bus: EventBus<u32> = EventBus::new(8);
+        let mut sub = bus.subscribe();
+        let publisher = {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                bus.publish(42);
+            })
+        };
+        let got = sub.next_timeout(Duration::from_secs(5));
+        publisher.join().unwrap();
+        assert_eq!(got, Some(BusItem::Event(Arc::new(42))));
+        assert_eq!(sub.next_timeout(Duration::from_millis(5)), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! Dead-letter quarantine for batches that panicked or poisoned an
+//! engine.
+//!
+//! The contract with the runtime:
+//!
+//! - When a batch panics an engine, the worker rolls the engine back to
+//!   its pre-batch state and records the batch here as a
+//!   [`DeadLetter`] — full context: the tuples, the engine spec, the
+//!   operation, and the error text. The stream keeps serving.
+//! - While a stream has pending letters, *subsequent* batches for it
+//!   are also diverted here (in arrival order) rather than applied —
+//!   applying them would reorder the stream's chronology and make a
+//!   later replay non-deterministic.
+//! - Replay ([`DeadLetterQueue::take`]) hands the letters back FIFO;
+//!   after the caller repairs and re-ingests them the stream's state is
+//!   byte-identical to a run that never saw the fault (given the same
+//!   repaired tuples), because engines are deterministic functions of
+//!   their input order.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sns_error::SnsError;
+use sns_stream::StreamTuple;
+
+/// Which engine operation the quarantined batch was performing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantinedOp {
+    /// `prefill_all` — tuples land in the window without factor updates.
+    Prefill,
+    /// `ingest_all` — the normal per-event update path.
+    Ingest,
+}
+
+impl QuarantinedOp {
+    /// Short lowercase label for logs and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuarantinedOp::Prefill => "prefill",
+            QuarantinedOp::Ingest => "ingest",
+        }
+    }
+}
+
+/// One quarantined batch with everything needed to repair + replay it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter<S> {
+    /// Monotonic quarantine id (global across streams).
+    pub id: u64,
+    /// The stream whose batch was quarantined.
+    pub stream_id: u64,
+    /// Shard hosting the stream when the fault occurred.
+    pub shard: usize,
+    /// Session ticket of the batch.
+    pub ticket: u64,
+    /// Operation being performed.
+    pub op: QuarantinedOp,
+    /// The offending (or diverted) tuples, in submission order.
+    pub tuples: Vec<StreamTuple>,
+    /// Why the batch was quarantined — the caught panic for the
+    /// faulting batch, [`SnsError::StreamQuarantined`] for batches
+    /// diverted behind it.
+    pub error: SnsError,
+    /// The engine spec active at quarantine time (for repair tooling).
+    pub spec: S,
+}
+
+/// Aggregate DLQ counters for the metrics dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlqStats {
+    /// Letters currently awaiting replay.
+    pub pending: usize,
+    /// Letters ever quarantined.
+    pub quarantined_total: u64,
+    /// Letters taken for replay ([`DeadLetterQueue::take`]).
+    pub replayed: u64,
+    /// Distinct streams that ever quarantined a batch.
+    pub streams_affected: usize,
+}
+
+struct DlqState<S> {
+    letters: HashMap<u64, VecDeque<DeadLetter<S>>>,
+    affected: HashSet<u64>,
+    pending: usize,
+}
+
+/// Per-stream FIFO queues of [`DeadLetter`]s. Cloning is cheap; clones
+/// share state.
+pub struct DeadLetterQueue<S> {
+    inner: Arc<DlqInner<S>>,
+}
+
+struct DlqInner<S> {
+    next_id: AtomicU64,
+    quarantined_total: AtomicU64,
+    replayed: AtomicU64,
+    state: Mutex<DlqState<S>>,
+}
+
+impl<S> Clone for DeadLetterQueue<S> {
+    fn clone(&self) -> Self {
+        DeadLetterQueue { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S> Default for DeadLetterQueue<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> DeadLetterQueue<S> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DeadLetterQueue {
+            inner: Arc::new(DlqInner {
+                next_id: AtomicU64::new(0),
+                quarantined_total: AtomicU64::new(0),
+                replayed: AtomicU64::new(0),
+                state: Mutex::new(DlqState {
+                    letters: HashMap::new(),
+                    affected: HashSet::new(),
+                    pending: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Records a quarantined batch; returns its quarantine id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn quarantine(
+        &self,
+        stream_id: u64,
+        shard: usize,
+        ticket: u64,
+        op: QuarantinedOp,
+        tuples: Vec<StreamTuple>,
+        error: SnsError,
+        spec: S,
+    ) -> u64 {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.inner.state.lock().unwrap();
+        state.affected.insert(stream_id);
+        state.pending += 1;
+        state.letters.entry(stream_id).or_default().push_back(DeadLetter {
+            id,
+            stream_id,
+            shard,
+            ticket,
+            op,
+            tuples,
+            error,
+            spec,
+        });
+        id
+    }
+
+    /// Letters pending for one stream.
+    pub fn pending(&self, stream_id: u64) -> usize {
+        self.inner.state.lock().unwrap().letters.get(&stream_id).map_or(0, VecDeque::len)
+    }
+
+    /// Letters pending across all streams.
+    pub fn pending_total(&self) -> usize {
+        self.inner.state.lock().unwrap().pending
+    }
+
+    /// Streams with at least one pending letter, ascending.
+    pub fn streams(&self) -> Vec<u64> {
+        let state = self.inner.state.lock().unwrap();
+        let mut ids: Vec<u64> =
+            state.letters.iter().filter(|(_, q)| !q.is_empty()).map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Removes and returns a stream's letters, FIFO. The caller owns
+    /// them now — repair and re-ingest, or [`Self::requeue_front`] on
+    /// a failed replay.
+    pub fn take(&self, stream_id: u64) -> Vec<DeadLetter<S>> {
+        let mut state = self.inner.state.lock().unwrap();
+        let letters: Vec<_> = state.letters.remove(&stream_id).map(Vec::from).unwrap_or_default();
+        state.pending -= letters.len();
+        self.inner.replayed.fetch_add(letters.len() as u64, Ordering::Relaxed);
+        letters
+    }
+
+    /// Puts letters back at the *front* of a stream's queue (a replay
+    /// that failed partway must not reorder the remainder).
+    pub fn requeue_front(&self, stream_id: u64, letters: Vec<DeadLetter<S>>) {
+        if letters.is_empty() {
+            return;
+        }
+        let mut state = self.inner.state.lock().unwrap();
+        state.pending += letters.len();
+        self.inner.replayed.fetch_sub(letters.len() as u64, Ordering::Relaxed);
+        let queue = state.letters.entry(stream_id).or_default();
+        for letter in letters.into_iter().rev() {
+            queue.push_front(letter);
+        }
+    }
+
+    /// Aggregate counters for the metrics dump.
+    pub fn stats(&self) -> DlqStats {
+        let state = self.inner.state.lock().unwrap();
+        DlqStats {
+            pending: state.pending,
+            quarantined_total: self.inner.quarantined_total.load(Ordering::Relaxed),
+            replayed: self.inner.replayed.load(Ordering::Relaxed),
+            streams_affected: state.affected.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn letter_tuples(n: usize) -> Vec<StreamTuple> {
+        (0..n).map(|i| StreamTuple::new([i as u32], 1.0, i as u64)).collect()
+    }
+
+    fn boom(stream_id: u64) -> SnsError {
+        SnsError::EnginePanicked { stream_id, message: "boom".into() }
+    }
+
+    #[test]
+    fn quarantine_take_roundtrip_is_fifo() {
+        let dlq: DeadLetterQueue<&'static str> = DeadLetterQueue::new();
+        dlq.quarantine(7, 0, 10, QuarantinedOp::Ingest, letter_tuples(2), boom(7), "spec");
+        dlq.quarantine(7, 0, 11, QuarantinedOp::Ingest, letter_tuples(1), boom(7), "spec");
+        dlq.quarantine(9, 1, 3, QuarantinedOp::Prefill, letter_tuples(3), boom(9), "spec");
+        assert_eq!(dlq.pending(7), 2);
+        assert_eq!(dlq.pending_total(), 3);
+        assert_eq!(dlq.streams(), vec![7, 9]);
+
+        let taken = dlq.take(7);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].ticket, 10);
+        assert_eq!(taken[1].ticket, 11);
+        assert_eq!(taken[0].op.label(), "ingest");
+        assert_eq!(dlq.pending(7), 0);
+        assert_eq!(dlq.pending_total(), 1);
+
+        let stats = dlq.stats();
+        assert_eq!(stats.quarantined_total, 3);
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(stats.streams_affected, 2);
+    }
+
+    #[test]
+    fn requeue_front_preserves_order() {
+        let dlq: DeadLetterQueue<&'static str> = DeadLetterQueue::new();
+        for ticket in 0..4u64 {
+            dlq.quarantine(1, 0, ticket, QuarantinedOp::Ingest, letter_tuples(1), boom(1), "s");
+        }
+        let mut taken = dlq.take(1);
+        // Replay of tickets 0..2 succeeded; 2..4 go back untouched.
+        let rest = taken.split_off(2);
+        dlq.requeue_front(1, rest);
+        dlq.quarantine(1, 0, 4, QuarantinedOp::Ingest, letter_tuples(1), boom(1), "s");
+        let tickets: Vec<u64> = dlq.take(1).iter().map(|l| l.ticket).collect();
+        assert_eq!(tickets, vec![2, 3, 4]);
+        assert_eq!(dlq.stats().replayed, 5);
+    }
+
+    #[test]
+    fn empty_stream_take_is_empty() {
+        let dlq: DeadLetterQueue<u8> = DeadLetterQueue::new();
+        assert!(dlq.take(42).is_empty());
+        assert_eq!(dlq.pending(42), 0);
+        assert_eq!(
+            dlq.stats(),
+            DlqStats { pending: 0, quarantined_total: 0, replayed: 0, streams_affected: 0 }
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Typed lifecycle events published by the pool runtime.
+
+/// Why a stream left its shard (see [`PoolEvent::StreamEvicted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The client closed the stream (or dropped its session).
+    Closed,
+    /// The stream was explicitly evicted (e.g. for migration).
+    Evicted,
+    /// The stream was replaced by a new `open` under the same id.
+    Replaced,
+}
+
+impl EvictReason {
+    /// Short lowercase label for logs and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictReason::Closed => "closed",
+            EvictReason::Evicted => "evicted",
+            EvictReason::Replaced => "replaced",
+        }
+    }
+}
+
+/// One lifecycle event of the pool runtime.
+///
+/// Events are facts about what already happened — subscribers can react
+/// to causality instead of polling, but can never influence the hot
+/// path (the bus is broadcast, lag-tolerant, and fire-and-forget).
+///
+/// Ordering contract: events about one stream are published by that
+/// stream's shard worker (or its session) in causal order; no ordering
+/// is guaranteed *across* streams on different shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolEvent {
+    /// A stream's engine was built and installed on a shard.
+    StreamOpened {
+        /// The stream that opened.
+        stream_id: u64,
+        /// Shard the engine lives on.
+        shard: usize,
+        /// Engine display name (e.g. `"SNS⁺_VEC(rank=16)"`).
+        engine: String,
+    },
+    /// A stream's engine was removed from its shard.
+    StreamEvicted {
+        /// The stream that left.
+        stream_id: u64,
+        /// Shard it left.
+        shard: usize,
+        /// Why it left.
+        reason: EvictReason,
+    },
+    /// A stream's captured state was installed on a new shard.
+    StreamMigrated {
+        /// The stream that moved.
+        stream_id: u64,
+        /// Shard it now lives on.
+        shard: usize,
+    },
+    /// A pool-wide checkpoint was committed to the store.
+    CheckpointCommitted {
+        /// Streams captured in the checkpoint.
+        streams: usize,
+    },
+    /// A session's blocking submit found its shard queue full and is
+    /// about to wait. Emitted on the *edge* (once per full episode).
+    BackpressureOnset {
+        /// The stream whose submit is stalling.
+        stream_id: u64,
+        /// Shard whose queue is full.
+        shard: usize,
+        /// Commands in flight when the stall began.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The stalled submit from the last
+    /// [`PoolEvent::BackpressureOnset`] got through.
+    BackpressureRelief {
+        /// The stream that resumed.
+        stream_id: u64,
+        /// Shard that drained.
+        shard: usize,
+    },
+    /// An anomaly-decorated engine flagged at least one new tuple
+    /// during a batch.
+    AnomalyFlagged {
+        /// The stream that flagged.
+        stream_id: u64,
+        /// Shard it lives on.
+        shard: usize,
+        /// Total flagged tuples on this stream so far.
+        flagged: u64,
+    },
+    /// A batch panicked its engine; the engine was rolled back to its
+    /// pre-batch state and the batch was quarantined for later replay.
+    TupleQuarantined {
+        /// The stream whose batch was quarantined.
+        stream_id: u64,
+        /// Shard it lives on.
+        shard: usize,
+        /// Session ticket of the quarantined batch.
+        ticket: u64,
+        /// Tuples in the quarantined batch.
+        tuples: usize,
+    },
+}
+
+impl PoolEvent {
+    /// The stream this event concerns, if it is stream-scoped.
+    pub fn stream_id(&self) -> Option<u64> {
+        match self {
+            PoolEvent::StreamOpened { stream_id, .. }
+            | PoolEvent::StreamEvicted { stream_id, .. }
+            | PoolEvent::StreamMigrated { stream_id, .. }
+            | PoolEvent::BackpressureOnset { stream_id, .. }
+            | PoolEvent::BackpressureRelief { stream_id, .. }
+            | PoolEvent::AnomalyFlagged { stream_id, .. }
+            | PoolEvent::TupleQuarantined { stream_id, .. } => Some(*stream_id),
+            PoolEvent::CheckpointCommitted { .. } => None,
+        }
+    }
+
+    /// Stable lowercase kind label (the event taxonomy in README).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PoolEvent::StreamOpened { .. } => "stream_opened",
+            PoolEvent::StreamEvicted { .. } => "stream_evicted",
+            PoolEvent::StreamMigrated { .. } => "stream_migrated",
+            PoolEvent::CheckpointCommitted { .. } => "checkpoint_committed",
+            PoolEvent::BackpressureOnset { .. } => "backpressure_onset",
+            PoolEvent::BackpressureRelief { .. } => "backpressure_relief",
+            PoolEvent::AnomalyFlagged { .. } => "anomaly_flagged",
+            PoolEvent::TupleQuarantined { .. } => "tuple_quarantined",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_id_and_kind_cover_every_variant() {
+        let events = [
+            PoolEvent::StreamOpened { stream_id: 1, shard: 0, engine: "e".into() },
+            PoolEvent::StreamEvicted { stream_id: 2, shard: 0, reason: EvictReason::Closed },
+            PoolEvent::StreamMigrated { stream_id: 3, shard: 1 },
+            PoolEvent::CheckpointCommitted { streams: 4 },
+            PoolEvent::BackpressureOnset { stream_id: 5, shard: 0, depth: 4, capacity: 4 },
+            PoolEvent::BackpressureRelief { stream_id: 5, shard: 0 },
+            PoolEvent::AnomalyFlagged { stream_id: 6, shard: 0, flagged: 2 },
+            PoolEvent::TupleQuarantined { stream_id: 7, shard: 0, ticket: 9, tuples: 3 },
+        ];
+        for e in &events {
+            assert!(!e.kind().is_empty());
+            match e {
+                PoolEvent::CheckpointCommitted { .. } => assert_eq!(e.stream_id(), None),
+                _ => assert!(e.stream_id().is_some()),
+            }
+        }
+        // kinds are distinct
+        let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn evict_reason_labels() {
+        assert_eq!(EvictReason::Closed.label(), "closed");
+        assert_eq!(EvictReason::Evicted.label(), "evicted");
+        assert_eq!(EvictReason::Replaced.label(), "replaced");
+    }
+}

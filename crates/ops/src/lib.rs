@@ -1,0 +1,38 @@
+//! # sns-ops
+//!
+//! The operability surface of the SliceNStitch runtime: everything an
+//! operator needs to *observe and react to* a pool serving many
+//! concurrent tensor streams, without touching the numeric hot path.
+//!
+//! Three independent layers, composed by `sns-runtime`:
+//!
+//! - [`bus`] — a bounded, in-process broadcast [`EventBus`] carrying
+//!   typed lifecycle [`PoolEvent`]s (stream opened/evicted/migrated,
+//!   checkpoint committed, backpressure onset/relief, anomaly flagged,
+//!   tuple quarantined). Publishing never blocks: when nobody is
+//!   subscribed it is a single atomic load, and a slow subscriber lags
+//!   (drop-oldest) instead of exerting backpressure on pool workers.
+//! - [`metrics`] — a [`MetricsRegistry`] of per-stream and per-shard
+//!   atomic counters, log₂-bucketed ingest-latency histograms
+//!   (p50/p99/p999), and queue-depth gauges, exportable as JSON
+//!   ([`MetricsRegistry::dump`]) or plain text
+//!   ([`MetricsRegistry::render_text`]).
+//! - [`dlq`] — a generic [`DeadLetterQueue`]: a batch that panicked or
+//!   poisoned an engine is recorded with full context (tuples, spec,
+//!   error) so the stream keeps serving and the batch can be repaired
+//!   and replayed deterministically later.
+//!
+//! The crate sits *below* the runtime (it depends only on `sns-error`
+//! and `sns-stream`), so the pool can publish into it without a
+//! dependency cycle; anything engine-specific (the spec type carried by
+//! dead letters) is a generic parameter.
+
+pub mod bus;
+pub mod dlq;
+pub mod event;
+pub mod metrics;
+
+pub use bus::{BusItem, BusStats, EventBus, Subscription};
+pub use dlq::{DeadLetter, DeadLetterQueue, DlqStats, QuarantinedOp};
+pub use event::{EvictReason, PoolEvent};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, ShardMetrics, StreamMetrics};

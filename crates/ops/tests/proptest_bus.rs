@@ -1,0 +1,155 @@
+//! Property-based tests pinning the event-bus semantics the pool's hot
+//! path relies on:
+//!
+//! - **publishers never block and never buffer unboundedly** — a
+//!   completely stalled subscriber costs at most `capacity` retained
+//!   events, with every older event dropped (oldest first) and
+//!   accounted for;
+//! - **lag is observable, not silent** — a lagging subscriber receives
+//!   a `Lagged` gap marker whose `missed` count conserves events
+//!   (observed + missed = published);
+//! - **per-publisher order is causal** — each publisher's events are
+//!   observed in publication order even across lag gaps and concurrent
+//!   publishers, mirroring the per-stream event-order guarantee (a
+//!   stream's lifecycle events are all published by its shard worker).
+
+use proptest::prelude::*;
+use sns_ops::{BusItem, EventBus};
+
+/// Tallies one drained batch: per-publisher observed sequence numbers
+/// (in observation order) plus the summed lag gap.
+fn absorb(items: Vec<BusItem<(usize, u64)>>, seen: &mut [Vec<u64>], missed: &mut u64) -> usize {
+    let mut observed = 0;
+    for item in items {
+        match item {
+            BusItem::Lagged { missed: m } => *missed += m,
+            BusItem::Event(e) => {
+                let (publisher, seq) = *e;
+                seen[publisher].push(seq);
+                observed += 1;
+            }
+        }
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A subscriber that never reads cannot block or bloat the bus:
+    /// every publish completes, the ring never holds more than
+    /// `capacity` events, the overflow is dropped oldest-first, and the
+    /// first read reports the exact gap before delivering the newest
+    /// `capacity` events in order.
+    #[test]
+    fn stalled_subscriber_never_blocks_publishers(
+        capacity in 1usize..24,
+        total in 0usize..200,
+    ) {
+        let bus: EventBus<(usize, u64)> = EventBus::new(capacity);
+        let mut sub = bus.subscribe();
+        for seq in 0..total as u64 {
+            // Never blocks by construction; if it deadlocked the test
+            // would hang, so termination itself is part of the property.
+            prop_assert!(bus.publish((0, seq)));
+        }
+        let stats = bus.stats();
+        prop_assert_eq!(stats.published, total as u64);
+        prop_assert_eq!(stats.depth, total.min(capacity));
+        prop_assert_eq!(stats.dropped, total.saturating_sub(capacity) as u64);
+
+        let mut seen = vec![Vec::new()];
+        let mut missed = 0u64;
+        absorb(sub.drain(), &mut seen, &mut missed);
+        prop_assert_eq!(missed, stats.dropped);
+        prop_assert_eq!(seen[0].len() + missed as usize, total);
+        // The retained tail is the newest events, still in order.
+        let expect: Vec<u64> = (missed..total as u64).collect();
+        prop_assert_eq!(&seen[0], &expect);
+    }
+
+    /// Concurrent publishers with a concurrently draining (and
+    /// possibly lagging) subscriber: no event is silently lost
+    /// (observed + missed = published), and each publisher's events are
+    /// observed in strictly increasing publication order — the
+    /// per-stream causal-order guarantee.
+    #[test]
+    fn concurrent_lagging_reads_conserve_and_stay_causal(
+        capacity in 1usize..16,
+        publishers in 1usize..4,
+        per_publisher in 0usize..120,
+        read_pause_us in 0u64..200,
+    ) {
+        let bus: EventBus<(usize, u64)> = EventBus::new(capacity);
+        let mut sub = bus.subscribe();
+        let mut seen: Vec<Vec<u64>> = vec![Vec::new(); publishers];
+        let mut missed = 0u64;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..publishers)
+                .map(|p| {
+                    let bus = bus.clone();
+                    scope.spawn(move || {
+                        for seq in 0..per_publisher as u64 {
+                            bus.publish((p, seq));
+                        }
+                    })
+                })
+                .collect();
+            // Interleave lag-prone reads with the publishers; the pause
+            // makes the subscriber fall behind small rings.
+            while handles.iter().any(|h| !h.is_finished()) {
+                absorb(sub.drain(), &mut seen, &mut missed);
+                if read_pause_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(read_pause_us));
+                }
+            }
+            for h in handles {
+                h.join().expect("publisher panicked");
+            }
+        });
+        absorb(sub.drain(), &mut seen, &mut missed);
+
+        let total = (publishers * per_publisher) as u64;
+        prop_assert_eq!(bus.stats().published, total);
+        let observed: usize = seen.iter().map(Vec::len).sum();
+        prop_assert_eq!(observed as u64 + missed, total);
+        for (p, seqs) in seen.iter().enumerate() {
+            prop_assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "publisher {} observed out of order: {:?}", p, seqs
+            );
+        }
+    }
+
+    /// Dropping the only subscriber flips the bus back to its
+    /// zero-cost mode: publishes are counted but not retained, and a
+    /// later subscriber starts at "now" — it observes exactly the
+    /// events published after it subscribed, in order, with no gap
+    /// marker for the unsubscribed era.
+    #[test]
+    fn dropped_subscriber_costs_nothing_and_resubscribe_starts_at_now(
+        capacity in 1usize..16,
+        before in 0usize..50,
+        after in 0usize..50,
+    ) {
+        let bus: EventBus<(usize, u64)> = EventBus::new(capacity);
+        let sub = bus.subscribe();
+        drop(sub);
+        for seq in 0..before as u64 {
+            prop_assert!(!bus.publish((0, seq)), "unsubscribed publish must not enter the ring");
+        }
+        prop_assert_eq!(bus.stats().depth, 0);
+
+        let mut sub = bus.subscribe();
+        for seq in 0..after as u64 {
+            prop_assert!(bus.publish((1, seq)));
+        }
+        let mut seen = vec![Vec::new(), Vec::new()];
+        let mut missed = 0u64;
+        absorb(sub.drain(), &mut seen, &mut missed);
+        prop_assert_eq!(missed, after.saturating_sub(capacity) as u64);
+        prop_assert!(seen[0].is_empty(), "must not see pre-subscription events");
+        let expect: Vec<u64> = (missed..after as u64).collect();
+        prop_assert_eq!(&seen[1], &expect);
+    }
+}

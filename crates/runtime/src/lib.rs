@@ -51,6 +51,8 @@
 //! | [`pool`] | [`EnginePool`] + [`StreamSession`]: sharded, backpressured multi-stream runtime |
 //! | [`snapshot`] | [`EngineSnapshot`] / [`EngineState`]: bitwise-faithful capture for shard migration |
 //! | [`anomaly`] | [`AnomalyCpd`]: anomaly scoring as a transparent `StreamingCpd` decorator |
+//! | [`chaos`] | [`ChaosCpd`]: deterministic fault injection (poison panics, apply-path delays) for soak tests |
+//! | [`ops`] | [`PoolOps`]: the pool's operability surface — event bus, metrics registry, dead-letter queue |
 //!
 //! ## Quick tour: the session API
 //!
@@ -104,14 +106,19 @@
 //! ```
 
 pub mod anomaly;
+pub mod chaos;
+pub mod ops;
 pub mod pool;
 pub mod snapshot;
 pub mod spec;
 pub mod streaming;
 
 pub use anomaly::{AnomalyConfig, AnomalyCpd, AnomalyState, AnomalySummary};
+pub use chaos::{ChaosConfig, ChaosCpd, ChaosState, POISON_VALUE};
+pub use ops::{PoolDeadLetter, PoolDlq, PoolEventBus, PoolOps, QuarantinePolicy};
 pub use pool::{BatchReceipt, EnginePool, PoolConfig, StreamReport, StreamSession};
 pub use snapshot::{EngineSnapshot, EngineState, StateCapture};
 pub use sns_error::SnsError;
+pub use sns_ops::{EvictReason, PoolEvent};
 pub use spec::{BaselineKind, EngineSpec};
 pub use streaming::{BatchOutcome, StreamingCpd};

@@ -43,10 +43,12 @@
 //! `tests/engine_pool.rs`).
 
 use crate::anomaly::AnomalySummary;
+use crate::ops::{PoolDeadLetter, PoolOps, QuarantinePolicy};
 use crate::snapshot::EngineSnapshot;
 use crate::spec::EngineSpec;
 use crate::streaming::{BatchOutcome, StreamingCpd};
 use sns_core::als::AlsOptions;
+use sns_ops::{EvictReason, PoolEvent, QuarantinedOp, StreamMetrics};
 use sns_stream::{SnsError, StreamTuple};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +57,7 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::mpsc::{TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Pool sizing, seeding, and flow control.
 #[derive(Debug, Clone)]
@@ -68,12 +71,25 @@ pub struct PoolConfig {
     /// [`SnsError::Backpressure`] ([`StreamSession::try_ingest_batch`])
     /// once their shard has this many commands in flight.
     pub queue_depth: usize,
+    /// Ring capacity of the lifecycle event bus
+    /// ([`EnginePool::ops`]`().bus()`), in events. Slow subscribers lag
+    /// (drop-oldest) past this bound; publishers never block.
+    pub bus_capacity: usize,
+    /// What happens to a stream whose batch panics its engine — see
+    /// [`QuarantinePolicy`].
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
         let shards = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-        PoolConfig { shards, base_seed: 0x5eed, queue_depth: 512 }
+        PoolConfig {
+            shards,
+            base_seed: 0x5eed,
+            queue_depth: 512,
+            bus_capacity: 1024,
+            quarantine: QuarantinePolicy::Rollback,
+        }
     }
 }
 
@@ -100,6 +116,12 @@ pub struct BatchReceipt {
     /// Factor updates the batch triggered (events for continuous
     /// engines, periods for baselines).
     pub updates: u64,
+    /// Enqueue→ack latency as observed by the session: from the moment
+    /// the command entered the shard queue to the moment the session
+    /// pulled this receipt. Stamped session-side; also recorded into the
+    /// stream's latency histogram
+    /// ([`EnginePool::ops`]`().metrics()`).
+    pub latency: Duration,
 }
 
 /// Snapshot of one stream's model health, produced on its worker.
@@ -178,6 +200,15 @@ enum Command {
         id: u64,
         token: u64,
     },
+    /// Lifts a stream's quarantine (and clears its sticky error) so
+    /// repaired dead-letter batches can be re-driven. Sent by
+    /// [`StreamSession::replay_quarantined`] *before* the replayed
+    /// batches; FIFO ordering makes the release visible first.
+    Release {
+        id: u64,
+        token: u64,
+        ticket: u64,
+    },
     /// Pool-wide checkpoint: snapshot every live slot on this shard
     /// (after draining all previously enqueued commands) and reply on a
     /// dedicated channel. Per-stream consistency follows from command
@@ -223,10 +254,18 @@ struct StreamSlot {
     token: u64,
     spec: EngineSpec,
     seed: u64,
-    /// `None` once the engine is quarantined after a panic (its state is
-    /// no longer trustworthy); the slot keeps reporting the error.
+    /// `None` only when a panic could not be rolled back (no pre-batch
+    /// capture — [`QuarantinePolicy::Disabled`] or an engine without
+    /// snapshot support); the slot then keeps reporting the error.
     engine: Option<Box<dyn StreamingCpd>>,
     error: Option<SnsError>,
+    /// Set when a batch panicked and the engine was rolled back: batches
+    /// divert to the dead-letter queue until a `Release` arrives.
+    quarantined: bool,
+    /// High-water mark of the engine's flagged-anomaly counter, for
+    /// edge-triggered [`PoolEvent::AnomalyFlagged`] events.
+    last_flagged: u64,
+    metrics: Arc<StreamMetrics>,
     replies: Sender<SessionReply>,
 }
 
@@ -260,12 +299,14 @@ impl StreamSlot {
     }
 
     /// Sends a batch acknowledgment; the session may have hung up.
+    /// Latency is stamped session-side when the receipt is pulled.
     fn acknowledge(&self, id: u64, ticket: u64, outcome: Result<BatchOutcome, SnsError>) {
         let receipt = outcome.map(|o| BatchReceipt {
             stream_id: id,
             ticket,
             accepted: o.accepted,
             updates: o.updates,
+            latency: Duration::ZERO,
         });
         let _ = self.replies.send(SessionReply { ticket, body: ReplyBody::Receipt(receipt) });
     }
@@ -297,7 +338,118 @@ impl StreamSlot {
     }
 }
 
-fn worker_loop(rx: Receiver<Command>) {
+/// Records a batch to the dead-letter queue and publishes the
+/// quarantine event.
+#[allow(clippy::too_many_arguments)]
+fn divert_to_dlq(
+    ops: &PoolOps,
+    s: &StreamSlot,
+    shard: usize,
+    id: u64,
+    ticket: u64,
+    op: QuarantinedOp,
+    tuples: Vec<StreamTuple>,
+    error: SnsError,
+) {
+    let count = tuples.len();
+    ops.dlq().quarantine(id, shard, ticket, op, tuples, error, s.spec.clone());
+    s.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+    if ops.bus().has_subscribers() {
+        ops.bus().publish(PoolEvent::TupleQuarantined {
+            stream_id: id,
+            shard,
+            ticket,
+            tuples: count,
+        });
+    }
+}
+
+/// Applies one tuple batch (prefill or ingest) with quarantine
+/// semantics: under [`QuarantinePolicy::Rollback`] a panicking batch is
+/// rolled back to its pre-batch captured state and quarantined, and
+/// later batches divert to the DLQ in order until the session releases
+/// the stream. Typed engine errors pass through unchanged.
+#[allow(clippy::too_many_arguments)]
+fn apply_batch(
+    ops: &PoolOps,
+    policy: QuarantinePolicy,
+    shard: usize,
+    s: &mut StreamSlot,
+    id: u64,
+    ticket: u64,
+    op: QuarantinedOp,
+    tuples: Vec<StreamTuple>,
+) {
+    if s.quarantined {
+        let err = SnsError::StreamQuarantined { stream_id: id, pending: ops.dlq().pending(id) + 1 };
+        divert_to_dlq(ops, s, shard, id, ticket, op, tuples, err.clone());
+        s.acknowledge(id, ticket, Err(err));
+        return;
+    }
+    let Some(engine) = s.engine.as_mut() else {
+        let err = s.error.clone().unwrap_or(SnsError::StreamClosed { stream_id: id });
+        s.acknowledge(id, ticket, Err(err));
+        return;
+    };
+    let pre = match policy {
+        QuarantinePolicy::Rollback => engine.snapshot().ok(),
+        QuarantinePolicy::Disabled => None,
+    };
+    let applied = catch_unwind(AssertUnwindSafe(|| match op {
+        QuarantinedOp::Prefill => {
+            engine.prefill_all(&tuples).map(|n| BatchOutcome { accepted: n, updates: 0 })
+        }
+        QuarantinedOp::Ingest => engine.ingest_all(&tuples),
+    }));
+    match applied {
+        Ok(Ok(outcome)) => {
+            let flagged = engine.anomalies().map(|a| a.flagged);
+            s.metrics.batches.fetch_add(1, Ordering::Relaxed);
+            s.metrics.tuples.fetch_add(outcome.accepted as u64, Ordering::Relaxed);
+            s.metrics.updates.fetch_add(outcome.updates, Ordering::Relaxed);
+            if let Some(flagged) = flagged.filter(|&f| f > s.last_flagged) {
+                s.last_flagged = flagged;
+                if ops.bus().has_subscribers() {
+                    ops.bus().publish(PoolEvent::AnomalyFlagged { stream_id: id, shard, flagged });
+                }
+            }
+            s.acknowledge(id, ticket, Ok(outcome));
+        }
+        Ok(Err(e)) => {
+            s.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            s.error.get_or_insert(e.clone());
+            s.acknowledge(id, ticket, Err(e));
+        }
+        Err(payload) => {
+            ops.metrics().shard(shard).panics.fetch_add(1, Ordering::Relaxed);
+            s.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let e = SnsError::EnginePanicked { stream_id: id, message: panic_message(payload) };
+            s.error.get_or_insert(e.clone());
+            match pre.and_then(|state| state.into_engine().ok()) {
+                Some(rolled_back) => {
+                    // The batch never happened as far as the model is
+                    // concerned; the stream keeps serving.
+                    s.engine = Some(rolled_back);
+                    s.quarantined = true;
+                }
+                // No pre-batch capture: the engine state is no longer
+                // trustworthy and the slot goes dark (the letter is
+                // still recorded for post-mortems).
+                None => s.engine = None,
+            }
+            divert_to_dlq(ops, s, shard, id, ticket, op, tuples, e.clone());
+            s.acknowledge(id, ticket, Err(e));
+        }
+    }
+}
+
+fn publish_evicted(ops: &PoolOps, id: u64, shard: usize, reason: EvictReason) {
+    if ops.bus().has_subscribers() {
+        ops.bus().publish(PoolEvent::StreamEvicted { stream_id: id, shard, reason });
+    }
+}
+
+fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: QuarantinePolicy) {
     let mut slots: HashMap<u64, StreamSlot> = HashMap::new();
     // Commands from a replaced session (stale token) are dropped: the
     // stale session's reply channel is already disconnected, so its
@@ -306,6 +458,9 @@ fn worker_loop(rx: Receiver<Command>) {
         slots.get_mut(&id).filter(|s| s.token == token)
     }
     while let Ok(cmd) = rx.recv() {
+        let shard_metrics = ops.metrics().shard(shard);
+        shard_metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shard_metrics.commands.fetch_add(1, Ordering::Relaxed);
         match cmd {
             Command::Open { id, token, ticket, seed, spec, replies } => {
                 let effective = spec.effective_seed(seed);
@@ -323,6 +478,10 @@ fn worker_loop(rx: Receiver<Command>) {
                             (None, String::new(), Err(e))
                         }
                     };
+                let metrics = ops.metrics().stream(id);
+                metrics.shard.store(shard, Ordering::Relaxed);
+                let opened = engine.is_some();
+                let engine_name = name.clone();
                 let slot = StreamSlot {
                     name,
                     token,
@@ -330,15 +489,29 @@ fn worker_loop(rx: Receiver<Command>) {
                     seed: effective,
                     engine,
                     error: outcome.as_ref().err().cloned(),
+                    quarantined: false,
+                    last_flagged: 0,
+                    metrics,
                     replies,
                 };
                 slot.acknowledge(id, ticket, outcome);
-                slots.insert(id, slot);
+                if slots.insert(id, slot).is_some() {
+                    publish_evicted(&ops, id, shard, EvictReason::Replaced);
+                }
+                if opened && ops.bus().has_subscribers() {
+                    ops.bus().publish(PoolEvent::StreamOpened {
+                        stream_id: id,
+                        shard,
+                        engine: engine_name,
+                    });
+                }
             }
             Command::Restore { id, token, ticket, snapshot, replies } => {
                 let EngineSnapshot { spec, seed, state, .. } = *snapshot;
                 match state.into_engine() {
                     Ok(engine) => {
+                        let metrics = ops.metrics().stream(id);
+                        metrics.shard.store(shard, Ordering::Relaxed);
                         let slot = StreamSlot {
                             name: engine.name(),
                             token,
@@ -346,10 +519,18 @@ fn worker_loop(rx: Receiver<Command>) {
                             seed,
                             engine: Some(engine),
                             error: None,
+                            quarantined: false,
+                            last_flagged: 0,
+                            metrics,
                             replies,
                         };
                         slot.acknowledge(id, ticket, Ok(BatchOutcome { accepted: 0, updates: 0 }));
-                        slots.insert(id, slot);
+                        if slots.insert(id, slot).is_some() {
+                            publish_evicted(&ops, id, shard, EvictReason::Replaced);
+                        }
+                        if ops.bus().has_subscribers() {
+                            ops.bus().publish(PoolEvent::StreamMigrated { stream_id: id, shard });
+                        }
                     }
                     Err(e) => {
                         // An inconsistent snapshot installs nothing; the
@@ -361,33 +542,61 @@ fn worker_loop(rx: Receiver<Command>) {
             }
             Command::Prefill { id, token, ticket, tuples } => {
                 if let Some(s) = live(&mut slots, id, token) {
-                    let outcome = s.guard(id, |e| {
-                        e.prefill_all(&tuples).map(|n| BatchOutcome { accepted: n, updates: 0 })
-                    });
-                    s.acknowledge(id, ticket, outcome);
+                    apply_batch(&ops, policy, shard, s, id, ticket, QuarantinedOp::Prefill, tuples);
                 }
             }
             Command::WarmStart { id, token, ticket, opts } => {
                 if let Some(s) = live(&mut slots, id, token) {
-                    let outcome = s.guard(id, |e| {
-                        e.warm_start(&opts);
-                        Ok(BatchOutcome { accepted: 0, updates: 0 })
-                    });
+                    let outcome = if s.quarantined {
+                        // A warm start on a rolled-back model would bake
+                        // the missing quarantined batches into the
+                        // factors; replay first.
+                        Err(SnsError::StreamQuarantined {
+                            stream_id: id,
+                            pending: ops.dlq().pending(id),
+                        })
+                    } else {
+                        s.guard(id, |e| {
+                            e.warm_start(&opts);
+                            Ok(BatchOutcome { accepted: 0, updates: 0 })
+                        })
+                    };
+                    if outcome.is_err() {
+                        s.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
                     s.acknowledge(id, ticket, outcome);
                 }
             }
             Command::Ingest { id, token, ticket, tuples } => {
                 if let Some(s) = live(&mut slots, id, token) {
-                    let outcome = s.guard(id, |e| e.ingest_all(&tuples));
-                    s.acknowledge(id, ticket, outcome);
+                    apply_batch(&ops, policy, shard, s, id, ticket, QuarantinedOp::Ingest, tuples);
                 }
             }
             Command::AdvanceTo { id, token, ticket, t } => {
                 if let Some(s) = live(&mut slots, id, token) {
-                    let outcome = s.guard(id, |e| {
-                        Ok(BatchOutcome { accepted: 0, updates: e.advance_to(t) as u64 })
-                    });
+                    let outcome = if s.quarantined {
+                        // Advancing the clock past quarantined batches
+                        // would desynchronize their replay chronology.
+                        Err(SnsError::StreamQuarantined {
+                            stream_id: id,
+                            pending: ops.dlq().pending(id),
+                        })
+                    } else {
+                        s.guard(id, |e| {
+                            Ok(BatchOutcome { accepted: 0, updates: e.advance_to(t) as u64 })
+                        })
+                    };
+                    if outcome.is_err() {
+                        s.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
                     s.acknowledge(id, ticket, outcome);
+                }
+            }
+            Command::Release { id, token, ticket } => {
+                if let Some(s) = live(&mut slots, id, token) {
+                    s.quarantined = false;
+                    s.error = None;
+                    s.acknowledge(id, ticket, Ok(BatchOutcome { accepted: 0, updates: 0 }));
                 }
             }
             Command::Report { id, token, ticket } => {
@@ -421,6 +630,7 @@ fn worker_loop(rx: Receiver<Command>) {
             Command::Close { id, token } => {
                 if slots.get(&id).is_some_and(|s| s.token == token) {
                     slots.remove(&id);
+                    publish_evicted(&ops, id, shard, EvictReason::Closed);
                 }
             }
             Command::CheckpointShard { replies } => {
@@ -444,7 +654,9 @@ fn worker_loop(rx: Receiver<Command>) {
                 let _ = replies.send(out);
             }
             Command::Evict { id } => {
-                slots.remove(&id);
+                if slots.remove(&id).is_some() {
+                    publish_evicted(&ops, id, shard, EvictReason::Evicted);
+                }
             }
             Command::Shutdown => break,
         }
@@ -460,6 +672,7 @@ pub struct EnginePool {
     base_seed: u64,
     queue_depth: usize,
     next_token: AtomicU64,
+    ops: PoolOps,
     /// Which shard currently owns each stream id, if any. The outer lock
     /// only guards map shape (get-or-insert of a cell) and is never held
     /// across a channel send; the per-stream cell serializes
@@ -474,13 +687,16 @@ impl EnginePool {
     pub fn new(cfg: PoolConfig) -> Self {
         let shards = cfg.shards.max(1);
         let queue_depth = cfg.queue_depth.max(1);
+        let ops = PoolOps::new(shards, queue_depth, cfg.bus_capacity.max(1));
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for i in 0..shards {
             let (tx, rx) = sync_channel::<Command>(queue_depth);
+            let worker_ops = ops.clone();
+            let policy = cfg.quarantine;
             let handle = std::thread::Builder::new()
                 .name(format!("sns-pool-{i}"))
-                .spawn(move || worker_loop(rx))
+                .spawn(move || worker_loop(i, rx, worker_ops, policy))
                 .expect("spawn engine pool worker");
             senders.push(tx);
             workers.push(handle);
@@ -491,6 +707,7 @@ impl EnginePool {
             base_seed: cfg.base_seed,
             queue_depth,
             next_token: AtomicU64::new(0),
+            ops,
             owners: Mutex::new(HashMap::new()),
         }
     }
@@ -498,6 +715,19 @@ impl EnginePool {
     /// Number of worker threads.
     pub fn shards(&self) -> usize {
         self.senders.len()
+    }
+
+    /// The pool's operability surface: lifecycle event bus, metrics
+    /// registry (per-stream counters + latency histograms, per-shard
+    /// queue gauges), and the dead-letter queue of quarantined batches.
+    pub fn ops(&self) -> &PoolOps {
+        &self.ops
+    }
+
+    /// Counts a command entering `shard`'s queue (the worker decrements
+    /// on receive, so the gauge reads commands in flight).
+    fn track_send(&self, shard: usize) {
+        self.ops.metrics().shard(shard).queue_depth.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Which worker serves a stream id (stable for the pool's lifetime).
@@ -587,13 +817,17 @@ impl EnginePool {
         };
         let mut owner = cell.lock().expect("ownership cell poisoned");
         if let Some(prev) = owner.replace(shard).filter(|&p| p != shard) {
-            let _ = self.senders[prev].send(Command::Evict { id: stream_id });
+            if self.senders[prev].send(Command::Evict { id: stream_id }).is_ok() {
+                self.track_send(prev);
+            }
         }
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = channel();
         let tx = self.senders[shard].clone();
         tx.send(make(token, reply_tx)).map_err(|_| SnsError::StreamClosed { stream_id })?;
+        self.track_send(shard);
         drop(owner);
+        let metrics = self.ops.metrics().stream(stream_id);
         let mut session = StreamSession {
             stream_id,
             shard,
@@ -605,6 +839,9 @@ impl EnginePool {
             buffered: VecDeque::new(),
             unclaimed: 0,
             closed: false,
+            ops: self.ops.clone(),
+            metrics,
+            pending_at: VecDeque::new(),
         };
         match session.wait_for(0)? {
             ReplyBody::Receipt(Ok(_)) => Ok(session),
@@ -630,8 +867,9 @@ impl EnginePool {
     pub fn checkpoint_all(&self) -> Vec<(u64, Result<EngineSnapshot, SnsError>)> {
         let (tx, rx) = channel();
         let mut expected = 0usize;
-        for sender in &self.senders {
+        for (i, sender) in self.senders.iter().enumerate() {
             if sender.send(Command::CheckpointShard { replies: tx.clone() }).is_ok() {
+                self.track_send(i);
                 expected += 1;
             }
         }
@@ -644,6 +882,9 @@ impl EnginePool {
             }
         }
         all.sort_by_key(|&(id, _)| id);
+        if self.ops.bus().has_subscribers() {
+            self.ops.bus().publish(PoolEvent::CheckpointCommitted { streams: all.len() });
+        }
         all
     }
 
@@ -677,9 +918,11 @@ impl EnginePool {
     }
 
     fn shutdown(&mut self) {
-        for tx in &self.senders {
+        for (i, tx) in self.senders.iter().enumerate() {
             // Workers that already exited are fine to ignore.
-            let _ = tx.send(Command::Shutdown);
+            if tx.send(Command::Shutdown).is_ok() {
+                self.track_send(i);
+            }
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -725,6 +968,12 @@ pub struct StreamSession {
     /// Pipelined batches whose receipts the caller has not collected.
     unclaimed: usize,
     closed: bool,
+    ops: PoolOps,
+    /// This stream's metrics handle (latency histogram, replay counter).
+    metrics: Arc<StreamMetrics>,
+    /// Enqueue timestamps of outstanding receipt-bearing commands, in
+    /// ticket order; receipts are stamped with `enqueue → pull` latency.
+    pending_at: VecDeque<(u64, Instant)>,
 }
 
 impl StreamSession {
@@ -753,9 +1002,80 @@ impl StreamSession {
         SnsError::StreamClosed { stream_id: self.stream_id }
     }
 
-    /// Blocking submit (waits for queue space — flow control).
+    /// Blocking submit (waits for queue space — flow control). A submit
+    /// that actually has to wait publishes edge-triggered
+    /// [`PoolEvent::BackpressureOnset`] / [`PoolEvent::BackpressureRelief`]
+    /// events around the stall.
     fn submit(&mut self, cmd: Command) -> Result<(), SnsError> {
-        self.tx.send(cmd).map_err(|_| self.closed_err())
+        let gauge = &self.ops.metrics().shard(self.shard).queue_depth;
+        match self.tx.try_send(cmd) {
+            Ok(()) => {
+                gauge.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(cmd)) => {
+                let observed = self.ops.bus().has_subscribers();
+                if observed {
+                    self.ops.bus().publish(PoolEvent::BackpressureOnset {
+                        stream_id: self.stream_id,
+                        shard: self.shard,
+                        depth: self.ops.metrics().shard(self.shard).depth(),
+                        capacity: self.queue_depth,
+                    });
+                }
+                let sent = self.tx.send(cmd).map_err(|_| self.closed_err());
+                if sent.is_ok() {
+                    gauge.fetch_add(1, Ordering::Relaxed);
+                    if observed {
+                        self.ops.bus().publish(PoolEvent::BackpressureRelief {
+                            stream_id: self.stream_id,
+                            shard: self.shard,
+                        });
+                    }
+                }
+                sent
+            }
+            Err(TrySendError::Disconnected(_)) => Err(self.closed_err()),
+        }
+    }
+
+    /// Submit of a receipt-bearing command: remembers the enqueue time
+    /// so the receipt can be stamped with its latency.
+    fn submit_timed(&mut self, ticket: u64, cmd: Command) -> Result<(), SnsError> {
+        self.pending_at.push_back((ticket, Instant::now()));
+        let sent = self.submit(cmd);
+        if sent.is_err() {
+            self.pending_at.pop_back();
+        }
+        sent
+    }
+
+    /// Stamps a pulled receipt with its enqueue→ack latency and records
+    /// it into the stream's histogram. Entries for already-acknowledged
+    /// (earlier) tickets are discarded along the way.
+    fn stamp_receipt(
+        &mut self,
+        ticket: u64,
+        r: Result<BatchReceipt, SnsError>,
+    ) -> Result<BatchReceipt, SnsError> {
+        let mut latency = None;
+        while let Some(&(t, at)) = self.pending_at.front() {
+            if t > ticket {
+                break;
+            }
+            self.pending_at.pop_front();
+            if t == ticket {
+                latency = Some(at.elapsed());
+            }
+        }
+        match (r, latency) {
+            (Ok(mut receipt), Some(latency)) => {
+                receipt.latency = latency;
+                self.metrics.latency.record(latency);
+                Ok(receipt)
+            }
+            (r, _) => r,
+        }
     }
 
     /// Waits for the reply to `ticket`, buffering receipts of earlier
@@ -763,10 +1083,14 @@ impl StreamSession {
     fn wait_for(&mut self, ticket: u64) -> Result<ReplyBody, SnsError> {
         loop {
             let reply = self.rx.recv().map_err(|_| self.closed_err())?;
+            let body = match reply.body {
+                ReplyBody::Receipt(r) => ReplyBody::Receipt(self.stamp_receipt(reply.ticket, r)),
+                other => other,
+            };
             if reply.ticket == ticket {
-                return Ok(reply.body);
+                return Ok(body);
             }
-            if let ReplyBody::Receipt(r) = reply.body {
+            if let ReplyBody::Receipt(r) = body {
                 self.buffered.push_back(r);
             }
         }
@@ -785,12 +1109,13 @@ impl StreamSession {
     /// [`StreamingCpd::prefill_all`]).
     pub fn prefill_batch(&mut self, tuples: &[StreamTuple]) -> Result<BatchReceipt, SnsError> {
         let ticket = self.bump_ticket();
-        self.submit(Command::Prefill {
+        let cmd = Command::Prefill {
             id: self.stream_id,
             token: self.token,
             ticket,
             tuples: tuples.to_vec(),
-        })?;
+        };
+        self.submit_timed(ticket, cmd)?;
         self.await_receipt(ticket)
     }
 
@@ -798,12 +1123,13 @@ impl StreamSession {
     /// factors and installs the result. Blocks until done.
     pub fn warm_start(&mut self, opts: &AlsOptions) -> Result<BatchReceipt, SnsError> {
         let ticket = self.bump_ticket();
-        self.submit(Command::WarmStart {
+        let cmd = Command::WarmStart {
             id: self.stream_id,
             token: self.token,
             ticket,
             opts: opts.clone(),
-        })?;
+        };
+        self.submit_timed(ticket, cmd)?;
         self.await_receipt(ticket)
     }
 
@@ -813,12 +1139,13 @@ impl StreamSession {
     /// the accepted prefix (see [`StreamingCpd::ingest_all`]).
     pub fn ingest_batch(&mut self, tuples: &[StreamTuple]) -> Result<BatchReceipt, SnsError> {
         let ticket = self.bump_ticket();
-        self.submit(Command::Ingest {
+        let cmd = Command::Ingest {
             id: self.stream_id,
             token: self.token,
             ticket,
             tuples: tuples.to_vec(),
-        })?;
+        };
+        self.submit_timed(ticket, cmd)?;
         self.await_receipt(ticket)
     }
 
@@ -837,13 +1164,18 @@ impl StreamSession {
         };
         match self.tx.try_send(cmd) {
             Ok(()) => {
+                self.ops.metrics().shard(self.shard).queue_depth.fetch_add(1, Ordering::Relaxed);
+                self.pending_at.push_back((ticket, Instant::now()));
                 self.next_ticket += 1;
                 self.unclaimed += 1;
                 Ok(ticket)
             }
-            Err(TrySendError::Full(_)) => {
-                Err(SnsError::Backpressure { stream_id: self.stream_id, depth: self.queue_depth })
-            }
+            Err(TrySendError::Full(_)) => Err(SnsError::Backpressure {
+                stream_id: self.stream_id,
+                shard: self.shard,
+                depth: self.ops.metrics().shard(self.shard).depth(),
+                capacity: self.queue_depth,
+            }),
             Err(TrySendError::Disconnected(_)) => Err(self.closed_err()),
         }
     }
@@ -860,9 +1192,9 @@ impl StreamSession {
         }
         loop {
             match self.rx.recv() {
-                Ok(SessionReply { body: ReplyBody::Receipt(r), .. }) => {
+                Ok(SessionReply { ticket, body: ReplyBody::Receipt(r) }) => {
                     self.unclaimed -= 1;
-                    return Some(r);
+                    return Some(self.stamp_receipt(ticket, r));
                 }
                 // Only pipelined receipts can be outstanding here.
                 Ok(_) => continue,
@@ -885,9 +1217,9 @@ impl StreamSession {
             return None;
         }
         match self.rx.try_recv() {
-            Ok(SessionReply { body: ReplyBody::Receipt(r), .. }) => {
+            Ok(SessionReply { ticket, body: ReplyBody::Receipt(r) }) => {
                 self.unclaimed -= 1;
-                Some(r)
+                Some(self.stamp_receipt(ticket, r))
             }
             Ok(_) => None,
             Err(TryRecvError::Empty) => None,
@@ -902,7 +1234,8 @@ impl StreamSession {
     /// still fires. The receipt's `updates` counts the events processed.
     pub fn advance_to(&mut self, t: u64) -> Result<BatchReceipt, SnsError> {
         let ticket = self.bump_ticket();
-        self.submit(Command::AdvanceTo { id: self.stream_id, token: self.token, ticket, t })?;
+        let cmd = Command::AdvanceTo { id: self.stream_id, token: self.token, ticket, t };
+        self.submit_timed(ticket, cmd)?;
         self.await_receipt(ticket)
     }
 
@@ -930,11 +1263,90 @@ impl StreamSession {
         }
     }
 
+    /// Re-drives this stream's quarantined batches after repair.
+    ///
+    /// Takes every dead letter pending for the stream (oldest first),
+    /// lets `repair` edit each in place (fix the poisoned tuples, tweak
+    /// nothing, …), lifts the quarantine, and replays the letters in
+    /// their original order through the normal prefill/ingest path.
+    /// Replaying the exact per-tuple sequence the engine would have seen
+    /// keeps the model bitwise-identical to a run that never faulted —
+    /// provided the repaired tuples match what the healthy run ingested.
+    ///
+    /// Returns the number of letters fully replayed. If a replayed batch
+    /// panics again, it (and the letters after it) land back in the DLQ
+    /// in order and the first error is returned; a typed rejection
+    /// instead requeues the unattempted letters verbatim at the front.
+    /// `Ok(0)` means nothing was pending.
+    pub fn replay_quarantined(
+        &mut self,
+        mut repair: impl FnMut(&mut PoolDeadLetter),
+    ) -> Result<usize, SnsError> {
+        let mut letters = self.ops.dlq().take(self.stream_id);
+        if letters.is_empty() {
+            return Ok(0);
+        }
+        for letter in &mut letters {
+            repair(letter);
+        }
+        // Lift the quarantine first; per-stream FIFO ordering makes the
+        // release visible to the worker before any batch replayed below.
+        let ticket = self.bump_ticket();
+        let release = Command::Release { id: self.stream_id, token: self.token, ticket };
+        if let Err(e) =
+            self.submit_timed(ticket, release).and_then(|()| self.await_receipt(ticket).map(drop))
+        {
+            self.ops.dlq().requeue_front(self.stream_id, letters);
+            return Err(e);
+        }
+        let mut replayed = 0usize;
+        let mut first_err: Option<SnsError> = None;
+        let mut i = 0usize;
+        while i < letters.len() {
+            let result = match letters[i].op {
+                QuarantinedOp::Prefill => self.prefill_batch(&letters[i].tuples),
+                QuarantinedOp::Ingest => self.ingest_batch(&letters[i].tuples),
+            };
+            match result {
+                Ok(_) => {
+                    replayed += 1;
+                    self.metrics.replayed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+                    if matches!(
+                        e.root_cause(),
+                        SnsError::EnginePanicked { .. } | SnsError::StreamQuarantined { .. }
+                    ) =>
+                {
+                    // The panicking batch re-quarantined itself on the
+                    // worker; keep pushing the remainder through so it
+                    // lands back in the DLQ behind it, still in order.
+                    first_err.get_or_insert(e);
+                }
+                Err(e) => {
+                    // Typed rejection: nothing was re-quarantined. This
+                    // letter and the unattempted remainder go back to
+                    // the front, verbatim.
+                    let rest = letters.split_off(i);
+                    self.ops.dlq().requeue_front(self.stream_id, rest);
+                    return Err(e);
+                }
+            }
+            i += 1;
+        }
+        match first_err {
+            None => Ok(replayed),
+            Some(e) => Err(e),
+        }
+    }
+
     /// Closes the stream: its engine is dropped once the worker drains
     /// the queued commands. Blocks only for queue space.
     pub fn close(mut self) {
         self.closed = true;
-        let _ = self.tx.send(Command::Close { id: self.stream_id, token: self.token });
+        if self.tx.send(Command::Close { id: self.stream_id, token: self.token }).is_ok() {
+            self.ops.metrics().shard(self.shard).queue_depth.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -953,7 +1365,9 @@ impl Drop for StreamSession {
         if !self.closed {
             // Best-effort: if the shard queue is full the slot lives
             // until the pool shuts down. `close(self)` is reliable.
-            let _ = self.tx.try_send(Command::Close { id: self.stream_id, token: self.token });
+            if self.tx.try_send(Command::Close { id: self.stream_id, token: self.token }).is_ok() {
+                self.ops.metrics().shard(self.shard).queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }

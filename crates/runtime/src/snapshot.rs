@@ -26,6 +26,7 @@ use sns_core::engine::{SnsEngine, SnsEngineState};
 use sns_error::{CodecFault, SnsError};
 
 pub use crate::anomaly::AnomalyState;
+pub use crate::chaos::ChaosState;
 
 /// Captured engine state, by engine family. Plain `Send + Clone` data;
 /// see the module docs for the fidelity contract.
@@ -37,6 +38,10 @@ pub enum EngineState {
     Baseline(Box<BaselineEngineState>),
     /// An anomaly-scoring decorator around another captured engine.
     Anomaly(Box<AnomalyState>),
+    /// A fault-injecting chaos decorator around another captured
+    /// engine. Captured with its wrapper so a quarantine rollback
+    /// restores the *decorated* engine (the fault plan survives).
+    Chaos(Box<ChaosState>),
 }
 
 /// State capture: freeze a live engine into an [`EngineState`].
@@ -95,6 +100,9 @@ impl EngineState {
             EngineState::Anomaly(state) => {
                 crate::anomaly::AnomalyCpd::from_state(*state).map(|e| Box::new(e) as _)
             }
+            EngineState::Chaos(state) => {
+                crate::chaos::ChaosCpd::from_state(*state).map(|e| Box::new(e) as _)
+            }
         }
     }
 
@@ -105,6 +113,7 @@ impl EngineState {
             EngineState::Sns(s) => s.kind().name().to_string(),
             EngineState::Baseline(s) => s.algo.name(),
             EngineState::Anomaly(s) => format!("Anomaly({})", s.inner.name()),
+            EngineState::Chaos(s) => format!("Chaos({})", s.inner.name()),
         }
     }
 
@@ -114,6 +123,7 @@ impl EngineState {
             EngineState::Sns(s) => s.updates_applied,
             EngineState::Baseline(s) => s.periods,
             EngineState::Anomaly(s) => s.inner.updates_applied(),
+            EngineState::Chaos(s) => s.inner.updates_applied(),
         }
     }
 
@@ -124,6 +134,7 @@ impl EngineState {
             EngineState::Sns(s) => s.clock(),
             EngineState::Baseline(s) => s.window.last_arrival.unwrap_or(0),
             EngineState::Anomaly(s) => s.inner.clock(),
+            EngineState::Chaos(s) => s.inner.clock(),
         }
     }
 
@@ -133,6 +144,7 @@ impl EngineState {
             EngineState::Sns(s) => s.updater.factors().dims(),
             EngineState::Baseline(s) => s.algo.kruskal().dims(),
             EngineState::Anomaly(s) => s.inner.dims(),
+            EngineState::Chaos(s) => s.inner.dims(),
         }
     }
 }

@@ -10,6 +10,7 @@
 //! pool's determinism contract and snapshot restoration rely on.
 
 use crate::anomaly::{AnomalyConfig, AnomalyCpd};
+use crate::chaos::{ChaosConfig, ChaosCpd};
 use crate::streaming::StreamingCpd;
 use sns_baselines::{AlsPeriodic, BaselineEngine, CpStream, NeCpd, OnlineScp, PeriodicCpd};
 use sns_core::config::{AlgorithmKind, Precision, SnsConfig};
@@ -93,6 +94,16 @@ pub enum EngineSpec {
         /// Detector threshold and retention.
         config: AnomalyConfig,
     },
+    /// A fault-injecting chaos decorator ([`ChaosCpd`]) around another
+    /// spec — deterministic poison panics and apply-path delays for
+    /// soak-testing quarantine and backpressure; construct with
+    /// [`EngineSpec::with_chaos`].
+    Chaos {
+        /// The engine being decorated.
+        inner: Box<EngineSpec>,
+        /// Poison sentinel and per-tuple delay.
+        config: ChaosConfig,
+    },
 }
 
 impl EngineSpec {
@@ -145,6 +156,13 @@ impl EngineSpec {
         EngineSpec::Anomaly { inner: Box::new(self), config }
     }
 
+    /// Wraps this spec in a fault-injecting chaos decorator: the built
+    /// engine becomes a [`ChaosCpd`] around whatever this spec
+    /// describes. Benign tuples are untouched (bitwise).
+    pub fn with_chaos(self, config: ChaosConfig) -> Self {
+        EngineSpec::Chaos { inner: Box::new(self), config }
+    }
+
     /// Pins the seed, overriding whatever the runtime would supply.
     pub fn with_seed(mut self, pinned: u64) -> Self {
         self.pin_seed(pinned);
@@ -156,7 +174,9 @@ impl EngineSpec {
             EngineSpec::Sns { seed, .. } | EngineSpec::Baseline { seed, .. } => {
                 *seed = Some(pinned);
             }
-            EngineSpec::Anomaly { inner, .. } => inner.pin_seed(pinned),
+            EngineSpec::Anomaly { inner, .. } | EngineSpec::Chaos { inner, .. } => {
+                inner.pin_seed(pinned)
+            }
         }
     }
 
@@ -166,7 +186,9 @@ impl EngineSpec {
             EngineSpec::Sns { seed, .. } | EngineSpec::Baseline { seed, .. } => {
                 seed.unwrap_or(fallback)
             }
-            EngineSpec::Anomaly { inner, .. } => inner.effective_seed(fallback),
+            EngineSpec::Anomaly { inner, .. } | EngineSpec::Chaos { inner, .. } => {
+                inner.effective_seed(fallback)
+            }
         }
     }
 
@@ -221,6 +243,9 @@ impl EngineSpec {
             }
             EngineSpec::Anomaly { inner, config } => {
                 Box::new(AnomalyCpd::new(inner.build(fallback_seed), *config))
+            }
+            EngineSpec::Chaos { inner, config } => {
+                Box::new(ChaosCpd::new(inner.build(fallback_seed), *config))
             }
         }
     }
@@ -290,6 +315,25 @@ mod tests {
         assert_eq!(up, uw);
         let e = wrapped.build(42);
         assert!(e.anomalies().is_some());
+    }
+
+    #[test]
+    fn chaos_spec_builds_a_transparent_decorator() {
+        let plain = EngineSpec::sns(
+            &[4, 3],
+            3,
+            10,
+            AlgorithmKind::PlusRnd,
+            &SnsConfig { rank: 2, theta: 2, ..Default::default() },
+        );
+        let wrapped = plain.clone().with_chaos(crate::chaos::ChaosConfig::default());
+        assert_eq!(wrapped.effective_seed(9), plain.effective_seed(9));
+        assert_eq!(wrapped.clone().with_seed(7).effective_seed(999), 7);
+        let (np, fp, up) = drive(plain.build(42));
+        let (nw, fw, uw) = drive(wrapped.build(42));
+        assert_eq!(nw, format!("Chaos({np})"));
+        assert_eq!(fp.to_bits(), fw.to_bits(), "benign tuples must pass through bitwise");
+        assert_eq!(up, uw);
     }
 
     #[test]

@@ -71,7 +71,12 @@ fn trace() -> Vec<StreamTuple> {
 }
 
 fn pool() -> EnginePool {
-    EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 64 })
+    EnginePool::new(PoolConfig {
+        shards: 3,
+        base_seed: BASE_SEED,
+        queue_depth: 64,
+        ..Default::default()
+    })
 }
 
 fn drive(sessions: &mut [StreamSession], tuples: &[StreamTuple], warm: bool) {

@@ -73,7 +73,12 @@ fn act_batched_serving() {
     let cuts: Vec<usize> =
         streams.iter().map(|s| s.partition_point(|t| t.time <= W as u64 * T)).collect();
 
-    let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: BASE_SEED, queue_depth: 256 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 4,
+        base_seed: BASE_SEED,
+        queue_depth: 256,
+        ..Default::default()
+    });
     println!("pool: {} worker shards, {} tenant streams", pool.shards(), ids.len());
     let mut sessions: Vec<StreamSession> =
         ids.iter().map(|&id| pool.open(id, tenant_spec(id)).expect("engine builds")).collect();
@@ -155,7 +160,12 @@ fn act_backpressure() {
         AlgorithmKind::Mat,
         &SnsConfig { rank: 5, ..Default::default() },
     );
-    let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: BASE_SEED, queue_depth: 4 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 1,
+        base_seed: BASE_SEED,
+        queue_depth: 4,
+        ..Default::default()
+    });
     let mut session = pool.open(0, slow_spec).expect("engine builds");
 
     let stream = tenant_stream(0);
@@ -163,10 +173,10 @@ fn act_backpressure() {
     for chunk in stream[..2_000].chunks(16) {
         match session.try_ingest_batch(chunk) {
             Ok(_ticket) => submitted += 1,
-            Err(SnsError::Backpressure { depth, .. }) => {
+            Err(SnsError::Backpressure { capacity, .. }) => {
                 // Typed, retryable: here we shed to the blocking path,
                 // which waits for queue space instead of buffering.
-                assert_eq!(depth, 4);
+                assert_eq!(capacity, 4);
                 shed += 1;
                 session.ingest_batch(chunk).expect("chronological stream");
             }
@@ -195,7 +205,12 @@ fn act_migration() {
     let spec = tenant_spec(2); // continuous engine: snapshot-capable
     let half = stream.len() / 2;
 
-    let pool = EnginePool::new(PoolConfig { shards: 4, base_seed: BASE_SEED, queue_depth: 256 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 4,
+        base_seed: BASE_SEED,
+        queue_depth: 256,
+        ..Default::default()
+    });
     let mut session = pool.open(2, spec.clone()).expect("engine builds");
     let home_shard = session.shard();
     for chunk in stream[..half].chunks(BATCH) {

@@ -18,6 +18,10 @@
 //!   multi-stream runtime,
 //! - [`codec`] — versioned binary serialization of engine snapshots and
 //!   the file-backed `CheckpointStore` (pool-wide crash recovery),
+//! - [`ops`] — the operability surface: in-process lifecycle event bus,
+//!   per-stream/per-shard metrics registry with latency histograms, and
+//!   the dead-letter quarantine that keeps a panicking engine's stream
+//!   alive (reachable from a pool via `EnginePool::ops`),
 //! - [`SnsError`] — the single typed error surface shared by all of the
 //!   above.
 //!
@@ -51,6 +55,7 @@ pub use sns_codec as codec;
 pub use sns_core as core;
 pub use sns_data as data;
 pub use sns_linalg as linalg;
+pub use sns_ops as ops;
 pub use sns_runtime as runtime;
 pub use sns_stream as stream;
 pub use sns_tensor as tensor;

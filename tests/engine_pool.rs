@@ -75,7 +75,12 @@ fn pooled_batched_streams_match_serial_execution_bitwise() {
     let ids: Vec<u64> = (0..6).collect();
     let serial: Vec<(String, f64, u64)> = ids.iter().map(|&id| run_serial(id)).collect();
 
-    let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 64 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 3,
+        base_seed: BASE_SEED,
+        queue_depth: 64,
+        ..Default::default()
+    });
     let mut sessions: Vec<StreamSession> =
         ids.iter().map(|&id| pool.open(id, tenant_spec(id)).unwrap()).collect();
     let streams: Vec<Vec<StreamTuple>> = ids.iter().map(|&id| tuples_for(id)).collect();
@@ -130,7 +135,12 @@ fn pooled_batched_streams_match_serial_execution_bitwise() {
 
 #[test]
 fn pool_serves_more_streams_than_shards() {
-    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 7, queue_depth: 32 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 2,
+        base_seed: 7,
+        queue_depth: 32,
+        ..Default::default()
+    });
     let ids: Vec<u64> = (100..116).collect();
     let mut sessions: Vec<StreamSession> =
         ids.iter().map(|&id| pool.open(id, tenant_spec(id)).unwrap()).collect();
@@ -192,7 +202,7 @@ proptest! {
         serial_marks.push((engine.fitness().to_bits(), engine.updates_applied()));
 
         // Pooled batched run, same checkpoints via `report()`.
-        let pool = EnginePool::new(PoolConfig { shards, base_seed: BASE_SEED, queue_depth: 16 });
+        let pool = EnginePool::new(PoolConfig { shards, base_seed: BASE_SEED, queue_depth: 16, ..Default::default() });
         let mut session = pool.open(id, spec).unwrap();
         let mut pooled_marks = Vec::new();
         let mut done = 0usize;
@@ -243,7 +253,7 @@ proptest! {
 
         // Migrated run: ingest to `cut`, snapshot, close, restore on an
         // explicit shard (of this pool or a brand-new one), continue.
-        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 16 });
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 16, ..Default::default() });
         let mut session = pool.open(id, spec).unwrap();
         session.ingest_batch(&tuples[..cut]).unwrap();
         let snapshot = session.snapshot().unwrap();
@@ -257,6 +267,7 @@ proptest! {
                 shards: 3,
                 base_seed: 0x0ddba11, // irrelevant: the state carries its own seed history
                 queue_depth: 16,
+                ..Default::default()
             });
             &other_pool
         } else {
@@ -293,7 +304,12 @@ fn open_is_not_stalled_by_a_saturated_unrelated_shard() {
         AlgorithmKind::Mat,
         &SnsConfig { rank: 16, ..Default::default() },
     );
-    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1, queue_depth: 1 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 2,
+        base_seed: 1,
+        queue_depth: 1,
+        ..Default::default()
+    });
     let slow_id = id_on_shard(&pool, 0);
     let mut slow = pool.open(slow_id, slow_spec).unwrap();
     let tuples: Vec<StreamTuple> = (0..1_800u64)
@@ -357,7 +373,7 @@ proptest! {
         stagger_us in 0u64..50,
     ) {
         let id = 0xace + case_seed;
-        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: case_seed, queue_depth: 8 });
+        let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: case_seed, queue_depth: 8, ..Default::default() });
         let tuples = tuples_for(id);
 
         // Seed a snapshot to restore from, then close the seeding session.
@@ -411,7 +427,12 @@ fn bounded_queue_applies_flow_control_without_deadlock() {
         AlgorithmKind::Mat, // full ALS sweep per event — slow on purpose
         &SnsConfig { rank: 3, ..Default::default() },
     );
-    let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 1, queue_depth: 2 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 1,
+        base_seed: 1,
+        queue_depth: 2,
+        ..Default::default()
+    });
     let mut session = pool.open(0, slow_spec).unwrap();
     let tuples = tuples_for(0);
 
@@ -422,7 +443,7 @@ fn bounded_queue_applies_flow_control_without_deadlock() {
         for chunk in tuples[..600].chunks(8) {
             match session.try_ingest_batch(chunk) {
                 Ok(_) => {}
-                Err(SnsError::Backpressure { depth: 2, .. }) => {
+                Err(SnsError::Backpressure { capacity: 2, .. }) => {
                     backpressured += 1;
                     // Blocking path: waits for space instead of buffering.
                     accepted += session.ingest_batch(chunk).unwrap().accepted;

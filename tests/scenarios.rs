@@ -83,7 +83,12 @@ fn csv_replay_through_pool_matches_serial_ingest_all_bitwise() {
     let tuples = read_stream(&csv[..]).unwrap();
     assert_eq!(tuples, original, "CSV round trip must be lossless");
 
-    let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 8 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 3,
+        base_seed: BASE_SEED,
+        queue_depth: 8,
+        ..Default::default()
+    });
     for (id, spec) in [(2u64, sns_spec()), (3u64, baseline_spec())] {
         let (serial_fitness, serial_updates) = run_serial(spec.clone(), id, &original);
         let mut session = pool.open(id, spec).unwrap();
@@ -152,7 +157,12 @@ fn pooled_decorated_stream_reports_anomalies_and_preserves_factors() {
         inject_anomalies(&clean, &BASE_DIMS, 5, 8.0, W as u64 * T + 1, 6 * W as u64 * T, 13);
     assert_eq!(injected.len(), 5);
 
-    let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: BASE_SEED, queue_depth: 8 });
+    let pool = EnginePool::new(PoolConfig {
+        shards: 2,
+        base_seed: BASE_SEED,
+        queue_depth: 8,
+        ..Default::default()
+    });
     // Identical engine + identical derived seed, with and without the
     // decorator (same stream id ⇒ same seed; run sequentially).
     let mut plain = pool.open(7, sns_spec()).unwrap();

@@ -52,11 +52,17 @@
 //! `recover` subcommand flags:
 //! - `--shards <n>`     pool worker shards (default 4);
 //! - `--smoke`          quarter-length trace (CI-sized);
+//! - `--wal`            WAL mode: per-stream journal + background
+//!   checkpoint daemon during the doomed run; recovery replays the
+//!   bounded journal tail on top of the newest delta checkpoint (see
+//!   `docs/DURABILITY.md`);
 //! - `--dir <path>`     checkpoint directory (default
 //!   `recover-checkpoint`; the manifest is left behind for artifacts);
-//! - `--out <path>`     JSON output path (default `RECOVER_pr5.json`).
+//! - `--out <path>`     JSON output path (default `RECOVER_pr5.json`,
+//!   or `RECOVER_pr8.json` with `--wal`).
 //!   Exits non-zero unless every recovered stream is **byte-identical**
-//!   to the uninterrupted reference run.
+//!   to the uninterrupted reference run (and, with `--wal`, the replay
+//!   was bounded: more than zero units yet fewer than the full journal).
 //!
 //! All JSON schemas are documented in the README.
 
@@ -494,12 +500,19 @@ fn run_soak_command(args: &[String]) {
 /// finish, and assert byte-identity with an uninterrupted run.
 fn run_recover_command(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
+    let wal = args.iter().any(|a| a == "--wal");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "RECOVER_pr5.json".to_string());
-    let mut cfg = RecoverConfig::default();
+        .unwrap_or_else(|| {
+            if wal {
+                "RECOVER_pr8.json".to_string()
+            } else {
+                "RECOVER_pr5.json".to_string()
+            }
+        });
+    let mut cfg = RecoverConfig { wal, ..Default::default() };
     if let Some(shards) = args.iter().position(|a| a == "--shards").and_then(|i| args.get(i + 1)) {
         if let Ok(n) = shards.parse::<usize>() {
             cfg.shards = n.max(1);
@@ -512,11 +525,12 @@ fn run_recover_command(args: &[String]) {
         cfg.events /= 4;
     }
     println!(
-        "recover: {} events, crash at midpoint, {} shards, checkpoint dir {} ({} mode)",
+        "recover: {} events, crash at midpoint, {} shards, checkpoint dir {} ({} mode{})",
         cfg.events,
         cfg.shards,
         cfg.dir.display(),
         if smoke { "smoke" } else { "full" },
+        if cfg.wal { ", wal" } else { "" },
     );
     let report = match run_recover(&cfg) {
         Ok(r) => r,
@@ -531,6 +545,13 @@ fn run_recover_command(args: &[String]) {
     println!("wrote {out_path}");
     if !report.all_identical() {
         eprintln!("RECOVERY DIVERGED: restored fleet is not byte-identical");
+        std::process::exit(1);
+    }
+    if !report.replay_bounded() {
+        eprintln!(
+            "WAL REPLAY UNBOUNDED: {} units replayed of {} journaled",
+            report.replayed, report.replay_bound
+        );
         std::process::exit(1);
     }
 }

@@ -117,6 +117,9 @@ impl EventCounts {
                 PoolEvent::TupleQuarantined { .. } => self.quarantines += 1,
                 PoolEvent::BackpressureOnset { .. } => self.onsets += 1,
                 PoolEvent::BackpressureRelief { .. } => self.reliefs += 1,
+                // Journal-gated; the soak pool attaches no journal, so
+                // these never fire here.
+                PoolEvent::BatchApplied { .. } => {}
             },
         }
     }
@@ -350,7 +353,8 @@ fn serial_reference_bytes(
     engine.prefill_all(&repaired[..cut])?;
     engine.warm_start(&als_opts());
     engine.ingest_all(&repaired[cut..])?;
-    let snapshot = EngineSnapshot { stream_id: id, spec, seed, state: engine.snapshot()? };
+    let snapshot =
+        EngineSnapshot { stream_id: id, spec, seed, wal_seq: 0, state: engine.snapshot()? };
     Ok(sns_codec::to_bytes(&snapshot))
 }
 

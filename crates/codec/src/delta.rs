@@ -1,0 +1,326 @@
+//! Byte-level delta encoding between snapshot STATE payloads.
+//!
+//! A continuously maintained engine mutates only a sliver of its state
+//! between checkpoints: the window tensor shifts, a few factor rows
+//! move, the clocks advance — but the bulk of the factor matrices and
+//! fiber indexes is byte-identical to the previous capture. Delta
+//! checkpoints exploit that: instead of re-writing the full STATE
+//! section, a v2 snapshot may carry a DELTA section that reconstructs
+//! the new STATE payload from the previous (base) snapshot's.
+//!
+//! The encoding is a classic copy/insert program over the base bytes:
+//!
+//! - [`DeltaOp::Copy`] — take `len` bytes from the base at `offset`;
+//! - [`DeltaOp::Insert`] — take the literal bytes that follow.
+//!
+//! [`encode`] finds copies with a Rabin–Karp rolling hash over
+//! [`BLOCK`]-byte windows of the base (indexed at block stride), then
+//! extends every verified match greedily in both byte directions, so
+//! runs much longer than a block cost one op. The encoder guarantees
+//! `apply(base, &encode(base, target)) == target` for **every** input
+//! pair — in the worst case (nothing shared) the program degrades to a
+//! single `Insert` of the whole target. [`apply`] is pure and
+//! bounds-checked: a malformed program is a typed
+//! [`SnsError::Codec`]/[`CodecFault::Invalid`](sns_error::CodecFault),
+//! never a panic. Whether a delta is *worth storing* is the caller's
+//! call (the store keeps deltas only when they undercut the full
+//! encoding by 2×; see
+//! [`CheckpointStore::save_incremental`](crate::store::CheckpointStore::save_incremental)).
+
+use crate::bytes::{Reader, Writer};
+use sns_error::SnsError;
+
+/// Rolling-hash window (and base index stride) in bytes.
+pub const BLOCK: usize = 64;
+
+const OP_COPY: u8 = 0;
+const OP_INSERT: u8 = 1;
+
+/// One instruction of a delta program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Copy `len` bytes from the base, starting at `offset`.
+    Copy {
+        /// Byte offset into the base payload.
+        offset: u64,
+        /// Bytes to copy.
+        len: u64,
+    },
+    /// Append these literal bytes.
+    Insert(Vec<u8>),
+}
+
+const HASH_BASE: u64 = 0x0000_0100_0000_01b3; // FNV prime as the polynomial base
+
+fn hash_block(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0u64, |h, &b| h.wrapping_mul(HASH_BASE).wrapping_add(u64::from(b)))
+}
+
+/// `HASH_BASE^(BLOCK-1)`, the coefficient of the byte that leaves the
+/// window on each roll.
+fn out_coefficient() -> u64 {
+    let mut pow = 1u64;
+    for _ in 0..BLOCK - 1 {
+        pow = pow.wrapping_mul(HASH_BASE);
+    }
+    pow
+}
+
+/// Computes a copy/insert program that rewrites `base` into `target`.
+/// Infallible: with no shared content the program is one big insert.
+pub fn encode(base: &[u8], target: &[u8]) -> Vec<DeltaOp> {
+    let mut ops: Vec<DeltaOp> = Vec::new();
+    let mut pending = Vec::new(); // literal bytes awaiting the next op boundary
+    if base.len() >= BLOCK && target.len() >= BLOCK {
+        // Index the base at block stride: hash -> offsets (all of them;
+        // repeated blocks are common in zeroed factor regions and the
+        // verify step picks whichever extends furthest backward).
+        let mut index: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for off in (0..=base.len() - BLOCK).step_by(BLOCK) {
+            index.entry(hash_block(&base[off..off + BLOCK])).or_default().push(off);
+        }
+        let out_coef = out_coefficient();
+        let mut i = 0usize;
+        let mut rolling = hash_block(&target[0..BLOCK]);
+        let mut rolled_to = 0usize; // `rolling` covers target[rolled_to..rolled_to+BLOCK]
+        while i + BLOCK <= target.len() {
+            if rolled_to < i {
+                // Re-seat the window after a copy jumped `i` forward.
+                rolling = hash_block(&target[i..i + BLOCK]);
+                rolled_to = i;
+            }
+            let candidates = index.get(&rolling).map(Vec::as_slice).unwrap_or(&[]);
+            let mut best: Option<(usize, usize, usize)> = None; // (base_start, tgt_start, len)
+            for &cand in candidates {
+                if base[cand..cand + BLOCK] != target[i..i + BLOCK] {
+                    continue; // hash collision
+                }
+                // Extend backward into the pending literals …
+                let back = base[..cand]
+                    .iter()
+                    .rev()
+                    .zip(target[..i].iter().rev().take(pending.len()))
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                // … and forward past the block.
+                let fwd = base[cand + BLOCK..]
+                    .iter()
+                    .zip(target[i + BLOCK..].iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                let len = back + BLOCK + fwd;
+                if best.is_none_or(|(_, _, l)| len > l) {
+                    best = Some((cand - back, i - back, len));
+                }
+            }
+            if let Some((base_start, tgt_start, len)) = best {
+                pending.truncate(pending.len() - (i - tgt_start));
+                if !pending.is_empty() {
+                    ops.push(DeltaOp::Insert(std::mem::take(&mut pending)));
+                }
+                ops.push(DeltaOp::Copy { offset: base_start as u64, len: len as u64 });
+                i = tgt_start + len;
+                continue;
+            }
+            pending.push(target[i]);
+            if i + BLOCK < target.len() {
+                rolling = rolling
+                    .wrapping_sub(u64::from(target[i]).wrapping_mul(out_coef))
+                    .wrapping_mul(HASH_BASE)
+                    .wrapping_add(u64::from(target[i + BLOCK]));
+                rolled_to = i + 1;
+            }
+            i += 1;
+        }
+        pending.extend_from_slice(&target[i..]);
+    } else {
+        pending.extend_from_slice(target);
+    }
+    if !pending.is_empty() {
+        ops.push(DeltaOp::Insert(pending));
+    }
+    ops
+}
+
+/// Replays a delta program against `base`, producing the target bytes.
+///
+/// # Errors
+/// [`SnsError::Codec`] (`Invalid`) if a copy reaches outside the base
+/// or the reconstruction would exceed `max_len` bytes (malformed or
+/// hostile programs must not balloon memory).
+pub fn apply(base: &[u8], ops: &[DeltaOp], max_len: usize) -> Result<Vec<u8>, SnsError> {
+    let invalid = |detail: String| SnsError::Codec {
+        fault: sns_error::CodecFault::Invalid,
+        offset: 0,
+        detail,
+    };
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            DeltaOp::Copy { offset, len } => {
+                let (offset, len) = (*offset as usize, *len as usize);
+                let end =
+                    offset.checked_add(len).filter(|&e| e <= base.len()).ok_or_else(|| {
+                        invalid(format!(
+                            "delta copy {offset}+{len} outside base of {} bytes",
+                            base.len()
+                        ))
+                    })?;
+                out.extend_from_slice(&base[offset..end]);
+            }
+            DeltaOp::Insert(bytes) => out.extend_from_slice(bytes),
+        }
+        if out.len() > max_len {
+            return Err(invalid(format!("delta output exceeds declared target length {max_len}")));
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes a delta program (op count, then tagged ops).
+pub fn put_ops(w: &mut Writer, ops: &[DeltaOp]) {
+    w.u64(ops.len() as u64);
+    for op in ops {
+        match op {
+            DeltaOp::Copy { offset, len } => {
+                w.u8(OP_COPY);
+                w.u64(*offset);
+                w.u64(*len);
+            }
+            DeltaOp::Insert(bytes) => {
+                w.u8(OP_INSERT);
+                w.u64(bytes.len() as u64);
+                w.bytes(bytes);
+            }
+        }
+    }
+}
+
+/// Deserializes a delta program.
+///
+/// # Errors
+/// [`SnsError::Codec`] on truncation or an unknown op tag.
+pub fn get_ops(r: &mut Reader) -> Result<Vec<DeltaOp>, SnsError> {
+    let count = r.len(1, "delta op count")?;
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        match r.u8("delta op tag")? {
+            OP_COPY => {
+                let offset = r.u64("delta copy offset")?;
+                let len = r.u64("delta copy len")?;
+                ops.push(DeltaOp::Copy { offset, len });
+            }
+            OP_INSERT => {
+                let len = r.len(1, "delta insert len")?;
+                ops.push(DeltaOp::Insert(r.bytes(len, "delta insert bytes")?.to_vec()));
+            }
+            tag => return Err(r.invalid(format!("unknown delta op tag {tag}"))),
+        }
+    }
+    Ok(ops)
+}
+
+/// Serialized size of a program without materializing it.
+pub fn encoded_len(ops: &[DeltaOp]) -> usize {
+    8 + ops
+        .iter()
+        .map(|op| match op {
+            DeltaOp::Copy { .. } => 1 + 16,
+            DeltaOp::Insert(b) => 1 + 8 + b.len(),
+        })
+        .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(base: &[u8], target: &[u8]) -> Vec<DeltaOp> {
+        let ops = encode(base, target);
+        assert_eq!(apply(base, &ops, target.len()).unwrap(), target, "reconstruction differs");
+        let mut w = Writer::new();
+        put_ops(&mut w, &ops);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = get_ops(&mut r).unwrap();
+        r.expect_end("ops").unwrap();
+        assert_eq!(decoded, ops);
+        assert_eq!(encoded_len(&ops), bytes.len());
+        ops
+    }
+
+    #[test]
+    fn identical_inputs_become_one_copy() {
+        let base: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let ops = round_trip(&base, &base);
+        assert_eq!(ops, vec![DeltaOp::Copy { offset: 0, len: base.len() as u64 }]);
+    }
+
+    #[test]
+    fn small_edit_in_a_large_payload_stays_small() {
+        let base: Vec<u8> =
+            (0..20_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let mut target = base.clone();
+        target[7000] ^= 0xff;
+        target.splice(12_000..12_000, [1, 2, 3]);
+        let ops = round_trip(&base, &target);
+        assert!(
+            encoded_len(&ops) < base.len() / 10,
+            "3-byte insert + 1-byte flip encoded as {} bytes",
+            encoded_len(&ops)
+        );
+    }
+
+    #[test]
+    fn disjoint_inputs_degrade_to_one_insert() {
+        let base = vec![0u8; 500];
+        let target = vec![0xabu8; 500];
+        // All-zero base blocks do match nothing in an all-0xab target.
+        let ops = round_trip(&base, &target);
+        assert!(ops.iter().all(|op| matches!(op, DeltaOp::Insert(_))));
+    }
+
+    #[test]
+    fn short_inputs_below_one_block_round_trip() {
+        round_trip(b"tiny", b"other");
+        round_trip(b"", b"nonempty");
+        round_trip(b"nonempty", b"");
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_copies_and_oversized_output() {
+        let base = vec![7u8; 10];
+        let oob = [DeltaOp::Copy { offset: 8, len: 8 }];
+        assert!(matches!(apply(&base, &oob, 100), Err(SnsError::Codec { .. })));
+        let overflow = [DeltaOp::Copy { offset: u64::MAX - 2, len: 8 }];
+        assert!(matches!(apply(&base, &overflow, 100), Err(SnsError::Codec { .. })));
+        let huge = vec![DeltaOp::Insert(vec![0u8; 64])];
+        assert!(matches!(apply(&base, &huge, 10), Err(SnsError::Codec { .. })));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn encode_apply_is_identity_on_arbitrary_pairs(
+            base in proptest::collection::vec(0u8..=255, 0..600),
+            target in proptest::collection::vec(0u8..=255, 0..600),
+        ) {
+            let ops = encode(&base, &target);
+            proptest::prop_assert_eq!(apply(&base, &ops, target.len()).unwrap(), target);
+        }
+
+        #[test]
+        fn encode_apply_is_identity_on_mutated_copies(
+            base in proptest::collection::vec(0u8..=255, 200..800),
+            edits in proptest::collection::vec((0usize..usize::MAX, 0u8..=255), 0..10),
+        ) {
+            let mut target = base.clone();
+            for (at, v) in edits {
+                let i = at % target.len();
+                target[i] = v;
+            }
+            let ops = encode(&base, &target);
+            proptest::prop_assert_eq!(apply(&base, &ops, target.len()).unwrap(), target);
+        }
+    }
+}

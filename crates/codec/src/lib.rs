@@ -1,9 +1,11 @@
 //! # sns-codec
 //!
 //! Durable, portable engine state: a self-describing **versioned binary
-//! format** for [`EngineSnapshot`]s plus a file-backed
-//! [`CheckpointStore`](store::CheckpointStore) for pool-wide
-//! checkpointing and crash recovery.
+//! format** for [`EngineSnapshot`]s, a file-backed
+//! [`CheckpointStore`](store::CheckpointStore) with full **and delta**
+//! checkpoints, a per-stream [write-ahead log](wal) of accepted
+//! operations, and a [background checkpoint daemon](daemon) that ties
+//! the three together.
 //!
 //! The model state of a continuously maintained CP decomposition *is*
 //! the product: losing it means re-prefilling `W·T` periods of stream
@@ -12,23 +14,36 @@
 //! [`EngineState`](sns_runtime::EngineState) capture into bytes that can
 //! cross processes, machines, and restarts — and back, **bitwise**: a
 //! snapshot decoded from disk continues exactly the stream the captured
-//! engine would have produced.
+//! engine would have produced. The WAL closes the gap *between*
+//! checkpoints: recovery is "restore the newest checkpoint, replay the
+//! bounded journal tail" (see [`wal::recover_pool_wal`]).
 //!
-//! ## Format
+//! ## Envelope format (v2)
 //!
-//! Little-endian throughout; floats travel by bit pattern. The envelope:
+//! Little-endian throughout; floats travel by bit pattern:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic "SNSC"
-//! 4       2     schema version (u16, currently 1)
+//! 4       2     schema version (u16, currently 2)
 //! 6       1     section count (3)
 //! 7       …     sections: tag u8 | length u64 | payload
-//!               tag 1 META  : stream_id u64 | seed u64
+//!               tag 1 META  : stream_id u64 | seed u64 | wal_seq u64
 //!               tag 2 SPEC  : EngineSpec (see wire module)
-//!               tag 3 STATE : EngineState (see wire module)
+//!               tag 3 STATE : EngineState (see wire module), or
+//!               tag 4 DELTA : base_crc u64 | state_len u64 | state_crc u64
+//!                             | delta program rebuilding STATE from the
+//!                             base snapshot's STATE payload (see delta)
 //! end−8   8     FNV-1a 64 checksum of every preceding byte
 //! ```
+//!
+//! A snapshot carries exactly one of STATE (self-contained, "full") or
+//! DELTA ("delta", decodable only next to its base via
+//! [`from_bytes_with_base`]). Version 1 — identical except that META
+//! has no `wal_seq` and DELTA does not exist — is still read by
+//! [`from_bytes`] (`wal_seq` decodes as 0) and written by
+//! [`to_bytes_v1`] for fixtures and downgrade paths. The normative
+//! byte-level specification lives in `docs/DURABILITY.md`.
 //!
 //! Section lengths let a reader skip or validate sections without
 //! understanding their contents; unknown *trailing* sections are
@@ -41,16 +56,24 @@
 //! ## Schema-version policy
 //!
 //! Any change to the byte layout — a new field, a reordered field, a
-//! different enum tag — must bump [`SCHEMA_VERSION`]. Old readers then
-//! fail with [`CodecFault::UnsupportedVersion`](sns_error::CodecFault)
-//! instead of misparsing. The checked-in golden fixture
-//! (`tests/fixtures/`) makes silent drift a CI failure.
+//! different enum tag — must bump [`SCHEMA_VERSION`]. Readers keep
+//! decoding **every** prior version (this build reads v1 and v2); a
+//! version this build does not know fails with
+//! [`CodecFault::UnsupportedVersion`](sns_error::CodecFault)
+//! instead of misparsing. The checked-in golden fixtures
+//! (`tests/fixtures/`) pin both the current and the v1 wire format, so
+//! silent drift in either is a CI failure.
 //!
 //! No serde: the wire forms are hand-rolled like the rest of the
 //! workspace's `vendor/` shims, keeping the dependency set closed.
 
+#![deny(missing_docs)]
+
 pub mod bytes;
+pub mod daemon;
+pub mod delta;
 pub mod store;
+pub mod wal;
 pub mod wire;
 
 use bytes::{fnv1a, Reader, Writer};
@@ -61,11 +84,12 @@ use sns_runtime::EngineSnapshot;
 pub const MAGIC: [u8; 4] = *b"SNSC";
 
 /// Current schema version. Bump on **any** byte-layout change.
-pub const SCHEMA_VERSION: u16 = 1;
+pub const SCHEMA_VERSION: u16 = 2;
 
 const SECTION_META: u8 = 1;
 const SECTION_SPEC: u8 = 2;
 const SECTION_STATE: u8 = 3;
+const SECTION_DELTA: u8 = 4;
 
 fn put_section(w: &mut Writer, tag: u8, body: impl FnOnce(&mut Writer)) {
     w.u8(tag);
@@ -77,11 +101,47 @@ fn put_section(w: &mut Writer, tag: u8, body: impl FnOnce(&mut Writer)) {
     w.patch_u64(len_at, len);
 }
 
-/// Serializes a snapshot to the versioned binary format.
+/// Serializes a snapshot to the current (v2) format, self-contained.
 pub fn to_bytes(snapshot: &EngineSnapshot) -> Vec<u8> {
     let mut w = Writer::new();
     w.bytes(&MAGIC);
     w.u16(SCHEMA_VERSION);
+    w.u8(3);
+    put_section(&mut w, SECTION_META, |w| {
+        w.u64(snapshot.stream_id);
+        w.u64(snapshot.seed);
+        w.u64(snapshot.wal_seq);
+    });
+    put_section(&mut w, SECTION_SPEC, |w| wire::put_spec(w, &snapshot.spec));
+    put_section(&mut w, SECTION_STATE, |w| wire::put_engine_state(w, &snapshot.state));
+    let checksum = fnv1a(w.as_slice());
+    w.u64(checksum);
+    w.into_bytes()
+}
+
+/// Serializes a snapshot to the **legacy v1** format (no `wal_seq`, no
+/// delta support) — for fixtures and for handing state to a v1-only
+/// reader.
+///
+/// # Errors
+/// [`SnsError::Codec`] (`Invalid`) if `snapshot.wal_seq != 0`: v1 has
+/// no field for it, and silently dropping a live WAL cursor would break
+/// the recovery contract.
+pub fn to_bytes_v1(snapshot: &EngineSnapshot) -> Result<Vec<u8>, SnsError> {
+    if snapshot.wal_seq != 0 {
+        return Err(SnsError::Codec {
+            fault: CodecFault::Invalid,
+            offset: 0,
+            detail: format!(
+                "wal_seq {} is not representable in schema v1; checkpoint+WAL streams \
+                 must stay on v2",
+                snapshot.wal_seq
+            ),
+        });
+    }
+    let mut w = Writer::new();
+    w.bytes(&MAGIC);
+    w.u16(1);
     w.u8(3);
     put_section(&mut w, SECTION_META, |w| {
         w.u64(snapshot.stream_id);
@@ -91,84 +151,244 @@ pub fn to_bytes(snapshot: &EngineSnapshot) -> Vec<u8> {
     put_section(&mut w, SECTION_STATE, |w| wire::put_engine_state(w, &snapshot.state));
     let checksum = fnv1a(w.as_slice());
     w.u64(checksum);
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
-/// Deserializes a snapshot, validating magic, version, section framing,
-/// and checksum before touching any payload.
+/// Serializes a snapshot as a **delta** against `base_bytes` (a
+/// previously encoded *full* snapshot of the same stream): the STATE
+/// payload is replaced by a copy/insert program over the base's. The
+/// result decodes only via [`from_bytes_with_base`] with the identical
+/// base bytes.
+///
+/// Always succeeds in producing *a* delta; whether it is smaller than
+/// [`to_bytes`] is for the caller to compare (see
+/// [`store::CheckpointStore::save_incremental`]).
+///
+/// # Errors
+/// [`SnsError::Codec`] if `base_bytes` is not a decodable full
+/// snapshot.
+pub fn to_bytes_delta(snapshot: &EngineSnapshot, base_bytes: &[u8]) -> Result<Vec<u8>, SnsError> {
+    let base = Envelope::parse(base_bytes)?;
+    let base_state = base.require_full_state("delta base")?;
+    let mut sw = Writer::new();
+    wire::put_engine_state(&mut sw, &snapshot.state);
+    let target = sw.into_bytes();
+    let ops = delta::encode(base_state, &target);
+    let mut w = Writer::new();
+    w.bytes(&MAGIC);
+    w.u16(SCHEMA_VERSION);
+    w.u8(3);
+    put_section(&mut w, SECTION_META, |w| {
+        w.u64(snapshot.stream_id);
+        w.u64(snapshot.seed);
+        w.u64(snapshot.wal_seq);
+    });
+    put_section(&mut w, SECTION_SPEC, |w| wire::put_spec(w, &snapshot.spec));
+    put_section(&mut w, SECTION_DELTA, |w| {
+        w.u64(fnv1a(base_bytes));
+        w.u64(target.len() as u64);
+        w.u64(fnv1a(&target));
+        delta::put_ops(w, &ops);
+    });
+    let checksum = fnv1a(w.as_slice());
+    w.u64(checksum);
+    Ok(w.into_bytes())
+}
+
+/// A validated envelope: magic, version, section framing, and trailing
+/// checksum already verified; payloads not yet parsed.
+struct Envelope<'a> {
+    version: u16,
+    spans: Vec<(u8, usize, usize)>,
+    bytes: &'a [u8],
+}
+
+impl<'a> Envelope<'a> {
+    fn parse(bytes: &'a [u8]) -> Result<Self, SnsError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.bytes(4, "magic")?;
+        if magic != MAGIC {
+            return Err(SnsError::Codec {
+                fault: CodecFault::BadMagic,
+                offset: 0,
+                detail: format!("got {magic:02x?}"),
+            });
+        }
+        let version = r.u16("version")?;
+        if !(1..=SCHEMA_VERSION).contains(&version) {
+            return Err(SnsError::Codec {
+                fault: CodecFault::UnsupportedVersion,
+                offset: 4,
+                detail: format!("snapshot v{version}, this build reads v1..=v{SCHEMA_VERSION}"),
+            });
+        }
+        let sections = r.u8("section count")?;
+        if sections != 3 {
+            return Err(r.invalid(format!("expected 3 sections, header says {sections}")));
+        }
+        // Walk the section frames to find where the checksum must sit,
+        // then verify it before parsing any payload.
+        let mut spans: Vec<(u8, usize, usize)> = Vec::with_capacity(sections as usize);
+        for _ in 0..sections {
+            let tag = r.u8("section tag")?;
+            let len = r.usize("section length")?;
+            let start = r.pos();
+            r.bytes(len, "section payload")?;
+            spans.push((tag, start, len));
+        }
+        let body_end = r.pos();
+        let stored = r.u64("checksum")?;
+        r.expect_end("snapshot")?;
+        let computed = fnv1a(&bytes[..body_end]);
+        if stored != computed {
+            return Err(SnsError::Codec {
+                fault: CodecFault::Checksum,
+                offset: body_end,
+                detail: format!("stored {stored:#018x}, computed {computed:#018x}"),
+            });
+        }
+        Ok(Envelope { version, spans, bytes })
+    }
+
+    fn payload(&self, want: u8) -> Option<&'a [u8]> {
+        self.spans
+            .iter()
+            .find(|&&(tag, _, _)| tag == want)
+            .map(|&(_, start, len)| &self.bytes[start..start + len])
+    }
+
+    fn section(&self, want: u8, name: &str) -> Result<Reader<'a>, SnsError> {
+        self.payload(want).map(Reader::new).ok_or_else(|| SnsError::Codec {
+            fault: CodecFault::Invalid,
+            offset: 0,
+            detail: format!("missing {name} section"),
+        })
+    }
+
+    /// META fields; `wal_seq` decodes as 0 from v1 envelopes.
+    fn meta(&self) -> Result<(u64, u64, u64), SnsError> {
+        let mut meta = self.section(SECTION_META, "META")?;
+        let stream_id = meta.u64("stream_id")?;
+        let seed = meta.u64("seed")?;
+        let wal_seq = if self.version >= 2 { meta.u64("wal_seq")? } else { 0 };
+        meta.expect_end("META")?;
+        Ok((stream_id, seed, wal_seq))
+    }
+
+    fn spec(&self) -> Result<sns_runtime::EngineSpec, SnsError> {
+        let mut spec_r = self.section(SECTION_SPEC, "SPEC")?;
+        let spec = wire::get_spec(&mut spec_r)?;
+        spec_r.expect_end("SPEC")?;
+        Ok(spec)
+    }
+
+    /// The raw STATE payload of a *full* snapshot; typed `Invalid` if
+    /// this envelope is a delta (`what` names the role for the error).
+    fn require_full_state(&self, what: &str) -> Result<&'a [u8], SnsError> {
+        if self.payload(SECTION_DELTA).is_some() {
+            return Err(SnsError::Codec {
+                fault: CodecFault::Invalid,
+                offset: 0,
+                detail: format!("{what} must be a full snapshot, got a delta"),
+            });
+        }
+        self.payload(SECTION_STATE).ok_or_else(|| SnsError::Codec {
+            fault: CodecFault::Invalid,
+            offset: 0,
+            detail: format!("{what}: missing STATE section"),
+        })
+    }
+}
+
+fn state_from_payload(payload: &[u8]) -> Result<sns_runtime::EngineState, SnsError> {
+    let mut state_r = Reader::new(payload);
+    let state = wire::get_engine_state(&mut state_r)?;
+    state_r.expect_end("STATE")?;
+    Ok(state)
+}
+
+/// Deserializes a self-contained (v1 or v2 full) snapshot, validating
+/// magic, version, section framing, and checksum before touching any
+/// payload.
 ///
 /// # Errors
 /// [`SnsError::Codec`] with a precise [`CodecFault`]:
 /// `Truncated` (bytes end early), `BadMagic`, `UnsupportedVersion`,
 /// `Checksum` (content corrupted), or `Invalid` (well-framed bytes that
-/// describe an inconsistent structure).
+/// describe an inconsistent structure — including a **delta** snapshot,
+/// which needs its base: use [`from_bytes_with_base`]).
 pub fn from_bytes(bytes: &[u8]) -> Result<EngineSnapshot, SnsError> {
-    let mut r = Reader::new(bytes);
-    let magic = r.bytes(4, "magic")?;
-    if magic != MAGIC {
+    let env = Envelope::parse(bytes)?;
+    let (stream_id, seed, wal_seq) = env.meta()?;
+    let spec = env.spec()?;
+    if env.payload(SECTION_DELTA).is_some() {
         return Err(SnsError::Codec {
-            fault: CodecFault::BadMagic,
+            fault: CodecFault::Invalid,
             offset: 0,
-            detail: format!("got {magic:02x?}"),
+            detail: format!(
+                "stream {stream_id} snapshot is a delta; decode it with \
+                 from_bytes_with_base against its base snapshot"
+            ),
         });
     }
-    let version = r.u16("version")?;
-    if version != SCHEMA_VERSION {
+    let state = state_from_payload(env.require_full_state("snapshot")?)?;
+    Ok(EngineSnapshot { stream_id, spec, seed, wal_seq, state })
+}
+
+/// Deserializes a snapshot next to its base: full snapshots decode as
+/// with [`from_bytes`] (the base is ignored); a **delta** snapshot is
+/// reconstructed by replaying its copy/insert program over the base's
+/// STATE payload. The base must be byte-identical to the one the delta
+/// was encoded against (checked by checksum) and itself full.
+///
+/// # Errors
+/// Everything [`from_bytes`] reports, plus `Invalid` for a wrong or
+/// non-full base and `Checksum` if the reconstructed state does not
+/// match the length/checksum the delta recorded.
+pub fn from_bytes_with_base(bytes: &[u8], base_bytes: &[u8]) -> Result<EngineSnapshot, SnsError> {
+    let env = Envelope::parse(bytes)?;
+    if env.payload(SECTION_DELTA).is_none() {
+        return from_bytes(bytes);
+    }
+    let (stream_id, seed, wal_seq) = env.meta()?;
+    let spec = env.spec()?;
+    let mut d = env.section(SECTION_DELTA, "DELTA")?;
+    let base_crc = d.u64("delta base crc")?;
+    // Plain u64, not a `len()` guard: this is the *reconstructed*
+    // state's size, legitimately larger than the delta payload.
+    // `delta::apply` caps its output at this value.
+    let state_len = d.u64("delta state length")? as usize;
+    let state_crc = d.u64("delta state crc")?;
+    let ops = delta::get_ops(&mut d)?;
+    d.expect_end("DELTA")?;
+    let actual_base_crc = fnv1a(base_bytes);
+    if actual_base_crc != base_crc {
         return Err(SnsError::Codec {
-            fault: CodecFault::UnsupportedVersion,
-            offset: 4,
-            detail: format!("snapshot v{version}, this build reads v{SCHEMA_VERSION}"),
+            fault: CodecFault::Invalid,
+            offset: 0,
+            detail: format!(
+                "stream {stream_id} delta was encoded against base {base_crc:#018x}, \
+                 given base is {actual_base_crc:#018x}"
+            ),
         });
     }
-    let sections = r.u8("section count")?;
-    if sections != 3 {
-        return Err(r.invalid(format!("expected 3 sections, header says {sections}")));
-    }
-    // Walk the section frames to find where the checksum must sit, then
-    // verify it before parsing any payload.
-    let mut spans: Vec<(u8, usize, usize)> = Vec::with_capacity(sections as usize);
-    for _ in 0..sections {
-        let tag = r.u8("section tag")?;
-        let len = r.usize("section length")?;
-        let start = r.pos();
-        r.bytes(len, "section payload")?;
-        spans.push((tag, start, len));
-    }
-    let body_end = r.pos();
-    let stored = r.u64("checksum")?;
-    r.expect_end("snapshot")?;
-    let computed = fnv1a(&bytes[..body_end]);
-    if stored != computed {
+    let base = Envelope::parse(base_bytes)?;
+    let base_state = base.require_full_state("delta base")?;
+    let state_bytes = delta::apply(base_state, &ops, state_len)?;
+    let crc = fnv1a(&state_bytes);
+    if state_bytes.len() != state_len || crc != state_crc {
         return Err(SnsError::Codec {
             fault: CodecFault::Checksum,
-            offset: body_end,
-            detail: format!("stored {stored:#018x}, computed {computed:#018x}"),
+            offset: 0,
+            detail: format!(
+                "reconstructed state is {} bytes / crc {crc:#018x}, delta recorded \
+                 {state_len} bytes / {state_crc:#018x}",
+                state_bytes.len()
+            ),
         });
     }
-
-    let section = |want: u8, name: &str| -> Result<Reader<'_>, SnsError> {
-        let &(tag, start, len) = spans
-            .iter()
-            .find(|&&(tag, _, _)| tag == want)
-            .ok_or_else(|| r.invalid(format!("missing {name} section")))?;
-        debug_assert_eq!(tag, want);
-        Ok(Reader::new(&bytes[start..start + len]))
-    };
-
-    let mut meta = section(SECTION_META, "META")?;
-    let stream_id = meta.u64("stream_id")?;
-    let seed = meta.u64("seed")?;
-    meta.expect_end("META")?;
-
-    let mut spec_r = section(SECTION_SPEC, "SPEC")?;
-    let spec = wire::get_spec(&mut spec_r)?;
-    spec_r.expect_end("SPEC")?;
-
-    let mut state_r = section(SECTION_STATE, "STATE")?;
-    let state = wire::get_engine_state(&mut state_r)?;
-    state_r.expect_end("STATE")?;
-
-    Ok(EngineSnapshot { stream_id, spec, seed, state })
+    let state = state_from_payload(&state_bytes)?;
+    Ok(EngineSnapshot { stream_id, spec, seed, wal_seq, state })
 }
 
 #[cfg(test)]
@@ -189,6 +409,22 @@ mod tests {
             stream_id: 11,
             spec: EngineSpec::sns(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config),
             seed: 0xabc,
+            wal_seq: 0,
+            state: e.capture().unwrap(),
+        }
+    }
+
+    fn snapshot_at(ticks: u64) -> EngineSnapshot {
+        let config = SnsConfig { rank: 2, theta: 2, seed: 5, ..Default::default() };
+        let mut e = SnsEngine::new(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config);
+        for t in 0..ticks {
+            e.ingest(StreamTuple::new([(t % 4) as u32, (t % 3) as u32], 1.0, t)).unwrap();
+        }
+        EngineSnapshot {
+            stream_id: 11,
+            spec: EngineSpec::sns(&[4, 3], 3, 10, AlgorithmKind::PlusRnd, &config),
+            seed: 0xabc,
+            wal_seq: ticks,
             state: e.capture().unwrap(),
         }
     }
@@ -200,6 +436,55 @@ mod tests {
         assert_eq!(decoded.stream_id, 11);
         assert_eq!(decoded.seed, 0xabc);
         assert_eq!(to_bytes(&decoded), bytes, "re-encode must be canonical");
+    }
+
+    #[test]
+    fn wal_seq_survives_the_round_trip_and_v1_reads_as_zero() {
+        let mut snap = snapshot();
+        snap.wal_seq = 1234;
+        let decoded = from_bytes(&to_bytes(&snap)).unwrap();
+        assert_eq!(decoded.wal_seq, 1234);
+
+        let v1 = to_bytes_v1(&snapshot()).unwrap();
+        let decoded = from_bytes(&v1).unwrap();
+        assert_eq!(decoded.wal_seq, 0);
+        assert_eq!(to_bytes_v1(&decoded).unwrap(), v1, "v1 re-encode must be canonical");
+        // Upgrading a v1 snapshot is just re-encoding it.
+        assert_eq!(to_bytes(&decoded), to_bytes(&snapshot()));
+
+        assert!(matches!(
+            to_bytes_v1(&snap),
+            Err(SnsError::Codec { fault: CodecFault::Invalid, .. })
+        ));
+    }
+
+    #[test]
+    fn delta_round_trips_against_its_base_and_rejects_the_wrong_base() {
+        let base_snap = snapshot_at(60);
+        let base = to_bytes(&base_snap);
+        let next = snapshot_at(75);
+        let full = to_bytes(&next);
+        let d = to_bytes_delta(&next, &base).unwrap();
+        assert!(d.len() < full.len(), "60→75 ticks should share most state bytes");
+
+        let decoded = from_bytes_with_base(&d, &base).unwrap();
+        assert_eq!(decoded.wal_seq, 75);
+        assert_eq!(to_bytes(&decoded), full, "delta must reconstruct the exact full encoding");
+
+        // A full snapshot passes through with any base.
+        assert_eq!(to_bytes(&from_bytes_with_base(&full, &base).unwrap()), full);
+
+        // Typed failures: no base, wrong base, delta-as-base.
+        assert!(matches!(from_bytes(&d), Err(SnsError::Codec { fault: CodecFault::Invalid, .. })));
+        let wrong = to_bytes(&snapshot_at(61));
+        assert!(matches!(
+            from_bytes_with_base(&d, &wrong),
+            Err(SnsError::Codec { fault: CodecFault::Invalid, .. })
+        ));
+        assert!(matches!(
+            to_bytes_delta(&next, &d),
+            Err(SnsError::Codec { fault: CodecFault::Invalid, .. })
+        ));
     }
 
     #[test]
@@ -311,6 +596,7 @@ mod tests {
                 stream_id: 7,
                 spec: EngineSpec::sns(&[4, 3], 3, 10, AlgorithmKind::PlusVec, &config),
                 seed: 0xf00d,
+                wal_seq: 0,
                 state: e.capture().unwrap(),
             };
             let bytes = to_bytes(&snap);
@@ -329,12 +615,14 @@ mod tests {
                     stream_id: 7,
                     spec: decoded.spec.clone(),
                     seed: 0xf00d,
+                    wal_seq: 0,
                     state: restored.snapshot().unwrap(),
                 }),
                 to_bytes(&EngineSnapshot {
                     stream_id: 7,
                     spec: snap.spec.clone(),
                     seed: 0xf00d,
+                    wal_seq: 0,
                     state: e.capture().unwrap(),
                 }),
                 "{precision:?}: restored engine drifted from the original"

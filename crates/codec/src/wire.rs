@@ -25,6 +25,7 @@ use sns_tensor::{Coord, SparseTensorState, MAX_ORDER};
 
 // ---- coordinates, tuples, matrices ---------------------------------------
 
+/// Encodes a coordinate as order byte + one `u32` per mode.
 pub fn put_coord(w: &mut Writer, c: &Coord) {
     w.u8(c.order() as u8);
     for &i in c.as_slice() {
@@ -32,6 +33,7 @@ pub fn put_coord(w: &mut Writer, c: &Coord) {
     }
 }
 
+/// Decodes a coordinate, rejecting orders beyond [`MAX_ORDER`].
 pub fn get_coord(r: &mut Reader) -> Result<Coord, SnsError> {
     let order = r.u8("coord order")? as usize;
     if order > MAX_ORDER {
@@ -44,12 +46,14 @@ pub fn get_coord(r: &mut Reader) -> Result<Coord, SnsError> {
     Ok(Coord::new(&idx[..order]))
 }
 
+/// Encodes a stream tuple: coordinate, value bits, arrival time.
 pub fn put_tuple(w: &mut Writer, t: &StreamTuple) {
     put_coord(w, &t.coords);
     w.f64(t.value);
     w.u64(t.time);
 }
 
+/// Decodes a stream tuple written by [`put_tuple`].
 pub fn get_tuple(r: &mut Reader) -> Result<StreamTuple, SnsError> {
     let coords = get_coord(r)?;
     let value = r.f64("tuple value")?;
@@ -57,6 +61,7 @@ pub fn get_tuple(r: &mut Reader) -> Result<StreamTuple, SnsError> {
     Ok(StreamTuple { coords, value, time })
 }
 
+/// Encodes a dense matrix: dims then row-major `f64` bit patterns.
 pub fn put_mat(w: &mut Writer, m: &Mat) {
     w.usize(m.rows());
     w.usize(m.cols());
@@ -65,6 +70,8 @@ pub fn put_mat(w: &mut Writer, m: &Mat) {
     }
 }
 
+/// Decodes a matrix, bounding the claimed size by the bytes actually
+/// present (resource-bomb guard).
 pub fn get_mat(r: &mut Reader) -> Result<Mat, SnsError> {
     let rows = r.usize("mat rows")?;
     let cols = r.usize("mat cols")?;
@@ -82,6 +89,7 @@ pub fn get_mat(r: &mut Reader) -> Result<Mat, SnsError> {
     Ok(Mat::from_vec(rows, cols, data))
 }
 
+/// Encodes a factor-matrix list (count + each matrix).
 pub fn put_mats(w: &mut Writer, mats: &[Mat]) {
     w.usize(mats.len());
     for m in mats {
@@ -89,11 +97,13 @@ pub fn put_mats(w: &mut Writer, mats: &[Mat]) {
     }
 }
 
+/// Decodes a factor-matrix list written by [`put_mats`].
 pub fn get_mats(r: &mut Reader) -> Result<Vec<Mat>, SnsError> {
     let n = r.len(16, "mat count")?;
     (0..n).map(|_| get_mat(r)).collect()
 }
 
+/// Encodes a Kruskal (CP-factorized) tensor: factors then lambda.
 pub fn put_kruskal(w: &mut Writer, k: &KruskalTensor) {
     put_mats(w, &k.factors);
     w.usize(k.lambda.len());
@@ -102,6 +112,7 @@ pub fn put_kruskal(w: &mut Writer, k: &KruskalTensor) {
     }
 }
 
+/// Decodes a Kruskal tensor, checking every factor agrees on the rank.
 pub fn get_kruskal(r: &mut Reader) -> Result<KruskalTensor, SnsError> {
     let factors = get_mats(r)?;
     let rank = r.len(8, "lambda len")?;
@@ -116,6 +127,8 @@ pub fn get_kruskal(r: &mut Reader) -> Result<KruskalTensor, SnsError> {
 
 // ---- sparse tensor state -------------------------------------------------
 
+/// Encodes sparse-tensor state including fiber indexes and the
+/// incrementally maintained `‖X‖²` (bit-exact).
 pub fn put_tensor(w: &mut Writer, t: &SparseTensorState) {
     w.usize(t.dims.len());
     for &d in &t.dims {
@@ -141,6 +154,7 @@ pub fn put_tensor(w: &mut Writer, t: &SparseTensorState) {
     w.f64(t.norm_sq);
 }
 
+/// Decodes sparse-tensor state written by [`put_tensor`].
 pub fn get_tensor(r: &mut Reader) -> Result<SparseTensorState, SnsError> {
     let order = r.len(8, "tensor order")?;
     let dims = (0..order).map(|_| r.usize("tensor dim")).collect::<Result<Vec<_>, _>>()?;
@@ -166,6 +180,7 @@ pub fn get_tensor(r: &mut Reader) -> Result<SparseTensorState, SnsError> {
 
 // ---- window states -------------------------------------------------------
 
+/// Encodes the continuous (event-scheduled) window state.
 pub fn put_continuous_window(w: &mut Writer, s: &ContinuousWindowState) {
     put_tensor(w, &s.tensor);
     w.u64(s.period);
@@ -183,6 +198,8 @@ pub fn put_continuous_window(w: &mut Writer, s: &ContinuousWindowState) {
     w.u64(s.events_processed);
 }
 
+/// Decodes the continuous window state written by
+/// [`put_continuous_window`].
 pub fn get_continuous_window(r: &mut Reader) -> Result<ContinuousWindowState, SnsError> {
     let tensor = get_tensor(r)?;
     let period = r.u64("window period")?;
@@ -212,6 +229,7 @@ pub fn get_continuous_window(r: &mut Reader) -> Result<ContinuousWindowState, Sn
     })
 }
 
+/// Encodes the discrete (period-boundary) window state.
 pub fn put_discrete_window(w: &mut Writer, s: &DiscreteWindowState) {
     put_tensor(w, &s.tensor);
     w.u64(s.period);
@@ -226,6 +244,8 @@ pub fn put_discrete_window(w: &mut Writer, s: &DiscreteWindowState) {
     w.u64(s.periods_completed);
 }
 
+/// Decodes the discrete window state written by
+/// [`put_discrete_window`].
 pub fn get_discrete_window(r: &mut Reader) -> Result<DiscreteWindowState, SnsError> {
     let tensor = get_tensor(r)?;
     let period = r.u64("window period")?;
@@ -303,6 +323,7 @@ fn precision_from_tag(r: &Reader, tag: u8) -> Result<Precision, SnsError> {
     })
 }
 
+/// Encodes an engine spec (tagged by engine family and precision).
 pub fn put_spec(w: &mut Writer, spec: &EngineSpec) {
     match spec {
         // Tag 0 is the legacy f64 layout (byte-identical to pre-precision
@@ -378,6 +399,7 @@ pub fn put_spec(w: &mut Writer, spec: &EngineSpec) {
     }
 }
 
+/// Decodes an engine spec written by [`put_spec`].
 pub fn get_spec(r: &mut Reader) -> Result<EngineSpec, SnsError> {
     get_spec_at(r, 0)
 }
@@ -489,6 +511,7 @@ fn get_rng(r: &mut Reader) -> Result<[u64; 4], SnsError> {
 /// snapshots instead of silently dropping the profile.
 const F32_TAG_OFFSET: u8 = 16;
 
+/// Encodes the SliceNStitch updater state (tagged by algorithm).
 pub fn put_updater(w: &mut Writer, u: &UpdaterState) {
     let offset = if u.precision() == Precision::F32 { F32_TAG_OFFSET } else { 0 };
     match u {
@@ -528,6 +551,7 @@ pub fn put_updater(w: &mut Writer, u: &UpdaterState) {
     }
 }
 
+/// Decodes the updater state written by [`put_updater`].
 pub fn get_updater(r: &mut Reader) -> Result<UpdaterState, SnsError> {
     let tag = r.u8("updater tag")?;
     let (base, precision) = if tag >= F32_TAG_OFFSET {
@@ -571,6 +595,7 @@ pub fn get_updater(r: &mut Reader) -> Result<UpdaterState, SnsError> {
     }
 }
 
+/// Encodes a baseline algorithm's state (tagged by baseline kind).
 pub fn put_baseline_algo(w: &mut Writer, s: &BaselineAlgoState) {
     match s {
         BaselineAlgoState::AlsPeriodic { kruskal, grams, sweeps } => {
@@ -604,6 +629,8 @@ pub fn put_baseline_algo(w: &mut Writer, s: &BaselineAlgoState) {
     }
 }
 
+/// Decodes a baseline algorithm's state written by
+/// [`put_baseline_algo`].
 pub fn get_baseline_algo(r: &mut Reader) -> Result<BaselineAlgoState, SnsError> {
     match r.u8("baseline algo tag")? {
         0 => Ok(BaselineAlgoState::AlsPeriodic {
@@ -664,6 +691,8 @@ fn get_detector(r: &mut Reader) -> Result<DetectorState, SnsError> {
     Ok(DetectorState { count, mean, m2, events, max_events })
 }
 
+/// Encodes a full engine state — the STATE section payload of a
+/// snapshot envelope.
 pub fn put_engine_state(w: &mut Writer, s: &EngineState) {
     match s {
         EngineState::Sns(e) => {
@@ -696,6 +725,7 @@ pub fn put_engine_state(w: &mut Writer, s: &EngineState) {
     }
 }
 
+/// Decodes a full engine state written by [`put_engine_state`].
 pub fn get_engine_state(r: &mut Reader) -> Result<EngineState, SnsError> {
     get_engine_state_at(r, 0)
 }

@@ -15,7 +15,7 @@ use sns_linalg::ops::gram;
 use sns_tensor::SparseTensor;
 
 /// Options for a batch ALS run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlsOptions {
     /// Maximum number of full sweeps.
     pub max_iters: usize,

@@ -22,6 +22,8 @@
 //! The crate is dependency-free so every workspace member (including
 //! `sns-stream`, at the bottom of the graph) can use it.
 
+#![deny(missing_docs)]
+
 use std::fmt;
 
 /// Unified error type for stream ingestion, batched updates, and the

@@ -63,6 +63,22 @@ pub enum PoolEvent {
         /// Streams captured in the checkpoint.
         streams: usize,
     },
+    /// A journaled pool applied (and journaled) a state-changing
+    /// operation. Published only on pools with a configured write-ahead
+    /// journal — it is the wake-up signal background checkpoint daemons
+    /// subscribe to, and journal-less pools would otherwise flood the
+    /// bounded bus with per-batch noise.
+    BatchApplied {
+        /// The stream the operation was applied to.
+        stream_id: u64,
+        /// Shard it lives on.
+        shard: usize,
+        /// WAL sequence units the operation advanced the stream by
+        /// (tuples for batches, 1 for clock/warm-start ops).
+        units: u64,
+        /// The stream's WAL sequence after the operation.
+        seq: u64,
+    },
     /// A session's blocking submit found its shard queue full and is
     /// about to wait. Emitted on the *edge* (once per full episode).
     BackpressureOnset {
@@ -117,7 +133,8 @@ impl PoolEvent {
             | PoolEvent::BackpressureOnset { stream_id, .. }
             | PoolEvent::BackpressureRelief { stream_id, .. }
             | PoolEvent::AnomalyFlagged { stream_id, .. }
-            | PoolEvent::TupleQuarantined { stream_id, .. } => Some(*stream_id),
+            | PoolEvent::TupleQuarantined { stream_id, .. }
+            | PoolEvent::BatchApplied { stream_id, .. } => Some(*stream_id),
             PoolEvent::CheckpointCommitted { .. } => None,
         }
     }
@@ -133,6 +150,7 @@ impl PoolEvent {
             PoolEvent::BackpressureRelief { .. } => "backpressure_relief",
             PoolEvent::AnomalyFlagged { .. } => "anomaly_flagged",
             PoolEvent::TupleQuarantined { .. } => "tuple_quarantined",
+            PoolEvent::BatchApplied { .. } => "batch_applied",
         }
     }
 }
@@ -152,6 +170,7 @@ mod tests {
             PoolEvent::BackpressureRelief { stream_id: 5, shard: 0 },
             PoolEvent::AnomalyFlagged { stream_id: 6, shard: 0, flagged: 2 },
             PoolEvent::TupleQuarantined { stream_id: 7, shard: 0, ticket: 9, tuples: 3 },
+            PoolEvent::BatchApplied { stream_id: 8, shard: 0, units: 16, seq: 48 },
         ];
         for e in &events {
             assert!(!e.kind().is_empty());

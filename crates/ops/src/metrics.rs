@@ -138,6 +138,9 @@ pub struct ShardMetrics {
     pub commands: AtomicU64,
     /// Engine panics caught on this shard.
     pub panics: AtomicU64,
+    /// Checkpoints committed that covered this shard (pool-wide sweeps
+    /// and per-shard background commits both count).
+    pub checkpoints: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -147,6 +150,7 @@ impl ShardMetrics {
             queue_capacity,
             commands: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
         }
     }
 
@@ -224,12 +228,13 @@ impl MetricsRegistry {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"shard\":{},\"queue_depth\":{},\"queue_capacity\":{},\"commands\":{},\"panics\":{}}}",
+                "{{\"shard\":{},\"queue_depth\":{},\"queue_capacity\":{},\"commands\":{},\"panics\":{},\"checkpoints\":{}}}",
                 i,
                 s.depth(),
                 s.queue_capacity,
                 s.commands.load(Ordering::Relaxed),
                 s.panics.load(Ordering::Relaxed),
+                s.checkpoints.load(Ordering::Relaxed),
             ));
         }
         out.push_str("],\"streams\":[");
@@ -281,11 +286,12 @@ impl MetricsRegistry {
         let mut out = String::new();
         for (i, s) in self.inner.shards.iter().enumerate() {
             out.push_str(&format!(
-                "shard {i}: queue {}/{} commands={} panics={}\n",
+                "shard {i}: queue {}/{} commands={} panics={} checkpoints={}\n",
                 s.depth(),
                 s.queue_capacity,
                 s.commands.load(Ordering::Relaxed),
                 s.panics.load(Ordering::Relaxed),
+                s.checkpoints.load(Ordering::Relaxed),
             ));
         }
         for id in self.stream_ids() {

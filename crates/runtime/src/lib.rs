@@ -107,6 +107,7 @@
 
 pub mod anomaly;
 pub mod chaos;
+pub mod journal;
 pub mod ops;
 pub mod pool;
 pub mod snapshot;
@@ -115,6 +116,7 @@ pub mod streaming;
 
 pub use anomaly::{AnomalyConfig, AnomalyCpd, AnomalyState, AnomalySummary};
 pub use chaos::{ChaosConfig, ChaosCpd, ChaosState, POISON_VALUE};
+pub use journal::{BatchJournal, JournalEntry, JournalOp};
 pub use ops::{PoolDeadLetter, PoolDlq, PoolEventBus, PoolOps, QuarantinePolicy};
 pub use pool::{BatchReceipt, EnginePool, PoolConfig, StreamReport, StreamSession};
 pub use snapshot::{EngineSnapshot, EngineState, StateCapture};

@@ -43,6 +43,7 @@
 //! `tests/engine_pool.rs`).
 
 use crate::anomaly::AnomalySummary;
+use crate::journal::{BatchJournal, JournalEntry, JournalOp};
 use crate::ops::{PoolDeadLetter, PoolOps, QuarantinePolicy};
 use crate::snapshot::EngineSnapshot;
 use crate::spec::EngineSpec;
@@ -60,7 +61,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Pool sizing, seeding, and flow control.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PoolConfig {
     /// Worker (shard) count. Streams are hashed across workers.
     pub shards: usize,
@@ -78,6 +79,12 @@ pub struct PoolConfig {
     /// What happens to a stream whose batch panics its engine — see
     /// [`QuarantinePolicy`].
     pub quarantine: QuarantinePolicy,
+    /// Write-ahead-log sink. When set, shard workers call
+    /// [`BatchJournal::record`] after every acknowledged state-changing
+    /// command and stamp snapshots with the stream's WAL sequence (see
+    /// [`crate::journal`]). `None` (the default) costs nothing on the
+    /// batch path.
+    pub journal: Option<Arc<dyn BatchJournal>>,
 }
 
 impl Default for PoolConfig {
@@ -89,7 +96,21 @@ impl Default for PoolConfig {
             queue_depth: 512,
             bus_capacity: 1024,
             quarantine: QuarantinePolicy::Rollback,
+            journal: None,
         }
+    }
+}
+
+impl std::fmt::Debug for PoolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolConfig")
+            .field("shards", &self.shards)
+            .field("base_seed", &self.base_seed)
+            .field("queue_depth", &self.queue_depth)
+            .field("bus_capacity", &self.bus_capacity)
+            .field("quarantine", &self.quarantine)
+            .field("journal", &self.journal.as_ref().map(|_| "attached"))
+            .finish()
     }
 }
 
@@ -102,6 +123,10 @@ pub fn stream_seed(base_seed: u64, stream_id: u64) -> u64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
+
+/// What a pool-level checkpoint yields: per stream id, either its
+/// captured snapshot or the typed error that stream produced instead.
+pub type CheckpointResults = Vec<(u64, Result<EngineSnapshot, SnsError>)>;
 
 /// Acknowledgment for one session command: what the engine actually did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,6 +290,11 @@ struct StreamSlot {
     /// High-water mark of the engine's flagged-anomaly counter, for
     /// edge-triggered [`PoolEvent::AnomalyFlagged`] events.
     last_flagged: u64,
+    /// Cumulative WAL sequence (journaled units — see
+    /// [`crate::journal`]). Advances only on pools with a configured
+    /// journal, so journal-less pools snapshot `wal_seq == 0`
+    /// everywhere.
+    wal_seq: u64,
     metrics: Arc<StreamMetrics>,
     replies: Sender<SessionReply>,
 }
@@ -373,6 +403,7 @@ fn divert_to_dlq(
 fn apply_batch(
     ops: &PoolOps,
     policy: QuarantinePolicy,
+    journal: Option<&Arc<dyn BatchJournal>>,
     shard: usize,
     s: &mut StreamSlot,
     id: u64,
@@ -414,11 +445,24 @@ fn apply_batch(
                 }
             }
             s.acknowledge(id, ticket, Ok(outcome));
+            let jop = match op {
+                QuarantinedOp::Prefill => JournalOp::Prefill(&tuples),
+                QuarantinedOp::Ingest => JournalOp::Ingest(&tuples),
+            };
+            journal_op(ops, journal, s, shard, id, ticket, jop);
         }
         Ok(Err(e)) => {
             s.metrics.errors.fetch_add(1, Ordering::Relaxed);
             s.error.get_or_insert(e.clone());
             s.acknowledge(id, ticket, Err(e));
+            // The engine applied the batch's accepted prefix, so the
+            // batch is journaled in full: deterministic replay of the
+            // same tuples reproduces exactly that prefix (and error).
+            let jop = match op {
+                QuarantinedOp::Prefill => JournalOp::Prefill(&tuples),
+                QuarantinedOp::Ingest => JournalOp::Ingest(&tuples),
+            };
+            journal_op(ops, journal, s, shard, id, ticket, jop);
         }
         Err(payload) => {
             ops.metrics().shard(shard).panics.fetch_add(1, Ordering::Relaxed);
@@ -443,13 +487,44 @@ fn apply_batch(
     }
 }
 
+/// Journals an operation that reached the engine (called **after** the
+/// ack, on the worker) and publishes the matching
+/// [`PoolEvent::BatchApplied`] event. A no-op on journal-less pools and
+/// for empty batches (they change no state and carry no sequence).
+fn journal_op(
+    ops: &PoolOps,
+    journal: Option<&Arc<dyn BatchJournal>>,
+    s: &mut StreamSlot,
+    shard: usize,
+    id: u64,
+    ticket: u64,
+    op: JournalOp<'_>,
+) {
+    let Some(journal) = journal else { return };
+    let units = op.units();
+    if units == 0 {
+        return;
+    }
+    s.wal_seq += units;
+    journal.record(JournalEntry { stream_id: id, seq: s.wal_seq, ticket, op });
+    if ops.bus().has_subscribers() {
+        ops.bus().publish(PoolEvent::BatchApplied { stream_id: id, shard, units, seq: s.wal_seq });
+    }
+}
+
 fn publish_evicted(ops: &PoolOps, id: u64, shard: usize, reason: EvictReason) {
     if ops.bus().has_subscribers() {
         ops.bus().publish(PoolEvent::StreamEvicted { stream_id: id, shard, reason });
     }
 }
 
-fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: QuarantinePolicy) {
+fn worker_loop(
+    shard: usize,
+    rx: Receiver<Command>,
+    ops: PoolOps,
+    policy: QuarantinePolicy,
+    journal: Option<Arc<dyn BatchJournal>>,
+) {
     let mut slots: HashMap<u64, StreamSlot> = HashMap::new();
     // Commands from a replaced session (stale token) are dropped: the
     // stale session's reply channel is already disconnected, so its
@@ -491,6 +566,7 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
                     error: outcome.as_ref().err().cloned(),
                     quarantined: false,
                     last_flagged: 0,
+                    wal_seq: 0,
                     metrics,
                     replies,
                 };
@@ -507,7 +583,7 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
                 }
             }
             Command::Restore { id, token, ticket, snapshot, replies } => {
-                let EngineSnapshot { spec, seed, state, .. } = *snapshot;
+                let EngineSnapshot { spec, seed, state, wal_seq, .. } = *snapshot;
                 match state.into_engine() {
                     Ok(engine) => {
                         let metrics = ops.metrics().stream(id);
@@ -521,6 +597,7 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
                             error: None,
                             quarantined: false,
                             last_flagged: 0,
+                            wal_seq,
                             metrics,
                             replies,
                         };
@@ -542,7 +619,18 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
             }
             Command::Prefill { id, token, ticket, tuples } => {
                 if let Some(s) = live(&mut slots, id, token) {
-                    apply_batch(&ops, policy, shard, s, id, ticket, QuarantinedOp::Prefill, tuples);
+                    let j = journal.as_ref();
+                    apply_batch(
+                        &ops,
+                        policy,
+                        j,
+                        shard,
+                        s,
+                        id,
+                        ticket,
+                        QuarantinedOp::Prefill,
+                        tuples,
+                    );
                 }
             }
             Command::WarmStart { id, token, ticket, opts } => {
@@ -564,12 +652,28 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
                     if outcome.is_err() {
                         s.metrics.errors.fetch_add(1, Ordering::Relaxed);
                     }
+                    let applied = outcome.is_ok();
                     s.acknowledge(id, ticket, outcome);
+                    if applied {
+                        let jop = JournalOp::WarmStart(&opts);
+                        journal_op(&ops, journal.as_ref(), s, shard, id, ticket, jop);
+                    }
                 }
             }
             Command::Ingest { id, token, ticket, tuples } => {
                 if let Some(s) = live(&mut slots, id, token) {
-                    apply_batch(&ops, policy, shard, s, id, ticket, QuarantinedOp::Ingest, tuples);
+                    let j = journal.as_ref();
+                    apply_batch(
+                        &ops,
+                        policy,
+                        j,
+                        shard,
+                        s,
+                        id,
+                        ticket,
+                        QuarantinedOp::Ingest,
+                        tuples,
+                    );
                 }
             }
             Command::AdvanceTo { id, token, ticket, t } => {
@@ -589,7 +693,19 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
                     if outcome.is_err() {
                         s.metrics.errors.fetch_add(1, Ordering::Relaxed);
                     }
+                    let applied = outcome.is_ok();
                     s.acknowledge(id, ticket, outcome);
+                    if applied {
+                        journal_op(
+                            &ops,
+                            journal.as_ref(),
+                            s,
+                            shard,
+                            id,
+                            ticket,
+                            JournalOp::AdvanceTo(t),
+                        );
+                    }
                 }
             }
             Command::Release { id, token, ticket } => {
@@ -617,6 +733,7 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
                             stream_id: id,
                             spec: s.spec.clone(),
                             seed: s.seed,
+                            wal_seq: s.wal_seq,
                             state,
                         }),
                         (None, Some(err)) => Err(err.clone()),
@@ -642,6 +759,7 @@ fn worker_loop(shard: usize, rx: Receiver<Command>, ops: PoolOps, policy: Quaran
                                 stream_id: id,
                                 spec: s.spec.clone(),
                                 seed: s.seed,
+                                wal_seq: s.wal_seq,
                                 state,
                             }),
                             (None, Some(err)) => Err(err.clone()),
@@ -694,9 +812,10 @@ impl EnginePool {
             let (tx, rx) = sync_channel::<Command>(queue_depth);
             let worker_ops = ops.clone();
             let policy = cfg.quarantine;
+            let journal = cfg.journal.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sns-pool-{i}"))
-                .spawn(move || worker_loop(i, rx, worker_ops, policy))
+                .spawn(move || worker_loop(i, rx, worker_ops, policy, journal))
                 .expect("spawn engine pool worker");
             senders.push(tx);
             workers.push(handle);
@@ -864,7 +983,7 @@ impl EnginePool {
     /// For cross-stream consistency, quiesce the clients first (collect
     /// all outstanding receipts); in-flight batches submitted *after*
     /// this call may or may not be included.
-    pub fn checkpoint_all(&self) -> Vec<(u64, Result<EngineSnapshot, SnsError>)> {
+    pub fn checkpoint_all(&self) -> CheckpointResults {
         let (tx, rx) = channel();
         let mut expected = 0usize;
         for (i, sender) in self.senders.iter().enumerate() {
@@ -882,10 +1001,42 @@ impl EnginePool {
             }
         }
         all.sort_by_key(|&(id, _)| id);
+        for i in 0..self.senders.len() {
+            self.ops.metrics().shard(i).checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
         if self.ops.bus().has_subscribers() {
             self.ops.bus().publish(PoolEvent::CheckpointCommitted { streams: all.len() });
         }
         all
+    }
+
+    /// Checkpoints the live streams of **one** shard — the amortized
+    /// building block behind background checkpointing: a policy daemon
+    /// walks shards round-robin, paying one shard's capture cost per
+    /// step instead of stalling the whole pool at once (see
+    /// `sns_codec::daemon`). Same per-stream consistency and error
+    /// semantics as [`EnginePool::checkpoint_all`]; results are sorted
+    /// by stream id.
+    ///
+    /// # Errors
+    /// [`SnsError::ShardOutOfRange`] if `shard` does not name a worker;
+    /// [`SnsError::StreamClosed`] (stream 0) if the pool is shutting
+    /// down and the worker is gone.
+    pub fn checkpoint_shard(&self, shard: usize) -> Result<CheckpointResults, SnsError> {
+        let Some(sender) = self.senders.get(shard) else {
+            return Err(SnsError::ShardOutOfRange { shard, shards: self.senders.len() });
+        };
+        let (tx, rx) = channel();
+        sender
+            .send(Command::CheckpointShard { replies: tx })
+            .map_err(|_| SnsError::StreamClosed { stream_id: 0 })?;
+        self.track_send(shard);
+        let out = rx.recv().map_err(|_| SnsError::StreamClosed { stream_id: 0 })?;
+        self.ops.metrics().shard(shard).checkpoints.fetch_add(1, Ordering::Relaxed);
+        if self.ops.bus().has_subscribers() {
+            self.ops.bus().publish(PoolEvent::CheckpointCommitted { streams: out.len() });
+        }
+        Ok(out)
     }
 
     /// Rebuilds every snapshotted stream on this pool, each on its

@@ -176,6 +176,12 @@ pub struct EngineSnapshot {
     pub spec: EngineSpec,
     /// The seed the engine was built with (already derived/pinned).
     pub seed: u64,
+    /// The stream's WAL sequence at capture time: cumulative journaled
+    /// units (see [`crate::journal`]). Always `0` on pools without a
+    /// configured [`BatchJournal`](crate::BatchJournal); when a journal
+    /// is attached, recovery restores the snapshot and replays journal
+    /// records with `seq > wal_seq`.
+    pub wal_seq: u64,
     /// The captured state.
     pub state: EngineState,
 }
@@ -184,8 +190,8 @@ impl std::fmt::Debug for EngineSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "EngineSnapshot(stream={}, seed={:#x}, {:?})",
-            self.stream_id, self.seed, self.state
+            "EngineSnapshot(stream={}, seed={:#x}, wal_seq={}, {:?})",
+            self.stream_id, self.seed, self.wal_seq, self.state
         )
     }
 }
@@ -234,6 +240,7 @@ mod tests {
             stream_id: 7,
             spec: EngineSpec::sns(&[40, 30], 10, 10, AlgorithmKind::PlusVec, &config),
             seed: 0xbeef,
+            wal_seq: 0,
             state,
         };
         let dbg = format!("{snapshot:?}");

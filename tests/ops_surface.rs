@@ -150,6 +150,7 @@ fn quarantine_replay_is_bitwise_and_observable() {
             stream_id: id,
             spec: spec.clone(),
             seed: spec.effective_seed(stream_seed(BASE_SEED, id)),
+            wal_seq: 0,
             state: engine.snapshot().unwrap(),
         });
         let session = if id == 1 { &mut chaos } else { &mut healthy };

@@ -13,7 +13,7 @@
 //!   so any wire-format drift without a `SCHEMA_VERSION` bump fails CI.
 
 use proptest::prelude::*;
-use slicenstitch::codec::{from_bytes, to_bytes, SCHEMA_VERSION};
+use slicenstitch::codec::{from_bytes, to_bytes, to_bytes_v1, SCHEMA_VERSION};
 use slicenstitch::core::als::AlsOptions;
 use slicenstitch::core::{AlgorithmKind, SnsConfig};
 use slicenstitch::data::{generate, GeneratorConfig};
@@ -102,11 +102,21 @@ proptest! {
             stream_id: family as u64,
             spec,
             seed,
+            wal_seq: 0,
             state: original.snapshot().unwrap(),
         };
         let bytes = to_bytes(&snapshot);
         let decoded = from_bytes(&bytes).unwrap();
         prop_assert_eq!(to_bytes(&decoded), bytes, "encoding must be canonical");
+
+        // v1 → v2 upgrade: the same snapshot written in the legacy
+        // envelope decodes to the same engine, and re-encoding it in v2
+        // matches the direct v2 bytes exactly.
+        let v1 = to_bytes_v1(&snapshot).unwrap();
+        let upgraded = from_bytes(&v1).unwrap();
+        prop_assert_eq!(upgraded.wal_seq, 0, "v1 carries no wal_seq");
+        prop_assert_eq!(to_bytes(&upgraded), bytes, "v1 upgrade must equal direct v2 encode");
+
         let mut restored = decoded.state.into_engine().unwrap();
         prop_assert_eq!(restored.name(), family_name(family).to_string());
 
@@ -144,6 +154,7 @@ proptest! {
             stream_id: 9,
             spec,
             seed: 3,
+            wal_seq: 0,
             state: engine.snapshot().unwrap(),
         };
         let mut bytes = to_bytes(&snapshot);
@@ -167,8 +178,13 @@ fn truncation_at_section_boundaries_is_typed_for_every_family() {
         let spec = family_spec(family);
         let mut engine = spec.clone().build(5);
         drive_protocol(engine.as_mut(), &tuples);
-        let snapshot =
-            EngineSnapshot { stream_id: 1, spec, seed: 5, state: engine.snapshot().unwrap() };
+        let snapshot = EngineSnapshot {
+            stream_id: 1,
+            spec,
+            seed: 5,
+            wal_seq: 0,
+            state: engine.snapshot().unwrap(),
+        };
         let bytes = to_bytes(&snapshot);
 
         // Recompute the section frame offsets from the envelope layout:
@@ -209,27 +225,43 @@ fn truncation_at_section_boundaries_is_typed_for_every_family() {
     }
 }
 
-/// The checked-in golden fixture: decoding it and re-encoding must give
-/// back the exact committed bytes. If this fails, the wire format
-/// changed — bump `SCHEMA_VERSION` and regenerate the fixture
+/// The checked-in golden fixtures: the **v2** fixture must decode and
+/// re-encode byte-identically (wire-format pin), and the **v1** fixture
+/// — frozen when `SCHEMA_VERSION` was 1 and never regenerated — must
+/// still thaw and re-encode to its committed v1 bytes (the
+/// reader-keeps-every-prior-version promise). If the v2 half fails, the
+/// wire format changed — bump `SCHEMA_VERSION` and regenerate
 /// (`GOLDEN_BLESS=1 cargo test -q --test state_capture golden`).
 #[test]
-fn golden_fixture_pins_the_wire_format() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_snapshot_v1.snsc");
+fn golden_fixtures_pin_the_wire_format_and_v1_compat() {
+    let v2_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_snapshot_v2.snsc");
     let snapshot = golden_snapshot();
     let bytes = to_bytes(&snapshot);
     if std::env::var_os("GOLDEN_BLESS").is_some() {
-        std::fs::write(path, &bytes).unwrap();
+        std::fs::write(v2_path, &bytes).unwrap();
     }
-    let committed = std::fs::read(path)
+    let committed = std::fs::read(v2_path)
         .unwrap_or_else(|e| panic!("golden fixture missing ({e}); regenerate with GOLDEN_BLESS=1"));
-    assert_eq!(SCHEMA_VERSION, 1, "schema bumped: regenerate the golden fixture");
+    assert_eq!(SCHEMA_VERSION, 2, "schema bumped: regenerate the golden fixture");
     assert_eq!(
         committed, bytes,
         "wire format drifted without a SCHEMA_VERSION bump (or fixture is stale)"
     );
     let decoded = from_bytes(&committed).unwrap();
     assert_eq!(to_bytes(&decoded), committed);
+
+    // The v1 fixture is immutable history: never re-blessed. Decoding it
+    // must keep working, and the legacy writer must reproduce it.
+    let v1_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_snapshot_v1.snsc");
+    let v1_committed = std::fs::read(v1_path).expect("v1 golden fixture is checked in");
+    let thawed = from_bytes(&v1_committed).unwrap();
+    assert_eq!(thawed.wal_seq, 0, "v1 snapshots predate the WAL");
+    assert_eq!(
+        to_bytes_v1(&thawed).unwrap(),
+        v1_committed,
+        "v1 compatibility broke: old checkpoints would no longer thaw"
+    );
+    assert_eq!(to_bytes(&thawed), committed, "upgrading the v1 fixture must yield the v2 fixture");
 }
 
 /// A deterministic snapshot built from prefill only — no factor updates,
@@ -249,5 +281,11 @@ fn golden_snapshot() -> EngineSnapshot {
             ))
             .unwrap();
     }
-    EngineSnapshot { stream_id: 1, spec, seed: 0x901d, state: engine.snapshot().unwrap() }
+    EngineSnapshot {
+        stream_id: 1,
+        spec,
+        seed: 0x901d,
+        wal_seq: 0,
+        state: engine.snapshot().unwrap(),
+    }
 }

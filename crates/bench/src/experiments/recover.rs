@@ -415,7 +415,7 @@ fn recover_via_wal(
         store.clone(),
         Arc::clone(&wal),
         CheckpointPolicy { min_batches: 8, poll: Duration::from_millis(10) },
-    );
+    )?;
     let chunk1_plan = ReplayPlan { advance_to: None, ..full_plan.clone() };
     let mut sessions = replay_fleet(&doomed_pool, streams, &trace[..chunk1_end], &chunk1_plan)?;
 

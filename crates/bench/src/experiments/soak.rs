@@ -324,9 +324,9 @@ fn drive_stream(
 ) -> Result<(), SnsError> {
     let cut = prefill_cut(trace);
     for chunk in trace[..cut].chunks(BATCH) {
-        session.prefill_batch(chunk)?;
+        let _ = session.prefill_batch(chunk)?;
     }
-    session.warm_start(&als_opts())?;
+    let _ = session.warm_start(&als_opts())?;
     for chunk in trace[cut..].chunks(BATCH) {
         match session.ingest_batch(chunk) {
             Ok(_) => {}
@@ -395,13 +395,13 @@ fn backpressure_phase(cfg: &SoakConfig) -> Result<(usize, EventCounts), SnsError
             Err(SnsError::Backpressure { depth, capacity, .. }) => {
                 assert!(capacity == QUEUE && depth <= capacity);
                 typed += 1;
-                session.ingest_batch(chunk)?; // shed to the blocking path
+                let _ = session.ingest_batch(chunk)?; // shed to the blocking path
             }
             Err(e) => return Err(e),
         }
     }
     while let Some(receipt) = session.recv_receipt() {
-        receipt?;
+        let _ = receipt?;
     }
     drop(session);
     pool.join();
@@ -484,7 +484,7 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, SnsError> {
     // Phase 4: checkpoint (for the CheckpointCommitted event), export
     // the metrics artifact, validate per-stream observability.
     for (_, snapshot) in pool.checkpoint_all() {
-        snapshot?;
+        let _ = snapshot?;
     }
     let metrics = pool.ops().metrics();
     let mut missing_metrics = Vec::new();

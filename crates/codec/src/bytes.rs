@@ -166,17 +166,29 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self, what: &str) -> Result<u16, SnsError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+        let arr: [u8; 2] = self
+            .take(2, what)?
+            .try_into()
+            .map_err(|_| self.invalid(format!("{what}: short u16 read")))?;
+        Ok(u16::from_le_bytes(arr))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self, what: &str) -> Result<u32, SnsError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        let arr: [u8; 4] = self
+            .take(4, what)?
+            .try_into()
+            .map_err(|_| self.invalid(format!("{what}: short u32 read")))?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self, what: &str) -> Result<u64, SnsError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        let arr: [u8; 8] = self
+            .take(8, what)?
+            .try_into()
+            .map_err(|_| self.invalid(format!("{what}: short u64 read")))?;
+        Ok(u64::from_le_bytes(arr))
     }
 
     /// Reads a `u64` and converts to `usize`.

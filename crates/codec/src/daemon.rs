@@ -106,12 +106,17 @@ impl Checkpointer {
     /// Spawns the daemon thread against `pool`, committing into `store`
     /// and rotating segments of `wal` (the same [`WalSet`] attached as
     /// the pool's journal) under `policy`.
+    ///
+    /// # Errors
+    /// [`SnsError::Io`] if the OS refuses to spawn the daemon thread
+    /// (resource exhaustion) — durability would silently stop if this
+    /// were swallowed, so it surfaces to the caller.
     pub fn start(
         pool: Arc<EnginePool>,
         store: CheckpointStore,
         wal: Arc<WalSet>,
         policy: CheckpointPolicy,
-    ) -> Checkpointer {
+    ) -> Result<Checkpointer, SnsError> {
         let shared = Arc::new(DaemonShared {
             stop: AtomicBool::new(false),
             commits: AtomicU64::new(0),
@@ -122,8 +127,11 @@ impl Checkpointer {
         let handle = std::thread::Builder::new()
             .name("sns-checkpointer".into())
             .spawn(move || run(pool, store, wal, policy, worker))
-            .expect("spawn checkpoint daemon");
-        Checkpointer { shared, handle: Some(handle) }
+            .map_err(|e| SnsError::Io {
+                path: "sns-checkpointer".to_string(),
+                message: format!("cannot spawn checkpoint daemon thread: {e}"),
+            })?;
+        Ok(Checkpointer { shared, handle: Some(handle) })
     }
 
     /// Commit counters so far.
@@ -271,14 +279,15 @@ mod tests {
 
         let policy = CheckpointPolicy { min_batches: 4, poll: Duration::from_millis(10) };
         let daemon =
-            Checkpointer::start(Arc::clone(&pool), store.clone(), Arc::clone(&wal), policy);
+            Checkpointer::start(Arc::clone(&pool), store.clone(), Arc::clone(&wal), policy)
+                .unwrap();
 
         // Enough batches to trip the policy on both shards.
         for chunk in tuples(1, 60).chunks(5) {
-            a.ingest_batch(chunk).unwrap();
+            let _ = a.ingest_batch(chunk).unwrap();
         }
         for chunk in tuples(2, 60).chunks(5) {
-            b.ingest_batch(chunk).unwrap();
+            let _ = b.ingest_batch(chunk).unwrap();
         }
         // Wait for the daemon to cover both streams.
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -298,8 +307,8 @@ mod tests {
         assert!(stats.streams >= 2);
 
         // Work past the last commit lives only in the WAL.
-        a.ingest_batch(&tuples(1, 70)[60..]).unwrap();
-        b.ingest_batch(&tuples(2, 70)[60..]).unwrap();
+        let _ = a.ingest_batch(&tuples(1, 70)[60..]).unwrap();
+        let _ = b.ingest_batch(&tuples(2, 70)[60..]).unwrap();
         let want_a = to_bytes(&a.snapshot().unwrap());
         let want_b = to_bytes(&b.snapshot().unwrap());
         let total_units_a = from_bytes(&want_a).unwrap().wal_seq;

@@ -72,14 +72,19 @@ pub fn encode(base: &[u8], target: &[u8]) -> Vec<DeltaOp> {
     let mut ops: Vec<DeltaOp> = Vec::new();
     let mut pending = Vec::new(); // literal bytes awaiting the next op boundary
     if base.len() >= BLOCK && target.len() >= BLOCK {
-        // Index the base at block stride: hash -> offsets (all of them;
+        // Index the base at block stride: a sorted (hash, offset) table
+        // probed by binary search. All offsets per hash are kept —
         // repeated blocks are common in zeroed factor regions and the
-        // verify step picks whichever extends furthest backward).
-        let mut index: std::collections::HashMap<u64, Vec<usize>> =
-            std::collections::HashMap::new();
+        // verify step picks whichever extends furthest backward. Sorted
+        // by (hash, offset), candidate order is a pure function of the
+        // base bytes, so identical inputs always produce the identical
+        // delta program (a HashMap here would make encode output depend
+        // on bucket order).
+        let mut index: Vec<(u64, usize)> = Vec::with_capacity((base.len() - BLOCK) / BLOCK + 1);
         for off in (0..=base.len() - BLOCK).step_by(BLOCK) {
-            index.entry(hash_block(&base[off..off + BLOCK])).or_default().push(off);
+            index.push((hash_block(&base[off..off + BLOCK]), off));
         }
+        index.sort_unstable();
         let out_coef = out_coefficient();
         let mut i = 0usize;
         let mut rolling = hash_block(&target[0..BLOCK]);
@@ -90,9 +95,11 @@ pub fn encode(base: &[u8], target: &[u8]) -> Vec<DeltaOp> {
                 rolling = hash_block(&target[i..i + BLOCK]);
                 rolled_to = i;
             }
-            let candidates = index.get(&rolling).map(Vec::as_slice).unwrap_or(&[]);
+            let lo = index.partition_point(|&(h, _)| h < rolling);
+            let hi = index[lo..].partition_point(|&(h, _)| h == rolling) + lo;
+            let candidates = &index[lo..hi];
             let mut best: Option<(usize, usize, usize)> = None; // (base_start, tgt_start, len)
-            for &cand in candidates {
+            for &(_, cand) in candidates {
                 if base[cand..cand + BLOCK] != target[i..i + BLOCK] {
                     continue; // hash collision
                 }

@@ -35,9 +35,9 @@
 
 use crate::bytes::fnv1a;
 use crate::{from_bytes, from_bytes_with_base, to_bytes, to_bytes_delta};
-use sns_error::SnsError;
+use sns_error::{CodecFault, SnsError};
 use sns_runtime::{EnginePool, EngineSnapshot, StreamSession};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -208,18 +208,36 @@ impl CheckpointStore {
     ) -> Result<(u64, Vec<ManifestEntry>), SnsError> {
         let previous = if self.manifest_path().exists() { self.manifest()? } else { Vec::new() };
         let generation = self.generation().unwrap_or(0) + 1;
-        let prev_by_stream: HashMap<u64, &ManifestEntry> =
+        let prev_by_stream: BTreeMap<u64, &ManifestEntry> =
             previous.iter().map(|e| (e.stream_id, e)).collect();
-        let mut merged: HashMap<u64, ManifestEntry> =
+        let mut merged: BTreeMap<u64, ManifestEntry> =
             previous.iter().map(|e| (e.stream_id, e.clone())).collect();
         for snapshot in snapshots {
             let full = to_bytes(snapshot);
             // The stream's standing full base: the previous row itself
             // when full, or the base its delta chain hangs off.
-            let base_file = prev_by_stream.get(&snapshot.stream_id).map(|prev| match prev.kind {
-                SnapshotKind::Full => prev.file.clone(),
-                SnapshotKind::Delta => prev.base.clone().expect("delta row always names a base"),
-            });
+            let base_file = match prev_by_stream.get(&snapshot.stream_id) {
+                None => None,
+                Some(prev) => match prev.kind {
+                    SnapshotKind::Full => Some(prev.file.clone()),
+                    // A delta row without a base is a corrupt manifest
+                    // (hand-edited or torn by a foreign writer), not a
+                    // code bug — report it, don't panic over it.
+                    SnapshotKind::Delta => match &prev.base {
+                        Some(base) => Some(base.clone()),
+                        None => {
+                            return Err(SnsError::Codec {
+                                fault: CodecFault::Invalid,
+                                offset: 0,
+                                detail: format!(
+                                    "manifest delta row for stream {} names no base",
+                                    snapshot.stream_id
+                                ),
+                            })
+                        }
+                    },
+                },
+            };
             let delta = match &base_file {
                 Some(base) => {
                     let base_path = self.dir.join(base);
@@ -267,7 +285,7 @@ impl CheckpointStore {
     /// Deletes snapshot files no new manifest row references (as `file`
     /// or `base`). WAL segments and foreign files are untouched.
     fn prune(&self, entries: &[ManifestEntry]) -> Result<(), SnsError> {
-        let live: std::collections::HashSet<&str> = entries
+        let live: std::collections::BTreeSet<&str> = entries
             .iter()
             .flat_map(|e| [Some(e.file.as_str()), e.base.as_deref()])
             .flatten()
@@ -501,7 +519,7 @@ mod tests {
         let ids = [3u64, 1, 7];
         let mut sessions: Vec<_> = ids.iter().map(|&id| pool.open(id, spec()).unwrap()).collect();
         for (s, &id) in sessions.iter_mut().zip(&ids) {
-            s.ingest_batch(&tuples(id)[..40]).unwrap();
+            let _ = s.ingest_batch(&tuples(id)[..40]).unwrap();
         }
         let entries = checkpoint_pool(&pool, &store).unwrap();
         assert_eq!(entries.len(), 3);
@@ -518,7 +536,7 @@ mod tests {
         assert_eq!(sorted, vec![1, 3, 7]);
         for s in &mut recovered {
             let id = s.stream_id();
-            s.ingest_batch(&tuples(id)[40..]).unwrap();
+            let _ = s.ingest_batch(&tuples(id)[40..]).unwrap();
             assert_eq!(s.report().unwrap().error, None);
         }
         let _ = fs::remove_dir_all(&dir);
@@ -532,7 +550,7 @@ mod tests {
 
         let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 1, ..Default::default() });
         let mut s = pool.open(5, spec()).unwrap();
-        s.ingest_batch(&tuples(5)[..20]).unwrap();
+        let _ = s.ingest_batch(&tuples(5)[..20]).unwrap();
         checkpoint_pool(&pool, &store).unwrap();
 
         // Corrupt the snapshot file: the manifest crc catches it.
@@ -581,8 +599,8 @@ mod tests {
         let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 9, ..Default::default() });
         let mut a = pool.open(1, spec()).unwrap();
         let mut b = pool.open(2, spec()).unwrap();
-        a.ingest_batch(&tuples(1)[..40]).unwrap();
-        b.ingest_batch(&tuples(2)[..40]).unwrap();
+        let _ = a.ingest_batch(&tuples(1)[..40]).unwrap();
+        let _ = b.ingest_batch(&tuples(2)[..40]).unwrap();
 
         // Gen 1: both streams, necessarily full (no bases yet).
         let snaps = |s: &mut sns_runtime::StreamSession| s.snapshot().unwrap();
@@ -614,7 +632,7 @@ mod tests {
         // Gen 4: heavy movement — window slices rotate and the factors
         // shift, so block matching collapses and the store falls back
         // to a fresh full file, retiring the old base and delta.
-        a.ingest_batch(&tuples(1)[40..]).unwrap();
+        let _ = a.ingest_batch(&tuples(1)[40..]).unwrap();
         let (g4, m4) = store.save_incremental(&[snaps(&mut a)]).unwrap();
         assert_eq!(g4, 4);
         let row1 = m4.iter().find(|e| e.stream_id == 1).unwrap();

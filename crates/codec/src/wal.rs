@@ -56,7 +56,7 @@ use sns_core::als::AlsOptions;
 use sns_error::{CodecFault, SnsError};
 use sns_runtime::{BatchJournal, EnginePool, JournalEntry, JournalOp, StreamSession};
 use sns_stream::StreamTuple;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -306,15 +306,32 @@ impl StreamWal {
     /// Opens the stream's highest-generation segment for append
     /// (truncating a torn tail), or creates generation 0.
     fn open(dir: &Path, stream_id: u64) -> Result<StreamWal, SnsError> {
-        let newest = list_segments(dir, stream_id)?.into_iter().last();
-        let (gen, path) = match newest {
-            Some((gen, path)) => (gen, path),
+        let segments = list_segments(dir, stream_id)?;
+        let (gen, path) = match segments.last() {
+            Some((gen, path)) => (*gen, path.clone()),
             None => (0, dir.join(segment_file_name(stream_id, 0))),
         };
+        // The append cursor must cover records in EVERY surviving
+        // segment, not just the newest: a crash right after rotation
+        // leaves the fresh segment header-only while the uncommitted
+        // records sit in the previous one (rotation keeps segments
+        // whose tail exceeds the committed seq). Recovery replays
+        // those records through `append` again; a cursor derived from
+        // the newest segment alone would re-journal them into the new
+        // segment and corrupt the cross-segment sequence order.
+        let mut floor_seq = 0u64;
+        for (seg_gen, seg_path) in &segments {
+            if *seg_gen == gen {
+                continue;
+            }
+            let bytes = fs::read(seg_path).map_err(|e| io_err(seg_path, e))?;
+            let parsed = read_segment(&bytes, Some(stream_id))?;
+            floor_seq = floor_seq.max(parsed.records.last().map_or(0, |r| r.seq));
+        }
         if !path.exists() {
             let mut file = fs::File::create(&path).map_err(|e| io_err(&path, e))?;
             file.write_all(&segment_header(stream_id, gen)).map_err(|e| io_err(&path, e))?;
-            return Ok(StreamWal { gen, path, file, last_seq: 0 });
+            return Ok(StreamWal { gen, path, file, last_seq: floor_seq });
         }
         let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
         let parsed = read_segment(&bytes, Some(stream_id))?;
@@ -323,8 +340,8 @@ impl StreamWal {
             // Drop the torn tail so appended records stay reachable.
             file.set_len(parsed.valid_len as u64).map_err(|e| io_err(&path, e))?;
         }
-        let mut wal =
-            StreamWal { gen, path, file, last_seq: parsed.records.last().map_or(0, |r| r.seq) };
+        let last_seq = parsed.records.last().map_or(0, |r| r.seq).max(floor_seq);
+        let mut wal = StreamWal { gen, path, file, last_seq };
         if parsed.valid_len == 0 {
             // The crash beat even the header; rewrite it.
             wal.file
@@ -381,7 +398,7 @@ fn list_segments(dir: &Path, stream_id: u64) -> Result<Vec<(u64, PathBuf)>, SnsE
 #[derive(Debug)]
 pub struct WalSet {
     dir: PathBuf,
-    streams: RwLock<HashMap<u64, Arc<Mutex<StreamWal>>>>,
+    streams: RwLock<BTreeMap<u64, Arc<Mutex<StreamWal>>>>,
     error: Mutex<Option<SnsError>>,
 }
 
@@ -393,7 +410,7 @@ impl WalSet {
     pub fn create(dir: impl Into<PathBuf>) -> Result<Self, SnsError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
-        Ok(WalSet { dir, streams: RwLock::new(HashMap::new()), error: Mutex::new(None) })
+        Ok(WalSet { dir, streams: RwLock::new(BTreeMap::new()), error: Mutex::new(None) })
     }
 
     /// The WAL directory.
@@ -577,10 +594,10 @@ pub fn recover_pool_wal(
                     let _ = session.ingest_batch(&tuples);
                 }
                 WalOp::AdvanceTo(t) => {
-                    session.advance_to(t)?;
+                    let _ = session.advance_to(t)?;
                 }
                 WalOp::WarmStart(opts) => {
-                    session.warm_start(&opts)?;
+                    let _ = session.warm_start(&opts)?;
                 }
             }
         }
@@ -748,7 +765,7 @@ mod tests {
                 ..Default::default()
             });
             let mut s = pool.open(5, spec.clone()).unwrap();
-            s.ingest_batch(&trace).unwrap();
+            let _ = s.ingest_batch(&trace).unwrap();
             crate::to_bytes(&s.snapshot().unwrap())
         };
 
@@ -761,13 +778,13 @@ mod tests {
                 ..Default::default()
             });
             let mut s = pool.open(5, spec.clone()).unwrap();
-            s.ingest_batch(&trace[..40]).unwrap();
+            let _ = s.ingest_batch(&trace[..40]).unwrap();
             let snapshots: Vec<_> =
                 pool.checkpoint_all().into_iter().map(|(_, r)| r.unwrap()).collect();
             assert_eq!(snapshots[0].wal_seq, 40);
             let (gen, _) = store.save_incremental(&snapshots).unwrap();
             wal.rotate(5, gen, snapshots[0].wal_seq).unwrap();
-            s.ingest_batch(&trace[40..60]).unwrap();
+            let _ = s.ingest_batch(&trace[40..60]).unwrap();
             drop(s);
             pool.join(); // crash: tuples 40..60 exist only in the WAL
         }
@@ -783,7 +800,7 @@ mod tests {
         assert_eq!(replayed, 20, "exactly the journal tail since the checkpoint");
         assert_eq!(wal.error().map(|e| e.to_string()), None);
         let s = &mut sessions[0];
-        s.ingest_batch(&trace[60..]).unwrap();
+        let _ = s.ingest_batch(&trace[60..]).unwrap();
         assert_eq!(
             crate::to_bytes(&s.snapshot().unwrap()),
             reference,

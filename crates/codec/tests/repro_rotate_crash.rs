@@ -6,9 +6,7 @@ use sns_stream::StreamTuple;
 use std::sync::Arc;
 
 fn tuples(n: u64, from: u64) -> Vec<StreamTuple> {
-    (from..from + n)
-        .map(|t| StreamTuple::new([(t % 4) as u32, (t % 3) as u32], 1.0, t))
-        .collect()
+    (from..from + n).map(|t| StreamTuple::new([(t % 4) as u32, (t % 3) as u32], 1.0, t)).collect()
 }
 
 #[test]
@@ -29,14 +27,14 @@ fn crash_right_after_rotation_then_recover_twice() {
             ..Default::default()
         });
         let mut s = pool.open(5, spec.clone()).unwrap();
-        s.ingest_batch(&trace[..40]).unwrap();
+        let _ = s.ingest_batch(&trace[..40]).unwrap();
         let snapshots: Vec<_> =
             pool.checkpoint_all().into_iter().map(|(_, r)| r.unwrap()).collect();
         assert_eq!(snapshots[0].wal_seq, 40);
         let (gen, _) = store.save_incremental(&snapshots).unwrap();
         // Records 41..=50 land in g0 *before* the rotation (daemon race:
         // ingest continues while save_incremental runs).
-        s.ingest_batch(&trace[40..50]).unwrap();
+        let _ = s.ingest_batch(&trace[40..50]).unwrap();
         wal.rotate(5, gen, snapshots[0].wal_seq).unwrap();
         // Crash immediately after rotation: g1 holds only its header.
         drop(s);

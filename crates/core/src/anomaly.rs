@@ -191,7 +191,7 @@ impl AnomalyDetector {
     /// The `k` events with the highest z-scores, best first.
     pub fn top_k(&self, k: usize) -> Vec<ScoredEvent> {
         let mut sorted = self.events.clone();
-        sorted.sort_by(|a, b| b.z.partial_cmp(&a.z).expect("finite z-scores"));
+        sorted.sort_by(|a, b| b.z.total_cmp(&a.z));
         sorted.truncate(k);
         sorted
     }

@@ -147,7 +147,7 @@ pub fn replay(
         report.prefilled += session.prefill_batch(&tuples[span])?.accepted;
     }
     if let Some(als) = &plan.warm_start {
-        session.warm_start(als)?;
+        let _ = session.warm_start(als)?;
     }
     let live = &tuples[cut..];
     for span in batch_spans(live, plan.bucket_ticks, plan.max_batch) {

@@ -140,6 +140,16 @@ pub enum SnsError {
         /// The underlying error, as text.
         message: String,
     },
+    /// A protocol invariant the runtime relies on was violated — e.g. a
+    /// worker replied to a ticket with a reply kind the protocol says it
+    /// cannot produce. Formerly these sites were `unreachable!`; the
+    /// typed variant lets one corrupted session fail without killing the
+    /// shard worker and everything co-scheduled on it.
+    Internal {
+        /// Which invariant broke, as text (for the operator, not for
+        /// matching).
+        detail: String,
+    },
     /// A compute-kernel entry point received a buffer whose length does
     /// not match the factor rank (the classic wrong-length-scratch bug).
     /// Kernels report this instead of panicking in release builds; the
@@ -266,6 +276,9 @@ impl fmt::Display for SnsError {
             SnsError::Io { path, message } => {
                 write!(f, "checkpoint io: {path}: {message}")
             }
+            SnsError::Internal { detail } => {
+                write!(f, "internal protocol invariant violated: {detail}")
+            }
             SnsError::KernelShape { what, expected, got } => {
                 write!(
                     f,
@@ -324,6 +337,9 @@ mod tests {
         let shape = SnsError::KernelShape { what: "mttkrp_row(out)", expected: 20, got: 19 };
         assert!(shape.to_string().contains("mttkrp_row(out)"));
         assert!(shape.to_string().contains("19") && shape.to_string().contains("20"));
+        let internal = SnsError::Internal { detail: "snapshot ticket got Batch reply".into() };
+        assert!(internal.to_string().contains("invariant"));
+        assert!(internal.to_string().contains("Batch reply"));
     }
 
     #[test]

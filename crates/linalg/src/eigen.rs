@@ -109,7 +109,7 @@ pub fn eigen_sym(a: &Mat) -> Result<SymEigen> {
 fn sort_eigen(m: Mat, v: Mat) -> SymEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&k| m[(k, k)]).collect();
     let vectors = Mat::from_fn(n, n, |r, c| v[(r, order[c])]);
     SymEigen { values, vectors }

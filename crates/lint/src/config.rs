@@ -1,0 +1,258 @@
+//! `lint.toml` — the allowlist and lock-order table.
+//!
+//! The linter's exit status is the workspace's invariant gate, so every
+//! exception must be *written down and justified*: an `[[allow]]` entry
+//! without a non-empty `justification` is itself a fatal configuration
+//! error. The parser is a deliberate TOML subset (array-of-tables with
+//! string values, `#` comments) so the linter stays zero-dependency;
+//! anything it does not understand is rejected loudly rather than
+//! silently ignored.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "determinism/wall-clock"        # or "*" for every rule
+//! path = "crates/bench/"                  # prefix match, `/`-normalized
+//! contains = "Instant::now"               # optional line-text narrowing
+//! justification = "bench measures wall time; that is its job"
+//!
+//! [[lock_order]]
+//! first = "owners"
+//! second = "cell"
+//! path = "crates/runtime/src/pool.rs"
+//! justification = "documented two-level ownership-map protocol"
+//! ```
+
+use std::fmt;
+
+/// One allowlist entry: matching violations are reported but do not
+/// affect the exit status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry silences, or `*` for all rules.
+    pub rule: String,
+    /// Path prefix (workspace-relative, `/` separators).
+    pub path: String,
+    /// When set, only lines whose source text contains this substring
+    /// are silenced — lets an entry target one construct in a file.
+    pub contains: Option<String>,
+    /// Why this exception is sound. Mandatory and non-empty.
+    pub justification: String,
+}
+
+/// A registered lock-order pair: acquiring `second` while a guard on
+/// `first` is live, in files under `path`, is a declared (reviewed)
+/// ordering rather than a hazard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrderEntry {
+    /// Receiver name of the outer guard.
+    pub first: String,
+    /// Receiver name of the inner acquisition.
+    pub second: String,
+    /// Path prefix the pair is registered for.
+    pub path: String,
+    /// Why the ordering is deadlock-free. Mandatory and non-empty.
+    pub justification: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Allowlist entries, in file order.
+    pub allow: Vec<AllowEntry>,
+    /// Registered lock-order pairs.
+    pub lock_order: Vec<LockOrderEntry>,
+}
+
+/// A fatal configuration problem (malformed TOML subset, missing
+/// justification, unknown keys).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[derive(Debug, Default)]
+struct Entry {
+    header_line: usize,
+    kind: String,
+    keys: Vec<(String, String)>,
+}
+
+impl Entry {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.keys.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<String, ConfigError> {
+        self.get(key).map(str::to_owned).filter(|v| !v.is_empty()).ok_or_else(|| ConfigError {
+            line: self.header_line,
+            message: format!("[[{}]] entry is missing a non-empty `{key}`", self.kind),
+        })
+    }
+}
+
+impl Config {
+    /// Parses the `lint.toml` text.
+    ///
+    /// # Errors
+    /// [`ConfigError`] on any line the subset grammar does not cover,
+    /// on unknown table names or keys, and on entries without a
+    /// justification — configuration problems must never silently
+    /// weaken the gate.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut entries: Vec<Entry> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                let name = name.trim();
+                if name != "allow" && name != "lock_order" {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown table `[[{name}]]` (expected allow/lock_order)"),
+                    });
+                }
+                entries.push(Entry {
+                    header_line: lineno,
+                    kind: name.to_string(),
+                    keys: Vec::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = parse_assignment(line) else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("cannot parse `{line}` (expected `key = \"value\"`)"),
+                });
+            };
+            let Some(entry) = entries.last_mut() else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: "assignment outside any [[allow]]/[[lock_order]] entry".to_string(),
+                });
+            };
+            let known: &[&str] = match entry.kind.as_str() {
+                "allow" => &["rule", "path", "contains", "justification"],
+                _ => &["first", "second", "path", "justification"],
+            };
+            if !known.contains(&key) {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown key `{key}` in [[{}]]", entry.kind),
+                });
+            }
+            entry.keys.push((key.to_string(), value));
+        }
+        let mut config = Config::default();
+        for entry in entries {
+            match entry.kind.as_str() {
+                "allow" => config.allow.push(AllowEntry {
+                    rule: entry.required("rule")?,
+                    path: entry.required("path")?,
+                    contains: entry.get("contains").map(str::to_owned),
+                    justification: entry.required("justification")?,
+                }),
+                _ => config.lock_order.push(LockOrderEntry {
+                    first: entry.required("first")?,
+                    second: entry.required("second")?,
+                    path: entry.required("path")?,
+                    justification: entry.required("justification")?,
+                }),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Strips a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '\\' if in_str => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parses `key = "value"`, unescaping `\"` and `\\`.
+fn parse_assignment(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    let mut value = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some(other) => {
+                    value.push('\\');
+                    value.push(other);
+                }
+                None => value.push('\\'),
+            }
+        } else {
+            value.push(ch);
+        }
+    }
+    Some((key.trim(), value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_requires_justification() {
+        let cfg = Config::parse(
+            "# top comment\n\
+             [[allow]]\n\
+             rule = \"determinism/wall-clock\"\n\
+             path = \"crates/bench/\"  # measurement tooling\n\
+             justification = \"benchmarks measure wall time\"\n\
+             \n\
+             [[lock_order]]\n\
+             first = \"owners\"\n\
+             second = \"cell\"\n\
+             path = \"crates/runtime/src/pool.rs\"\n\
+             justification = \"two-level protocol\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.lock_order.len(), 1);
+        assert_eq!(cfg.allow[0].rule, "determinism/wall-clock");
+
+        let missing = Config::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\n");
+        assert!(missing.is_err(), "justification must be mandatory");
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_keys() {
+        assert!(Config::parse("[[nope]]\n").is_err());
+        assert!(Config::parse("[[allow]]\nwhatever = \"x\"\n").is_err());
+        assert!(Config::parse("orphan = \"x\"\n").is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! The driver: walks the workspace's library sources, runs every rule,
+//! resolves the allowlist, and renders text and JSON reports.
+//!
+//! Scan set: `src/**` of the root crate plus `crates/*/src/**`, `.rs`
+//! files only. `main.rs` and `src/bin/**` are scanned but marked as
+//! binary code (binaries may panic and read clocks); everything else is
+//! library code and gets the full rule set.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::rules::{check_file, FileCtx};
+use crate::scope::test_mask;
+use crate::tokenizer::tokenize;
+
+/// One finished diagnostic: a rule hit plus its allowlist resolution.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id.
+    pub rule: String,
+    /// Human-readable message.
+    pub message: String,
+    /// `true` when an allowlist entry covers the hit — reported, but
+    /// not counted against the exit status.
+    pub allowed: bool,
+    /// The covering entry's justification, when allowed.
+    pub justification: Option<String>,
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every rule hit, allowed or not, ordered by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Allowlist entries (rendered as `rule @ path`) that matched no
+    /// diagnostic — stale exceptions that should be deleted.
+    pub unused_allow: Vec<String>,
+}
+
+impl Report {
+    /// Diagnostics not covered by the allowlist — the exit-status count.
+    #[must_use]
+    pub fn violation_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| !d.allowed).count()
+    }
+
+    /// Renders the `file:line: [rule-id] message` text report.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            if d.allowed {
+                continue;
+            }
+            out.push_str(&format!("{}:{}: [{}] {}\n", d.path, d.line, d.rule, d.message));
+        }
+        let allowed = self.diagnostics.len() - self.violation_count();
+        out.push_str(&format!(
+            "sns-lint: {} file(s) scanned, {} violation(s), {} allowlisted\n",
+            self.files_scanned,
+            self.violation_count(),
+            allowed,
+        ));
+        for stale in &self.unused_allow {
+            out.push_str(&format!("sns-lint: warning: unused lint.toml allow entry: {stale}\n"));
+        }
+        out
+    }
+
+    /// Renders the machine-readable JSON report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"sns-lint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"violations\": {},\n", self.violation_count()));
+        out.push_str(&format!(
+            "  \"allowed\": {},\n",
+            self.diagnostics.len() - self.violation_count()
+        ));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"path\": {}, ", json_str(&d.path)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"rule\": {}, ", json_str(&d.rule)));
+            out.push_str(&format!("\"allowed\": {}, ", d.allowed));
+            if let Some(j) = &d.justification {
+                out.push_str(&format!("\"justification\": {}, ", json_str(j)));
+            }
+            out.push_str(&format!("\"message\": {}", json_str(&d.message)));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"unused_allow\": [");
+        for (i, s) in self.unused_allow.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(s));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A source file queued for linting.
+#[derive(Debug)]
+struct SourceFile {
+    abs: PathBuf,
+    rel: String,
+    is_lib: bool,
+}
+
+/// Lints every library source under `root` with the given config.
+///
+/// # Errors
+/// Propagates I/O failures from the directory walk or file reads; the
+/// linter never skips an unreadable file silently.
+pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut files = collect_sources(root)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+    let mut report = Report::default();
+    let mut used = vec![false; config.allow.len()];
+    for file in &files {
+        let src = fs::read_to_string(&file.abs)?;
+        let tokens = tokenize(&src);
+        let mask = test_mask(&tokens);
+        let ctx =
+            FileCtx { rel_path: &file.rel, is_lib: file.is_lib, tokens: &tokens, test_mask: &mask };
+        let lines: Vec<&str> = src.lines().collect();
+        for raw in check_file(&ctx, config) {
+            let line_text = lines.get(raw.line.saturating_sub(1) as usize).copied().unwrap_or("");
+            let hit = config.allow.iter().position(|e| {
+                (e.rule == "*" || e.rule == raw.rule)
+                    && file.rel.starts_with(&e.path)
+                    && e.contains.as_deref().is_none_or(|c| line_text.contains(c))
+            });
+            if let Some(idx) = hit {
+                used[idx] = true;
+            }
+            report.diagnostics.push(Diagnostic {
+                path: file.rel.clone(),
+                line: raw.line,
+                rule: raw.rule.to_string(),
+                message: raw.message,
+                allowed: hit.is_some(),
+                justification: hit.map(|i| config.allow[i].justification.clone()),
+            });
+        }
+        report.files_scanned += 1;
+    }
+    for (idx, was_used) in used.iter().enumerate() {
+        if !was_used {
+            let e = &config.allow[idx];
+            report.unused_allow.push(format!("{} @ {}", e.rule, e.path));
+        }
+    }
+    Ok(report)
+}
+
+/// Gathers the scan set: `src/**` plus `crates/*/src/**`.
+fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_src(&root_src, root, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk_src(&src, root, &mut files)?;
+            }
+        }
+    }
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under one `src/` tree.
+fn walk_src(src_root: &Path, workspace_root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut stack = vec![src_root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = rel_path(workspace_root, &path);
+                let within = rel_path(src_root, &path);
+                let is_bin = within == "main.rs" || within.starts_with("bin/");
+                out.push(SourceFile { abs: path, rel, is_lib: !is_bin });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `/`-normalized path of `path` relative to `base`.
+fn rel_path(base: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(base).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}

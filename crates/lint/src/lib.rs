@@ -1,0 +1,35 @@
+//! `sns-lint` — the workspace invariant checker.
+//!
+//! SliceNStitch's correctness story rests on mechanical guarantees:
+//! pooled execution is bitwise-identical to serial, snapshots
+//! round-trip to identical bytes, WAL replay reconstructs identical
+//! state. Those proofs hold only while the code obeys a handful of
+//! discipline rules — no hash-ordered iteration in capture paths, no
+//! wall-clock reads outside the clock seam, no panics in library code,
+//! no unregistered nested locking, sync before rename at durability
+//! commit points, `#[must_use]` receipts. This crate enforces those
+//! rules with a hand-rolled tokenizer (no `syn`, no dependencies at
+//! all) so the gate builds and runs offline, before and independent of
+//! the crates it checks.
+//!
+//! Layers:
+//! - [`tokenizer`]: a lossy-but-honest Rust lexer — comments and
+//!   string/char literals can never be mistaken for code.
+//! - [`scope`]: test-region masking and function spans over tokens.
+//! - [`config`]: the `lint.toml` allowlist, with mandatory
+//!   justifications.
+//! - [`rules`]: the six invariant rules.
+//! - [`engine`]: the workspace walker, allowlist resolution, and the
+//!   text/JSON reporters.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod rules;
+pub mod scope;
+pub mod tokenizer;
+
+pub use config::{AllowEntry, Config, ConfigError, LockOrderEntry};
+pub use engine::{run, Diagnostic, Report};
+pub use rules::{check_file, FileCtx, RawViolation};

@@ -1,0 +1,95 @@
+//! `sns-lint` binary: lint the workspace, print `file:line: [rule]`
+//! diagnostics, optionally write a JSON report, and exit non-zero on
+//! any unallowlisted violation.
+//!
+//! ```text
+//! sns-lint --workspace [--root DIR] [--config FILE] [--json FILE]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sns_lint::Config;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), config: None, json: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {} // the only scan mode; accepted for clarity
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root requires a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config requires a file")?));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json requires a file")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sns-lint --workspace [--root DIR] [--config FILE] [--json FILE]\n\
+                     Lints the workspace's library sources against the six invariant rules;\n\
+                     exits non-zero on any violation not allowlisted in lint.toml."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sns-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args.config.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let config = if config_path.is_file() {
+        let text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sns-lint: cannot read {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Config::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("sns-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+    let report = match sns_lint::run(&args.root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sns-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(json_path) = &args.json {
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("sns-lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.violation_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

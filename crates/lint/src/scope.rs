@@ -1,0 +1,270 @@
+//! Structural views over a token stream: test-region masking, function
+//! spans, and attribute lookup.
+//!
+//! The linter's panic-freedom and determinism rules apply to *library*
+//! code only — `#[cfg(test)]` modules and `#[test]` functions are free
+//! to unwrap. Rather than parse Rust, this module tracks brace depth
+//! and attribute markers: an item introduced under an attribute whose
+//! tokens mention `test` (and not `not`, so `#[cfg(not(test))]` stays
+//! live code) is masked, together with everything nested inside it.
+
+use crate::tokenizer::Token;
+
+/// Returns, per token, whether it lies inside a test-only item
+/// (`#[cfg(test)] mod …`, `#[test] fn …`, and anything nested there).
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = matching_bracket(tokens, i + 1);
+            if attr_is_test(&tokens[i + 2..attr_end]) {
+                // Mask from the attribute through the end of the item
+                // it decorates (past any further attributes).
+                let item_end = item_end(tokens, attr_end + 1);
+                for m in mask.iter_mut().take(item_end.min(tokens.len())).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `true` when attribute tokens mark a test item. Mentions of `test`
+/// under `not(…)` do not count, so `#[cfg(not(test))]` is live code.
+fn attr_is_test(attr: &[Token]) -> bool {
+    attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"))
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Scans from the start of an item (just past its attributes) to the
+/// token index one past its end: the matching `}` of its body, or the
+/// `;` that terminates a body-less item (`use`, `const`, …). Further
+/// attribute groups are skipped.
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    // Skip stacked attributes.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        i = matching_bracket(tokens, i + 1) + 1;
+    }
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct(';') {
+                return i + 1;
+            }
+            if t.is_punct('{') {
+                return matching_brace(tokens, i) + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// One function's span in the token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct FnSpan {
+    /// Index of the `fn` keyword.
+    pub kw: usize,
+    /// Index of the body's opening `{` (one past `kw` for body-less
+    /// trait-method declarations, which are reported with an empty body).
+    pub body_open: usize,
+    /// Index of the body's closing `}` (inclusive).
+    pub body_close: usize,
+}
+
+/// Every `fn` item's body span, in source order. Nested functions and
+/// closures inside a body are *not* split out — a rule scanning a span
+/// sees the whole lexical function, which is the right granularity for
+/// "held across" questions.
+pub fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans: Vec<FnSpan> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            // Find the body's `{`, skipping parameter lists and where
+            // clauses; a `;` first means a trait declaration (no body).
+            let mut j = i + 1;
+            let mut paren = 0isize;
+            let mut found = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if paren == 0 && t.is_punct(';') {
+                    break;
+                } else if paren == 0 && t.is_punct('{') {
+                    found = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = found {
+                // Skip spans nested inside the previous span: rules
+                // iterate outer functions only.
+                let nested = spans.last().is_some_and(|s| open <= s.body_close);
+                if !nested {
+                    spans.push(FnSpan {
+                        kw: i,
+                        body_open: open,
+                        body_close: matching_brace(tokens, open),
+                    });
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// `true` when the item whose first keyword token sits at `item` is
+/// decorated (directly, through any stack of attributes) with an
+/// attribute containing the identifier `name` — e.g. `must_use`.
+pub fn has_attr(tokens: &[Token], item: usize, name: &str) -> bool {
+    // Walk backwards over contiguous `# [ … ]` groups.
+    let mut end = item; // exclusive end of the region to inspect
+    while end >= 1 {
+        // Find a `]` directly before the current position.
+        let close = end - 1;
+        if !tokens[close].is_punct(']') {
+            break;
+        }
+        // Scan back to its matching `[` and the `#` before it.
+        let mut depth = 0isize;
+        let mut open = close;
+        loop {
+            if tokens[open].is_punct(']') {
+                depth += 1;
+            } else if tokens[open].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if open == 0 {
+                return false;
+            }
+            open -= 1;
+        }
+        if open == 0 || !tokens[open - 1].is_punct('#') {
+            break;
+        }
+        if tokens[open..close].iter().any(|t| t.is_ident(name)) {
+            return true;
+        }
+        end = open - 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    #[test]
+    fn cfg_test_mod_is_masked_and_live_code_is_not() {
+        let src = "
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); }
+            }
+            fn also_live() {}
+        ";
+        let toks = tokenize(src);
+        let mask = test_mask(&toks);
+        let masked_idents: Vec<&str> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, m)| **m && t.kind == crate::tokenizer::TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked_idents.contains(&"y"));
+        assert!(!masked_idents.contains(&"x"));
+        assert!(!masked_idents.contains(&"also_live"));
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let toks = tokenize("#[cfg(not(test))] fn prod() { a.unwrap(); }");
+        let mask = test_mask(&toks);
+        assert!(mask.iter().all(|m| !m));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() { inner(); } impl X { fn b(&self) -> Y where Y: Z { body() } }";
+        let toks = tokenize(src);
+        let spans = fn_spans(&toks);
+        assert_eq!(spans.len(), 2);
+        for s in spans {
+            assert!(toks[s.body_open].is_punct('{'));
+            assert!(toks[s.body_close].is_punct('}'));
+        }
+    }
+
+    #[test]
+    fn has_attr_sees_stacked_attributes() {
+        let src = "#[derive(Debug)] #[must_use] pub struct R;";
+        let toks = tokenize(src);
+        let item = toks.iter().position(|t| t.is_ident("pub")).unwrap();
+        assert!(has_attr(&toks, item, "must_use"));
+        assert!(!has_attr(&toks, item, "repr"));
+    }
+}

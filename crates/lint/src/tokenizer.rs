@@ -1,0 +1,365 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The rules in [`crate::rules`] match on *token* sequences, never on
+//! raw text, so occurrences of `unwrap`, `HashMap`, or `Instant::now`
+//! inside comments, doc comments, string literals, and raw strings are
+//! invisible to them. That property is what the tokenizer proptest
+//! pins: content seeded into any comment or literal form must never
+//! surface as an identifier token, and line numbers must survive every
+//! multi-line construct (block comments, raw strings with embedded
+//! newlines, nested comments).
+//!
+//! The lexer is lossy on purpose: whitespace and comments are dropped,
+//! numeric literals are not classified beyond "number", and no attempt
+//! is made to parse. What it does guarantee:
+//!
+//! - `//` line comments and *nested* `/* */` block comments are skipped;
+//! - plain, byte, and C strings (`"…"`, `b"…"`, `c"…"`) with escape
+//!   sequences, and raw strings with any hash depth (`r#"…"#`,
+//!   `br##"…"##`) become single [`TokenKind::Str`] tokens;
+//! - char literals (including `'\''` and `'\u{…}'`) are distinguished
+//!   from lifetimes (`'a`) by lookahead;
+//! - every token carries the 1-based line it starts on.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`) — *not* a char literal.
+    Lifetime,
+    /// Any string literal form; `text` is the literal's *contents*
+    /// (prefix, quotes, and raw-string hashes stripped, escapes kept
+    /// verbatim).
+    Str,
+    /// A char literal; `text` is the contents between the quotes.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character (`.`, `(`, `{`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification — see [`TokenKind`].
+    pub kind: TokenKind,
+    /// The token text (see [`TokenKind`] for what `Str`/`Char` carry).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// `true` when this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `src` into a token stream. Total: any byte sequence produces
+/// *some* tokenization (unterminated literals run to end of input
+/// rather than erroring — a linter must not die on a syntax error the
+/// compiler will report anyway).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let line = self.line;
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'"' => {
+                    self.pos += 1;
+                    self.read_string(line);
+                }
+                b'\'' => self.read_char_or_lifetime(line),
+                _ if b.is_ascii_digit() => self.read_number(line),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => self.read_ident(line),
+                _ => {
+                    self.out.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (b as char).to_string(),
+                        line,
+                    });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(b) = self.src.get(self.pos) {
+            if *b == b'\n' {
+                break; // the newline itself is handled by `run`
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Reads a non-raw string body; `pos` is just past the opening `"`.
+    fn read_string(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2.min(self.src.len() - self.pos),
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let text =
+            String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())]).into_owned();
+        self.pos = (self.pos + 1).min(self.src.len()); // closing quote
+        self.out.push(Token { kind: TokenKind::Str, text, line });
+    }
+
+    /// Reads a raw string body; `pos` is at the first `#` or `"` after
+    /// the `r`. Returns `false` if this is not actually a raw string
+    /// (e.g. `r#foo`, a raw identifier).
+    fn read_raw_string(&mut self, line: u32) -> bool {
+        let mut probe = self.pos;
+        let mut hashes = 0usize;
+        while self.src.get(probe) == Some(&b'#') {
+            hashes += 1;
+            probe += 1;
+        }
+        if self.src.get(probe) != Some(&b'"') {
+            return false;
+        }
+        self.pos = probe + 1;
+        let start = self.pos;
+        let end;
+        loop {
+            match self.src.get(self.pos) {
+                None => {
+                    end = self.src.len();
+                    break;
+                }
+                Some(b'"') => {
+                    let mut tail = self.pos + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && self.src.get(tail) == Some(&b'#') {
+                        seen += 1;
+                        tail += 1;
+                    }
+                    if seen == hashes {
+                        end = self.pos;
+                        self.pos = tail;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.push(Token { kind: TokenKind::Str, text, line });
+        true
+    }
+
+    fn read_char_or_lifetime(&mut self, line: u32) {
+        // Lifetime when: 'ident NOT followed by a closing quote.
+        // Char literal otherwise ('a', '\n', '\u{1F600}', '\'').
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // Scan the would-be lifetime ident; a trailing ' makes
+                // it a char literal like 'a'.
+                let mut probe = self.pos + 2;
+                while self.src.get(probe).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                    probe += 1;
+                }
+                self.src.get(probe) != Some(&b'\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            let start = self.pos;
+            while self.src.get(self.pos).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                self.pos += 1;
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.out.push(Token { kind: TokenKind::Lifetime, text, line });
+            return;
+        }
+        // Char literal: consume until the closing quote, honoring \-escapes.
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2.min(self.src.len() - self.pos),
+                b'\'' => break,
+                b'\n' => {
+                    // Stray quote (syntax error); bail as an empty char.
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let text =
+            String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())]).into_owned();
+        if self.src.get(self.pos) == Some(&b'\'') {
+            self.pos += 1;
+        }
+        self.out.push(Token { kind: TokenKind::Char, text, line });
+    }
+
+    fn read_number(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.src.get(self.pos) {
+            let cont = b.is_ascii_alphanumeric()
+                || *b == b'_'
+                // `1.5` continues the number; `1..3` and `1.method()` do not.
+                || (*b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()));
+            if !cont {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token { kind: TokenKind::Num, text, line });
+    }
+
+    fn read_ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_' || *b >= 0x80)
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // String prefixes: r"…" / r#"…"# / b"…" / br#"…"# / c"…" / cr"…".
+        if matches!(text.as_str(), "r" | "br" | "cr")
+            && matches!(self.src.get(self.pos), Some(b'"' | b'#'))
+            && self.read_raw_string(line)
+        {
+            return;
+        }
+        if matches!(text.as_str(), "b" | "c") && self.src.get(self.pos) == Some(&b'"') {
+            self.pos += 1;
+            self.read_string(line);
+            return;
+        }
+        if text == "b" && self.src.get(self.pos) == Some(&b'\'') {
+            // Byte char literal b'x'.
+            self.read_char_or_lifetime(line);
+            return;
+        }
+        self.out.push(Token { kind: TokenKind::Ident, text, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // unwrap in a line comment
+            /* unwrap in /* a nested */ block comment */
+            let x = "unwrap inside a string";
+            let y = r#"unwrap inside a raw " string"#;
+            let z = b"unwrap bytes";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| &t.text).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Char).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(chars, ["x", "\\'"]);
+    }
+
+    #[test]
+    fn lines_survive_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nb\nr#\"raw\nstring\"#\nc";
+        let toks = tokenize(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn method_calls_after_numbers_stay_separate() {
+        let toks = tokenize("1.5f64 + 2.min(x) + 0..3");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Num && t.text == "1.5f64"));
+        assert!(toks.iter().any(|t| t.is_ident("min")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Num && t.text == "3"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: hash-ordered containers in a codec path (linted under the
+//! synthetic path `crates/codec/src/fixture.rs`). Both should trip.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_hash: HashMap<u64, Vec<usize>>,
+    seen: HashSet<u64>,
+}
+
+pub fn build(keys: &[u64]) -> Index {
+    let mut by_hash = HashMap::new();
+    let mut seen = HashSet::new();
+    for (i, &k) in keys.iter().enumerate() {
+        by_hash.entry(k).or_insert_with(Vec::new).push(i);
+        seen.insert(k);
+    }
+    Index { by_hash, seen }
+}

@@ -1,0 +1,26 @@
+//! Fixture: the deterministic equivalents pass, and mentions of the
+//! banned names in comments, strings, and test code do not count.
+//! A HashMap in this comment is fine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Index {
+    by_hash: BTreeMap<u64, Vec<usize>>,
+    seen: BTreeSet<u64>,
+}
+
+pub fn describe() -> &'static str {
+    "sorted Vec beats HashMap for a build-once probe-many index"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hash_containers() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

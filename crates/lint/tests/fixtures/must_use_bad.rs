@@ -1,0 +1,12 @@
+//! Fixture: receipt-suffixed public types without `#[must_use]`.
+//! Both should trip.
+
+pub struct IngestReceipt {
+    pub accepted: usize,
+}
+
+#[derive(Debug, Clone)]
+pub enum CaptureSnapshot {
+    Full(Vec<u8>),
+    Delta(Vec<u8>),
+}

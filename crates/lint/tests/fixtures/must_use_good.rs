@@ -1,0 +1,23 @@
+//! Fixture: `#[must_use]` receipts, non-public receipts, and unrelated
+//! names all pass.
+
+#[must_use = "a receipt is the only acknowledgment a batch gets"]
+pub struct IngestReceipt {
+    pub accepted: usize,
+}
+
+#[derive(Debug)]
+#[must_use]
+pub struct DrainGuard {
+    depth: usize,
+}
+
+// Crate-private: not part of the public API contract.
+pub(crate) struct InternalReceipt {
+    pub accepted: usize,
+}
+
+// Suffix does not match the receipt family.
+pub struct WindowModel {
+    pub ticks: u64,
+}

@@ -1,0 +1,17 @@
+//! Fixture: a second lock acquired while a let-bound guard is live,
+//! with no registered lock-order pair. Should trip once.
+
+use std::sync::Mutex;
+
+pub struct Two {
+    owners: Mutex<u32>,
+    cell: Mutex<u32>,
+}
+
+impl Two {
+    pub fn nested(&self) -> u32 {
+        let owners = self.owners.lock().expect("owners poisoned");
+        let cell = self.cell.lock().expect("cell poisoned");
+        *owners + *cell
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture: the restructurings that release the first guard before the
+//! second acquisition. None should trip.
+
+use std::sync::Mutex;
+
+pub struct Two {
+    owners: Mutex<u32>,
+    cell: Mutex<u32>,
+}
+
+impl Two {
+    pub fn scoped_block(&self) -> u32 {
+        // The pool's claim-then-evict shape: the outer guard dies at the
+        // inner block's closing brace before the second lock.
+        let first = {
+            let owners = self.owners.lock().expect("owners poisoned");
+            *owners
+        };
+        let cell = self.cell.lock().expect("cell poisoned");
+        first + *cell
+    }
+
+    pub fn explicit_drop(&self) -> u32 {
+        let owners = self.owners.lock().expect("owners poisoned");
+        let first = *owners;
+        drop(owners);
+        let cell = self.cell.lock().expect("cell poisoned");
+        first + *cell
+    }
+
+    pub fn sequential_temporaries(&self) -> u32 {
+        let a = *self.owners.lock().expect("owners poisoned");
+        let b = *self.cell.lock().expect("cell poisoned");
+        a + b
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: the five panic shapes in live library code. All should trip.
+
+pub fn five_ways(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("value must be present");
+    if a > b {
+        panic!("a exceeded b");
+    }
+    match a {
+        0 => todo!(),
+        1 => unreachable!("one is filtered upstream"),
+        _ => a + b,
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: the poisoned-lock carve-out, test code, and panic words in
+//! comments/strings all pass. Calling .unwrap() here in prose is fine.
+
+use std::sync::Mutex;
+
+pub fn poisoned_carveout(m: &Mutex<u32>) -> u32 {
+    // The one sanctioned expect: a poisoned mutex means another thread
+    // already panicked; propagating poison as Result everywhere would
+    // bury every read in plumbing.
+    *m.lock().expect("counter mutex poisoned")
+}
+
+pub fn typed_instead(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "value missing; do not panic!() over it".to_string())
+}
+
+pub fn unwrap_or_is_not_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        assert_eq!(r.expect("test expects freely"), 4);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: rename without a sync in the same function (linted under
+//! the synthetic path `crates/codec/src/store.rs`). Should trip once.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub fn publish_unsynced(tmp: &Path, dst: &Path, bytes: &[u8]) -> io::Result<()> {
+    fs::write(tmp, bytes)?;
+    fs::rename(tmp, dst)
+}

@@ -1,0 +1,15 @@
+//! Fixture: the write-sync-rename commit protocol. Should not trip.
+
+use std::fs;
+use std::io;
+use std::io::Write as _;
+use std::path::Path;
+
+pub fn publish_synced(tmp: &Path, dst: &Path, bytes: &[u8]) -> io::Result<()> {
+    {
+        let mut f = fs::File::create(tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(tmp, dst)
+}

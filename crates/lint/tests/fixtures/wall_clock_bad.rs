@@ -1,0 +1,11 @@
+//! Fixture: direct clock reads in library code. Both should trip.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,177 @@
+//! Property tests for the tokenizer: source is assembled from random
+//! sequences of constructs — comments, strings, raw strings, chars,
+//! lifetimes, code — each either *hiding* or *exposing* a marker word.
+//! The lexer must surface exactly the exposed markers as identifiers:
+//! a needle hidden in any comment or literal form must never tokenize,
+//! and an exposed one must never be swallowed.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sns_lint::tokenizer::{tokenize, TokenKind};
+
+const NEEDLE: &str = "zxqneedle";
+
+/// One construct appended to the generated source. `hidden` says
+/// whether its needle is inside a comment/literal (invisible to rules)
+/// or in live code (must tokenize).
+struct Piece {
+    text: String,
+    hidden: bool,
+    contains_needle: bool,
+}
+
+/// Decodes one (kind, a, b) triple into a construct.
+fn piece(kind: u8, a: u8, b: u8) -> Piece {
+    let hashes = "#".repeat((a % 3) as usize);
+    match kind % 12 {
+        // Line comment hides the needle.
+        0 => {
+            Piece { text: format!("// says {NEEDLE} here\n"), hidden: true, contains_needle: true }
+        }
+        // Block comment, possibly nested, hides it.
+        1 => Piece {
+            text: format!("/* outer /* inner {NEEDLE} */ tail */ "),
+            hidden: true,
+            contains_needle: true,
+        },
+        // Plain string hides it, escapes included.
+        2 => Piece {
+            text: format!("let s = \"pre \\\" {NEEDLE} \\\\\"; "),
+            hidden: true,
+            contains_needle: true,
+        },
+        // Raw string with 0–2 hashes hides it.
+        3 => Piece {
+            text: format!("let r = r{hashes}\"raw {NEEDLE} \"{hashes}; "),
+            hidden: true,
+            contains_needle: true,
+        },
+        // Byte / C strings hide it.
+        4 => {
+            Piece { text: format!("let b = b\"{NEEDLE}\"; "), hidden: true, contains_needle: true }
+        }
+        // Char literal (no needle; checks char-vs-lifetime logic).
+        5 => Piece {
+            text: format!("let c = '{}'; ", (b'a' + (b % 26)) as char),
+            hidden: true,
+            contains_needle: false,
+        },
+        // Escaped char literal.
+        6 => Piece { text: "let c = '\\n'; ".to_string(), hidden: true, contains_needle: false },
+        // Lifetime (must lex as a lifetime, not an unterminated char).
+        7 => Piece {
+            text: format!("fn f{b}<'a>(x: &'a u32) -> &'a u32 {{ x }} "),
+            hidden: true,
+            contains_needle: false,
+        },
+        // Live code exposing the needle as an identifier.
+        8 => Piece {
+            text: format!("let {NEEDLE} = {}; ", u32::from(b)),
+            hidden: false,
+            contains_needle: true,
+        },
+        // Live code: needle as a method name.
+        9 => Piece {
+            text: format!("let y{b} = obj.{NEEDLE}(); "),
+            hidden: false,
+            contains_needle: true,
+        },
+        // Numbers with dots and suffixes (method-call disambiguation).
+        10 => Piece {
+            text: format!("let n{b} = {}.5f64 + 7.0e2; ", a % 10),
+            hidden: true,
+            contains_needle: false,
+        },
+        // Filler punctuation and brackets.
+        _ => Piece {
+            text: "while x < 3 { x += 1; } ".to_string(),
+            hidden: true,
+            contains_needle: false,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Hidden needles never tokenize as identifiers; exposed needles
+    /// always do, exactly once each.
+    #[test]
+    fn needles_surface_iff_exposed(
+        pieces in vec((0u8..12, 0u8..=255, 0u8..=255), 1..25),
+    ) {
+        let mut src = String::new();
+        let mut exposed = 0usize;
+        for &(k, a, b) in &pieces {
+            let p = piece(k, a, b);
+            if !p.hidden && p.contains_needle {
+                exposed += 1;
+            }
+            src.push_str(&p.text);
+        }
+        let tokens = tokenize(&src);
+        let surfaced = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == NEEDLE)
+            .count();
+        prop_assert_eq!(
+            surfaced, exposed,
+            "source: {:?}", src
+        );
+    }
+
+    /// Token line numbers are nondecreasing and within the file, no
+    /// matter how multiline constructs interleave.
+    #[test]
+    fn line_numbers_monotone_and_bounded(
+        pieces in vec((0u8..12, 0u8..=255, 0u8..=255), 1..25),
+        newlines in vec(0u8..3, 0..25),
+    ) {
+        let mut src = String::new();
+        for (i, &(k, a, b)) in pieces.iter().enumerate() {
+            src.push_str(&piece(k, a, b).text);
+            let extra = newlines.get(i).copied().unwrap_or(0);
+            for _ in 0..extra {
+                src.push('\n');
+            }
+        }
+        let total_lines = src.lines().count().max(1) as u32;
+        let tokens = tokenize(&src);
+        let mut prev = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= prev, "line went backwards in {:?}", src);
+            prop_assert!(t.line <= total_lines, "line beyond EOF in {:?}", src);
+            prev = t.line;
+        }
+    }
+
+    /// Tokenizing is total and deterministic: any byte soup of the
+    /// pieces (including truncation mid-construct) yields the same
+    /// tokens on every run and never panics.
+    #[test]
+    fn tokenize_is_total_and_deterministic(
+        pieces in vec((0u8..12, 0u8..=255, 0u8..=255), 1..15),
+        cut in 0u8..=255,
+    ) {
+        let mut src = String::new();
+        for &(k, a, b) in &pieces {
+            src.push_str(&piece(k, a, b).text);
+        }
+        // Truncate at an arbitrary char boundary: unterminated
+        // comments/strings/chars must still lex to EOF without panic.
+        let boundary = src
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([src.len()])
+            .nth((cut as usize) % (src.chars().count() + 1))
+            .unwrap_or(src.len());
+        let truncated = &src[..boundary];
+        let first = tokenize(truncated);
+        let second = tokenize(truncated);
+        prop_assert_eq!(first.len(), second.len());
+        for (x, y) in first.iter().zip(&second) {
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.line, y.line);
+        }
+    }
+}

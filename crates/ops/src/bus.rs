@@ -23,7 +23,9 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::clock;
 
 /// One receive result from a [`Subscription`].
 #[derive(Debug, Clone, PartialEq)]
@@ -121,7 +123,7 @@ impl<E> EventBus<E> {
             return false;
         }
         {
-            let mut ring = self.inner.ring.lock().unwrap();
+            let mut ring = self.inner.ring.lock().expect("event-bus ring poisoned");
             if ring.buf.len() == self.inner.capacity {
                 ring.buf.pop_front();
                 self.inner.dropped.fetch_add(1, Ordering::Relaxed);
@@ -140,13 +142,13 @@ impl<E> EventBus<E> {
         // either sees the subscriber (event retained) or happened
         // before the cursor (event legitimately missed).
         self.inner.subscribers.fetch_add(1, Ordering::AcqRel);
-        let cursor = self.inner.ring.lock().unwrap().next_seq;
+        let cursor = self.inner.ring.lock().expect("event-bus ring poisoned").next_seq;
         Subscription { inner: Arc::clone(&self.inner), cursor }
     }
 
     /// Aggregate counters for the metrics dump.
     pub fn stats(&self) -> BusStats {
-        let depth = self.inner.ring.lock().unwrap().buf.len();
+        let depth = self.inner.ring.lock().expect("event-bus ring poisoned").buf.len();
         BusStats {
             published: self.inner.published.load(Ordering::Relaxed),
             dropped: self.inner.dropped.load(Ordering::Relaxed),
@@ -157,7 +159,9 @@ impl<E> EventBus<E> {
     }
 }
 
-/// A receiver endpoint of an [`EventBus`]. Dropping it unsubscribes.
+/// A receiver endpoint of an [`EventBus`]. Dropping it unsubscribes —
+/// which is why discarding one unread is almost always a bug.
+#[must_use = "dropping a Subscription unsubscribes it; bind it and read events"]
 pub struct Subscription<E> {
     inner: Arc<BusInner<E>>,
     /// Sequence number of the next event this subscriber wants.
@@ -167,23 +171,27 @@ pub struct Subscription<E> {
 impl<E> Subscription<E> {
     /// Non-blocking receive. `None` means no new event is available.
     pub fn try_next(&mut self) -> Option<BusItem<E>> {
-        let ring = self.inner.ring.lock().unwrap();
+        let ring = self.inner.ring.lock().expect("event-bus ring poisoned");
         take_from(&mut self.cursor, &ring)
     }
 
     /// Blocking receive with a deadline. `None` on timeout.
     pub fn next_timeout(&mut self, timeout: Duration) -> Option<BusItem<E>> {
-        let deadline = Instant::now() + timeout;
-        let mut ring = self.inner.ring.lock().unwrap();
+        let deadline = clock::now() + timeout;
+        let mut ring = self.inner.ring.lock().expect("event-bus ring poisoned");
         loop {
             if let Some(item) = take_from(&mut self.cursor, &ring) {
                 return Some(item);
             }
-            let now = Instant::now();
+            let now = clock::now();
             if now >= deadline {
                 return None;
             }
-            let (guard, res) = self.inner.readable.wait_timeout(ring, deadline - now).unwrap();
+            let (guard, res) = self
+                .inner
+                .readable
+                .wait_timeout(ring, deadline - now)
+                .expect("event-bus ring poisoned");
             ring = guard;
             if res.timed_out() {
                 return take_from(&mut self.cursor, &ring);
@@ -193,7 +201,7 @@ impl<E> Subscription<E> {
 
     /// Drains everything currently available (gap markers included).
     pub fn drain(&mut self) -> Vec<BusItem<E>> {
-        let ring = self.inner.ring.lock().unwrap();
+        let ring = self.inner.ring.lock().expect("event-bus ring poisoned");
         let mut out = Vec::new();
         while let Some(item) = take_from(&mut self.cursor, &ring) {
             out.push(item);

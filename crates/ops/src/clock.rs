@@ -1,0 +1,43 @@
+//! The workspace's single wall-clock seam.
+//!
+//! Engine and runtime code must not call `Instant::now()` directly —
+//! `sns-lint`'s `determinism/wall-clock` rule enforces it. Routing every
+//! clock read through this module gives the workspace one auditable
+//! place where time enters the system: latency metrics, lag-based
+//! backpressure events, chaos-injection delay loops. The deterministic
+//! core (engines, codec, WAL replay) takes no time readings at all, so
+//! the seam is only ever reached from operability code.
+//!
+//! The functions are thin today; the seam's value is the choke point.
+//! A virtual clock for replay tests can be added here without touching
+//! any call site.
+
+use std::time::{Duration, Instant};
+
+/// Reads the monotonic clock. The only sanctioned `Instant::now()` in
+/// library code (see `lint.toml`).
+#[inline]
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// Monotonic time elapsed since `start`, measured through the seam.
+#[inline]
+#[must_use]
+pub fn elapsed(start: Instant) -> Duration {
+    now().saturating_duration_since(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_through_the_seam() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+        assert!(elapsed(a) >= Duration::ZERO);
+    }
+}

@@ -141,7 +141,7 @@ impl<S> DeadLetterQueue<S> {
     ) -> u64 {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.quarantined_total.fetch_add(1, Ordering::Relaxed);
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock().expect("dead-letter state poisoned");
         state.affected.insert(stream_id);
         state.pending += 1;
         state.letters.entry(stream_id).or_default().push_back(DeadLetter {
@@ -159,17 +159,23 @@ impl<S> DeadLetterQueue<S> {
 
     /// Letters pending for one stream.
     pub fn pending(&self, stream_id: u64) -> usize {
-        self.inner.state.lock().unwrap().letters.get(&stream_id).map_or(0, VecDeque::len)
+        self.inner
+            .state
+            .lock()
+            .expect("dead-letter state poisoned")
+            .letters
+            .get(&stream_id)
+            .map_or(0, VecDeque::len)
     }
 
     /// Letters pending across all streams.
     pub fn pending_total(&self) -> usize {
-        self.inner.state.lock().unwrap().pending
+        self.inner.state.lock().expect("dead-letter state poisoned").pending
     }
 
     /// Streams with at least one pending letter, ascending.
     pub fn streams(&self) -> Vec<u64> {
-        let state = self.inner.state.lock().unwrap();
+        let state = self.inner.state.lock().expect("dead-letter state poisoned");
         let mut ids: Vec<u64> =
             state.letters.iter().filter(|(_, q)| !q.is_empty()).map(|(id, _)| *id).collect();
         ids.sort_unstable();
@@ -180,7 +186,7 @@ impl<S> DeadLetterQueue<S> {
     /// them now — repair and re-ingest, or [`Self::requeue_front`] on
     /// a failed replay.
     pub fn take(&self, stream_id: u64) -> Vec<DeadLetter<S>> {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock().expect("dead-letter state poisoned");
         let letters: Vec<_> = state.letters.remove(&stream_id).map(Vec::from).unwrap_or_default();
         state.pending -= letters.len();
         self.inner.replayed.fetch_add(letters.len() as u64, Ordering::Relaxed);
@@ -193,7 +199,7 @@ impl<S> DeadLetterQueue<S> {
         if letters.is_empty() {
             return;
         }
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock().expect("dead-letter state poisoned");
         state.pending += letters.len();
         self.inner.replayed.fetch_sub(letters.len() as u64, Ordering::Relaxed);
         let queue = state.letters.entry(stream_id).or_default();
@@ -204,7 +210,7 @@ impl<S> DeadLetterQueue<S> {
 
     /// Aggregate counters for the metrics dump.
     pub fn stats(&self) -> DlqStats {
-        let state = self.inner.state.lock().unwrap();
+        let state = self.inner.state.lock().expect("dead-letter state poisoned");
         DlqStats {
             pending: state.pending,
             quarantined_total: self.inner.quarantined_total.load(Ordering::Relaxed),

@@ -27,7 +27,10 @@
 //! dependency cycle; anything engine-specific (the spec type carried by
 //! dead letters) is a generic parameter.
 
+#![deny(missing_docs)]
+
 pub mod bus;
+pub mod clock;
 pub mod dlq;
 pub mod event;
 pub mod metrics;

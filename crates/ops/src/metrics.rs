@@ -91,6 +91,7 @@ impl Histogram {
 
 /// Point-in-time view of a [`Histogram`] (microsecond units).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "a snapshot is taken to be read; discarding it hides the measurement"]
 pub struct HistogramSnapshot {
     /// Recorded samples.
     pub count: u64,
@@ -199,16 +200,25 @@ impl MetricsRegistry {
     /// The per-stream block, created on first touch. Blocks survive
     /// stream eviction so post-mortem dumps still answer questions.
     pub fn stream(&self, stream_id: u64) -> Arc<StreamMetrics> {
-        if let Some(m) = self.inner.streams.read().unwrap().get(&stream_id) {
+        if let Some(m) =
+            self.inner.streams.read().expect("stream-metrics map poisoned").get(&stream_id)
+        {
             return Arc::clone(m);
         }
-        let mut map = self.inner.streams.write().unwrap();
+        let mut map = self.inner.streams.write().expect("stream-metrics map poisoned");
         Arc::clone(map.entry(stream_id).or_default())
     }
 
     /// Stream ids with metric blocks, ascending.
     pub fn stream_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.inner.streams.read().unwrap().keys().copied().collect();
+        let mut ids: Vec<u64> = self
+            .inner
+            .streams
+            .read()
+            .expect("stream-metrics map poisoned")
+            .keys()
+            .copied()
+            .collect();
         ids.sort_unstable();
         ids
     }

@@ -96,9 +96,9 @@ impl ChaosCpd {
             panic!("chaos poison tuple at t={}", tuple.time);
         }
         if self.config.delay_micros > 0 {
-            let until = std::time::Instant::now()
-                + std::time::Duration::from_micros(self.config.delay_micros);
-            while std::time::Instant::now() < until {
+            let until =
+                sns_ops::clock::now() + std::time::Duration::from_micros(self.config.delay_micros);
+            while sns_ops::clock::now() < until {
                 std::hint::spin_loop();
             }
         }

@@ -105,6 +105,8 @@
 //! # pool.join();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod anomaly;
 pub mod chaos;
 pub mod journal;

@@ -130,6 +130,7 @@ pub type CheckpointResults = Vec<(u64, Result<EngineSnapshot, SnsError>)>;
 
 /// Acknowledgment for one session command: what the engine actually did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a receipt is the only acknowledgment a batch gets; check it"]
 pub struct BatchReceipt {
     /// The stream the batch went to.
     pub stream_id: u64,
@@ -965,7 +966,9 @@ impl EnginePool {
         match session.wait_for(0)? {
             ReplyBody::Receipt(Ok(_)) => Ok(session),
             ReplyBody::Receipt(Err(e)) => Err(e),
-            _ => unreachable!("open/restore acknowledge with a receipt"),
+            _ => Err(SnsError::Internal {
+                detail: "open/restore must acknowledge with a receipt".to_string(),
+            }),
         }
     }
 
@@ -1105,6 +1108,7 @@ impl Drop for EnginePool {
 ///
 /// Dropping the session closes the stream (best-effort; [`StreamSession::close`]
 /// is the reliable way).
+#[must_use = "dropping a StreamSession closes its stream; bind it"]
 pub struct StreamSession {
     stream_id: u64,
     shard: usize,
@@ -1193,7 +1197,7 @@ impl StreamSession {
     /// Submit of a receipt-bearing command: remembers the enqueue time
     /// so the receipt can be stamped with its latency.
     fn submit_timed(&mut self, ticket: u64, cmd: Command) -> Result<(), SnsError> {
-        self.pending_at.push_back((ticket, Instant::now()));
+        self.pending_at.push_back((ticket, sns_ops::clock::now()));
         let sent = self.submit(cmd);
         if sent.is_err() {
             self.pending_at.pop_back();
@@ -1250,7 +1254,9 @@ impl StreamSession {
     fn await_receipt(&mut self, ticket: u64) -> Result<BatchReceipt, SnsError> {
         match self.wait_for(ticket)? {
             ReplyBody::Receipt(r) => r,
-            _ => unreachable!("batch commands acknowledge with receipts"),
+            _ => Err(SnsError::Internal {
+                detail: "batch commands must acknowledge with receipts".to_string(),
+            }),
         }
     }
 
@@ -1316,7 +1322,7 @@ impl StreamSession {
         match self.tx.try_send(cmd) {
             Ok(()) => {
                 self.ops.metrics().shard(self.shard).queue_depth.fetch_add(1, Ordering::Relaxed);
-                self.pending_at.push_back((ticket, Instant::now()));
+                self.pending_at.push_back((ticket, sns_ops::clock::now()));
                 self.next_ticket += 1;
                 self.unclaimed += 1;
                 Ok(ticket)
@@ -1397,7 +1403,9 @@ impl StreamSession {
         self.submit(Command::Report { id: self.stream_id, token: self.token, ticket })?;
         match self.wait_for(ticket)? {
             ReplyBody::Report(r) => Ok(*r),
-            _ => unreachable!("report commands acknowledge with reports"),
+            _ => Err(SnsError::Internal {
+                detail: "report commands must acknowledge with reports".to_string(),
+            }),
         }
     }
 
@@ -1410,7 +1418,9 @@ impl StreamSession {
         self.submit(Command::Snapshot { id: self.stream_id, token: self.token, ticket })?;
         match self.wait_for(ticket)? {
             ReplyBody::Snapshot(r) => *r,
-            _ => unreachable!("snapshot commands acknowledge with snapshots"),
+            _ => Err(SnsError::Internal {
+                detail: "snapshot commands must acknowledge with snapshots".to_string(),
+            }),
         }
     }
 
@@ -1587,7 +1597,7 @@ mod tests {
     fn batch_errors_are_typed_and_not_fatal() {
         let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 1, ..Default::default() });
         let mut session = pool.open(9, spec()).unwrap();
-        session.ingest_batch(&[StreamTuple::new([0u32, 0], 1.0, 50)]).unwrap();
+        let _ = session.ingest_batch(&[StreamTuple::new([0u32, 0], 1.0, 50)]).unwrap();
         let err = session
             .ingest_batch(&[
                 StreamTuple::new([1u32, 1], 1.0, 55),
@@ -1625,7 +1635,7 @@ mod tests {
     fn reopening_replaces_and_invalidates_the_old_session() {
         let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 3, ..Default::default() });
         let mut old = pool.open(5, spec()).unwrap();
-        old.ingest_batch(&tuples_for(5)[..10]).unwrap();
+        let _ = old.ingest_batch(&tuples_for(5)[..10]).unwrap();
         let mut new = pool.open(5, spec()).unwrap();
         // The old session's replies channel was dropped with its slot.
         assert!(matches!(
@@ -1690,7 +1700,7 @@ mod tests {
         let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: 0, ..Default::default() });
         let mut old = pool.open(4, spec()).unwrap();
         let tuples = tuples_for(4);
-        old.ingest_batch(&tuples[..20]).unwrap();
+        let _ = old.ingest_batch(&tuples[..20]).unwrap();
         let snapshot = old.snapshot().unwrap();
         // Restore onto a *different* shard without closing the old
         // session: the id must not end up served by two engines.
@@ -1718,7 +1728,7 @@ mod tests {
         let mut sessions: Vec<StreamSession> =
             ids.iter().map(|&id| reference.open(id, spec()).unwrap()).collect();
         for (session, &id) in sessions.iter_mut().zip(&ids) {
-            session.ingest_batch(&tuples_for(id)).unwrap();
+            let _ = session.ingest_batch(&tuples_for(id)).unwrap();
         }
         let expected: Vec<(u64, u64)> = sessions
             .iter_mut()
@@ -1736,7 +1746,7 @@ mod tests {
         let mut sessions: Vec<StreamSession> =
             ids.iter().map(|&id| first.open(id, spec()).unwrap()).collect();
         for (session, &id) in sessions.iter_mut().zip(&ids) {
-            session.ingest_batch(&tuples_for(id)[..60]).unwrap();
+            let _ = session.ingest_batch(&tuples_for(id)[..60]).unwrap();
         }
         // Quiesce (blocking batches are already acked), then checkpoint.
         let checkpoints = first.checkpoint_all();
@@ -1751,7 +1761,7 @@ mod tests {
         let mut recovered = recovered_pool.recover_all(snapshots).unwrap();
         for (session, &id) in recovered.iter_mut().zip(&ids) {
             assert_eq!(session.stream_id(), id);
-            session.ingest_batch(&tuples_for(id)[60..]).unwrap();
+            let _ = session.ingest_batch(&tuples_for(id)[60..]).unwrap();
         }
         for (session, (fitness, updates)) in recovered.iter_mut().zip(&expected) {
             let r = session.report().unwrap();
@@ -1765,7 +1775,7 @@ mod tests {
     fn checkpoint_reports_quarantined_streams_in_place() {
         let pool = EnginePool::new(PoolConfig { shards: 1, base_seed: 2, ..Default::default() });
         let mut healthy = pool.open(1, spec()).unwrap();
-        healthy.ingest_batch(&tuples_for(1)[..10]).unwrap();
+        let _ = healthy.ingest_batch(&tuples_for(1)[..10]).unwrap();
         // A closed slot stays out of the checkpoint; only live slots show.
         let gone = pool.open(2, spec()).unwrap();
         gone.close();
@@ -1778,7 +1788,7 @@ mod tests {
     fn invalid_restore_leaves_the_live_session_untouched() {
         let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 4, ..Default::default() });
         let mut live = pool.open(8, spec()).unwrap();
-        live.ingest_batch(&tuples_for(8)[..20]).unwrap();
+        let _ = live.ingest_batch(&tuples_for(8)[..20]).unwrap();
         let mut snapshot = live.snapshot().unwrap();
         // Corrupt the snapshot: window from this engine, factors from a
         // differently-shaped one — exactly what a damaged store entry
@@ -1814,7 +1824,7 @@ mod tests {
     fn restore_rejects_bad_shard() {
         let pool = EnginePool::new(PoolConfig { shards: 2, base_seed: 0, ..Default::default() });
         let mut session = pool.open(1, spec()).unwrap();
-        session.ingest_batch(&tuples_for(1)[..20]).unwrap();
+        let _ = session.ingest_batch(&tuples_for(1)[..20]).unwrap();
         let snapshot = session.snapshot().unwrap();
         assert!(matches!(
             pool.restore(snapshot, 9).unwrap_err(),

@@ -169,6 +169,7 @@ impl std::fmt::Debug for EngineState {
 /// originally built from, so the receiving side can verify or rebuild
 /// from scratch.
 #[derive(Clone)]
+#[must_use = "a snapshot exists to be restored, serialized, or verified"]
 pub struct EngineSnapshot {
     /// The stream the snapshot was taken from.
     pub stream_id: u64,

@@ -83,11 +83,11 @@ fn drive(sessions: &mut [StreamSession], tuples: &[StreamTuple], warm: bool) {
     let cut = tuples.partition_point(|t| t.time <= W as u64 * T);
     for session in sessions.iter_mut() {
         if warm {
-            session.prefill_batch(&tuples[..cut]).expect("chronological");
-            session.warm_start(&AlsOptions { max_iters: 8, ..Default::default() }).unwrap();
+            let _ = session.prefill_batch(&tuples[..cut]).expect("chronological");
+            let _ = session.warm_start(&AlsOptions { max_iters: 8, ..Default::default() }).unwrap();
         }
         for chunk in tuples[if warm { cut } else { 0 }..].chunks(128) {
-            session.ingest_batch(chunk).expect("chronological");
+            let _ = session.ingest_batch(chunk).expect("chronological");
         }
     }
 }

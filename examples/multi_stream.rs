@@ -87,9 +87,9 @@ fn act_batched_serving() {
     // Initialization protocol, batched per tenant.
     for (session, (s, &cut)) in sessions.iter_mut().zip(streams.iter().zip(&cuts)) {
         for chunk in s[..cut].chunks(BATCH) {
-            session.prefill_batch(chunk).expect("chronological stream");
+            let _ = session.prefill_batch(chunk).expect("chronological stream");
         }
-        session.warm_start(&als_opts()).expect("warm start");
+        let _ = session.warm_start(&als_opts()).expect("warm start");
     }
     // Live phase: batches interleaved across tenants, the way a frontend
     // would deliver them; every batch is acknowledged.
@@ -178,7 +178,7 @@ fn act_backpressure() {
                 // which waits for queue space instead of buffering.
                 assert_eq!(capacity, 4);
                 shed += 1;
-                session.ingest_batch(chunk).expect("chronological stream");
+                let _ = session.ingest_batch(chunk).expect("chronological stream");
             }
             Err(e) => panic!("unexpected error: {e}"),
         }
@@ -214,7 +214,7 @@ fn act_migration() {
     let mut session = pool.open(2, spec.clone()).expect("engine builds");
     let home_shard = session.shard();
     for chunk in stream[..half].chunks(BATCH) {
-        session.ingest_batch(chunk).expect("chronological stream");
+        let _ = session.ingest_batch(chunk).expect("chronological stream");
     }
 
     // Capture complete state (window + pending events + factors + RNG +
@@ -224,7 +224,7 @@ fn act_migration() {
     let target_shard = (home_shard + 1) % pool.shards();
     let mut migrated = pool.restore(snapshot, target_shard).expect("shard in range");
     for chunk in stream[half..].chunks(BATCH) {
-        migrated.ingest_batch(chunk).expect("chronological stream");
+        let _ = migrated.ingest_batch(chunk).expect("chronological stream");
     }
     let report = migrated.report().expect("worker alive");
     drop(migrated);

@@ -99,14 +99,14 @@ fn pooled_batched_streams_match_serial_execution_bitwise() {
         }
     }
     for session in &mut sessions {
-        session.warm_start(&als_opts()).unwrap();
+        let _ = session.warm_start(&als_opts()).unwrap();
     }
     let max_live = streams.iter().zip(&cuts).map(|(s, &c)| s.len() - c).max().unwrap();
     for off in (0..max_live).step_by(40) {
         for (session, (s, &cut)) in sessions.iter_mut().zip(streams.iter().zip(&cuts)) {
             let lo = cut + off;
             if lo < s.len() {
-                session.ingest_batch(&s[lo..(lo + 40).min(s.len())]).unwrap();
+                let _ = session.ingest_batch(&s[lo..(lo + 40).min(s.len())]).unwrap();
             }
         }
     }
@@ -207,7 +207,7 @@ proptest! {
         let mut pooled_marks = Vec::new();
         let mut done = 0usize;
         for chunk in tuples.chunks(batch) {
-            session.ingest_batch(chunk).unwrap();
+            let _ = session.ingest_batch(chunk).unwrap();
             done += chunk.len();
             if done % (3 * batch) == 0 {
                 let r = session.report().unwrap();
@@ -255,7 +255,7 @@ proptest! {
         // explicit shard (of this pool or a brand-new one), continue.
         let pool = EnginePool::new(PoolConfig { shards: 3, base_seed: BASE_SEED, queue_depth: 16, ..Default::default() });
         let mut session = pool.open(id, spec).unwrap();
-        session.ingest_batch(&tuples[..cut]).unwrap();
+        let _ = session.ingest_batch(&tuples[..cut]).unwrap();
         let snapshot = session.snapshot().unwrap();
         prop_assert_eq!(snapshot.stream_id, id);
         prop_assert_eq!(snapshot.seed, stream_seed(BASE_SEED, id));
@@ -275,7 +275,7 @@ proptest! {
         };
         let mut migrated = restored_into.restore(snapshot, target_shard).unwrap();
         prop_assert_eq!(migrated.shard(), target_shard);
-        migrated.ingest_batch(&tuples[cut..]).unwrap();
+        let _ = migrated.ingest_batch(&tuples[cut..]).unwrap();
         let report = migrated.report().unwrap();
         prop_assert_eq!(report.error, None);
         prop_assert_eq!(report.fitness.to_bits(), reference.fitness().to_bits());
@@ -318,7 +318,7 @@ fn open_is_not_stalled_by_a_saturated_unrelated_shard() {
 
     // Calibrate how long shard 0 takes to chew one batch (blocking call).
     let start = std::time::Instant::now();
-    slow.ingest_batch(&tuples[..600]).unwrap();
+    let _ = slow.ingest_batch(&tuples[..600]).unwrap();
     let batch_time = start.elapsed();
 
     // Saturate shard 0: two pipelined batches (retrying past transient
@@ -349,10 +349,10 @@ fn open_is_not_stalled_by_a_saturated_unrelated_shard() {
         "open took {open_time:?} while an unrelated shard was saturated \
          (one slow batch takes {batch_time:?}) — evict broadcast stall?"
     );
-    fresh.ingest_batch(&tuples_for(0)[..40]).unwrap();
+    let _ = fresh.ingest_batch(&tuples_for(0)[..40]).unwrap();
     assert_eq!(fresh.report().unwrap().error, None);
     while let Some(receipt) = slow.recv_receipt() {
-        receipt.unwrap();
+        let _ = receipt.unwrap();
     }
     drop((slow, fresh));
     pool.join();
@@ -378,7 +378,7 @@ proptest! {
 
         // Seed a snapshot to restore from, then close the seeding session.
         let mut seeded = pool.open(id, tenant_spec(0)).unwrap();
-        seeded.ingest_batch(&tuples[..40]).unwrap();
+        let _ = seeded.ingest_batch(&tuples[..40]).unwrap();
         let snapshot = seeded.snapshot().unwrap();
         seeded.close();
         // Restore deliberately targets a different shard than open's hash
@@ -406,7 +406,7 @@ proptest! {
                 prop_assert_eq!(report.error, None);
                 live += 1;
                 // The survivor must still serve the stream.
-                session.ingest_batch(&tuples[40..60]).unwrap();
+                let _ = session.ingest_batch(&tuples[40..60]).unwrap();
             }
         }
         prop_assert_eq!(live, 1, "stream {} live on {} sessions", id, live);

@@ -1,0 +1,98 @@
+//! Tier-1 gate: the live workspace must lint clean under `sns-lint`.
+//!
+//! This is the same check CI's `lint` job runs via the binary, wired
+//! into `cargo test` through the library API so a violation (or a stale
+//! allowlist entry, or a malformed `lint.toml`) fails the ordinary test
+//! suite too — nobody has to remember to run the linter.
+
+use std::path::Path;
+
+use sns_lint::Config;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load_config() -> Config {
+    let path = workspace_root().join("lint.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Config::parse(&text).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let config = load_config();
+    let report = sns_lint::run(workspace_root(), &config).expect("lint scan failed");
+    let rendered = report.render_text();
+    assert_eq!(report.violation_count(), 0, "workspace has lint violations:\n{rendered}");
+    // A scan that silently saw nothing would also "pass" — require the
+    // walker to have found the real tree.
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned ({}): did the walker break?",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn allowlist_has_no_stale_entries() {
+    let config = load_config();
+    let report = sns_lint::run(workspace_root(), &config).expect("lint scan failed");
+    assert!(
+        report.unused_allow.is_empty(),
+        "stale lint.toml entries (delete them): {:?}",
+        report.unused_allow
+    );
+}
+
+#[test]
+fn every_exception_is_justified() {
+    // Config::parse enforces this, but pin the contract explicitly: all
+    // entries carry non-empty justifications.
+    let config = load_config();
+    for e in &config.allow {
+        assert!(!e.justification.trim().is_empty(), "unjustified allow for {}", e.path);
+    }
+    for e in &config.lock_order {
+        assert!(!e.justification.trim().is_empty(), "unjustified lock-order for {}", e.path);
+    }
+    // And the allowlist covers a bounded set of rules — a typo'd rule id
+    // would silently never match.
+    for e in &config.allow {
+        assert!(
+            e.rule == "*" || sns_lint::rules::ALL_RULES.contains(&e.rule.as_str()),
+            "allow entry names unknown rule `{}`",
+            e.rule
+        );
+    }
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let config = load_config();
+    let report = sns_lint::run(workspace_root(), &config).expect("lint scan failed");
+    let json = report.to_json();
+    assert!(json.contains("\"tool\": \"sns-lint\""));
+    assert!(json.contains("\"violations\": 0"));
+    // Balanced braces/brackets — cheap structural sanity without a
+    // JSON parser dependency.
+    let (mut braces, mut brackets, mut in_str, mut esc) = (0i32, 0i32, false, false);
+    for ch in json.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => braces += 1,
+            '}' if !in_str => braces -= 1,
+            '[' if !in_str => brackets += 1,
+            ']' if !in_str => brackets -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(braces, 0, "unbalanced braces in JSON report");
+    assert_eq!(brackets, 0, "unbalanced brackets in JSON report");
+}

@@ -60,9 +60,9 @@ fn drive(
 ) -> Result<usize, SnsError> {
     let c = cut(trace);
     for chunk in trace[..c].chunks(20) {
-        session.prefill_batch(chunk)?;
+        let _ = session.prefill_batch(chunk)?;
     }
-    session.warm_start(&als())?;
+    let _ = session.warm_start(&als())?;
     let mut rejected = 0;
     for chunk in trace[c..].chunks(20) {
         match session.ingest_batch(chunk) {
@@ -160,7 +160,7 @@ fn quarantine_replay_is_bitwise_and_observable() {
 
     // Checkpoint for the CheckpointCommitted event, then close.
     for (_, snapshot) in pool.checkpoint_all() {
-        snapshot.unwrap();
+        let _ = snapshot.unwrap();
     }
     let dump = pool.ops().dump();
     let stream1 = pool.ops().metrics().stream(1);
@@ -214,9 +214,9 @@ fn disabled_policy_goes_dark_but_records_the_letter() {
     let c = cut(&tr);
     tr[c + 5].value = POISON_VALUE;
     for chunk in tr[..c].chunks(20) {
-        session.prefill_batch(chunk).unwrap();
+        let _ = session.prefill_batch(chunk).unwrap();
     }
-    session.warm_start(&als()).unwrap();
+    let _ = session.warm_start(&als()).unwrap();
     let err = session.ingest_batch(&tr[c..c + 20]).unwrap_err();
     assert!(matches!(err, SnsError::EnginePanicked { stream_id: 7, .. }));
     // The slot is dark: even a clean batch now reports the panic.
@@ -259,7 +259,7 @@ fn backpressure_carries_context_and_publishes_onset_relief() {
                 assert_eq!(capacity, 2);
                 assert!(depth <= capacity);
                 typed += 1;
-                session.ingest_batch(chunk).unwrap();
+                let _ = session.ingest_batch(chunk).unwrap();
             }
             Err(e) => panic!("unexpected error: {e}"),
         }

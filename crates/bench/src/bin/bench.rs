@@ -28,7 +28,25 @@
 //! method recording steady-state allocation traffic (a counting global
 //! allocator — bytes and calls per event on the measured ingest path),
 //! process peak RSS (`VmHWM`), and CPU utilization (`/proc/self/stat`
-//! utime+stime over wall time).
+//! utime+stime over wall time). With `--pooled`, an extra row drives
+//! the same reference stream through a one-shard [`sns_runtime`]
+//! `EnginePool` session (pipelined submits, recycled batch buffers) and
+//! the JSON gains a `pooled_guard`: with `--enforce-floor` the run
+//! exits non-zero unless the pooled path stays at or under
+//! [`POOLED_ALLOCS_PER_EVENT_MAX`] allocations per event — the
+//! zero-alloc command-pipeline claim, held to measurement.
+//!
+//! `fleet` subcommand flags (default output `BENCH_<tag>.json`, tag
+//! default `pr10`):
+//! - `--shards <a,b,c>`  worker-shard grid (default `1,2,4`);
+//! - `--streams <n>`     concurrent pooled streams per cell (default 8);
+//! - `--batch <n>`       tuples per pipelined batch (default 256);
+//! - `--smoke`           quarter-length shared trace (CI-sized);
+//! - `--tag <tag>` / `--out <path>`  artifact naming;
+//! - `--enforce-floor`   exit non-zero if the best cell's aggregate
+//!   throughput misses the 60k floor, or — on hosts with ≥ 4 cores —
+//!   if the widest cell fails the 2× scaling requirement over one
+//!   shard (advisory elsewhere; the JSON records `enforced`).
 //!
 //! `sweep` subcommand flags:
 //! - `--ranks <a,b,c>`  CP ranks to sweep (default `5,10,20`);
@@ -66,14 +84,16 @@
 //!
 //! All JSON schemas are documented in the README.
 
+use sns_bench::experiments::fleet::{run_fleet, FleetConfig, AGGREGATE_FLOOR_EVENTS_PER_SEC};
 use sns_bench::experiments::recover::{run_recover, RecoverConfig};
 use sns_bench::experiments::soak::{run_soak, SoakConfig};
 use sns_bench::experiments::sweep::{run_sweep, SweepConfig, TraceOverride};
 use sns_bench::runner::{split_prefill, ExperimentParams};
 use sns_bench::Method;
 use sns_core::als::AlsOptions;
-use sns_core::config::AlgorithmKind;
+use sns_core::config::{AlgorithmKind, SnsConfig};
 use sns_data::{generate, nytaxi_like};
+use sns_runtime::{EnginePool, EngineSpec, PoolConfig, QuarantinePolicy, SnsError};
 use sns_stream::StreamTuple;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -154,13 +174,23 @@ fn cpu_seconds() -> Option<f64> {
 /// still catching any genuine hot-path regression.
 pub const FLOOR_EVENTS_PER_SEC: f64 = 60_000.0;
 
-/// PR-3's measured SNS⁺_VEC per-event latency (µs) on the reference
+/// Measured SNS⁺_VEC per-event latency ceiling (µs) on the reference
 /// machine. `--enforce-floor` additionally fails if SNS⁺_VEC's best run
 /// is slower than this — a no-regression guard on the pure exact-path
 /// kernels, which the 60k floor (on the sampled reference method) would
-/// not catch alone. Wave 2 measures ~3.5–4.9µs, so the 5.7µs guard has
-/// comfortable noise headroom.
-pub const VEC_BASELINE_MICROS: f64 = 5.7;
+/// not catch alone. Wave 3 ratchets PR-3's 5.7µs down to 4.5µs: wave 2
+/// measures ~3.5–4.9µs best-of-runs, and the floor check reports the
+/// best of `--runs`, so 4.5µs still leaves noise headroom over the
+/// observed best while banking the wave-2 kernel wins.
+pub const VEC_BASELINE_MICROS: f64 = 4.5;
+
+/// Allocation budget for the pooled resources row (`--pooled`):
+/// allocations per acknowledged factor update on the measured pipelined
+/// ingest path. The freelist recycles batch buffers and the reply
+/// channel amortizes its blocks, so steady state measures well under
+/// this; anything above it means the zero-alloc command pipeline
+/// regressed.
+pub const POOLED_ALLOCS_PER_EVENT_MAX: f64 = 0.1;
 
 struct MethodResult {
     name: String,
@@ -252,13 +282,99 @@ struct ResourceResult {
     peak_rss_kb_after: Option<u64>,
 }
 
+/// The `--pooled` resources row: the reference method (SNS⁺_RND at the
+/// Table-III configuration) driven through a one-shard [`EnginePool`]
+/// session with pipelined submits — the same command pipeline the fleet
+/// bench exercises, measured by the same counting global allocator. The
+/// counters are process-wide, so the shard worker's allocations count
+/// too; the freelist has to actually work for this row to stay under
+/// [`POOLED_ALLOCS_PER_EVENT_MAX`].
+fn run_pooled_resources(params: &ExperimentParams, stream: &[StreamTuple]) -> ResourceResult {
+    const BATCH: usize = 512;
+    let cfg = sns_bench::RunConfig {
+        als: AlsOptions { max_iters: 10, tol: 1e-3, ..Default::default() },
+        ..Default::default()
+    };
+    let (prefill, measured) = split_prefill(params, stream);
+    let pool = EnginePool::new(PoolConfig {
+        shards: 1,
+        base_seed: 42,
+        queue_depth: 64,
+        bus_capacity: 1 << 12,
+        quarantine: QuarantinePolicy::Disabled,
+        ..Default::default()
+    });
+    let spec = EngineSpec::sns(
+        &params.base_dims,
+        params.window,
+        params.period,
+        AlgorithmKind::PlusRnd,
+        &SnsConfig {
+            rank: params.rank,
+            theta: params.theta,
+            eta: params.eta,
+            ..Default::default()
+        },
+    );
+    let mut session = pool.open(0, spec).expect("open pooled stream");
+    for chunk in prefill.chunks(4096) {
+        let _ = session.prefill_batch(chunk).expect("chronological stream");
+    }
+    let _ = session.warm_start(&cfg.als).expect("warm start");
+    // One pipelined warmup pass is already behind us (prefill batches
+    // recycle through the same freelist), so the measured window sees
+    // steady state from its first batch.
+    let cpu_before = cpu_seconds();
+    let (bytes_before, calls_before) = alloc_counters();
+    let start = Instant::now();
+    let mut updates = 0u64;
+    for chunk in measured.chunks(BATCH) {
+        match session.try_ingest_batch(chunk) {
+            Ok(_ticket) => {}
+            Err(SnsError::Backpressure { .. }) => {
+                if let Some(receipt) = session.recv_receipt() {
+                    updates += receipt.expect("pooled ingest").updates;
+                }
+                updates += session.ingest_batch(chunk).expect("pooled ingest").updates;
+            }
+            Err(e) => panic!("pooled ingest failed: {e}"),
+        }
+    }
+    while let Some(receipt) = session.recv_receipt() {
+        updates += receipt.expect("pooled ingest").updates;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let (bytes_after, calls_after) = alloc_counters();
+    let cpu_after = cpu_seconds();
+    drop(session);
+    pool.join();
+    let bytes = bytes_after - bytes_before;
+    let calls = calls_after - calls_before;
+    ResourceResult {
+        name: "SNS+_RND@pool".to_string(),
+        updates,
+        seconds,
+        events_per_sec: updates as f64 / seconds.max(1e-9),
+        bytes_allocated: bytes,
+        alloc_calls: calls,
+        bytes_per_event: bytes as f64 / updates.max(1) as f64,
+        allocs_per_event: calls as f64 / updates.max(1) as f64,
+        cpu_percent: cpu_before.zip(cpu_after).map(|(b, a)| 100.0 * (a - b) / seconds.max(1e-9)),
+        peak_rss_kb_after: peak_rss_kb(),
+    }
+}
+
 /// `bench resources`: one timed run per method, recording allocation
 /// traffic on the measured ingest path, CPU utilization, and process
 /// peak RSS. Allocation counts are the interesting number — the PR-3
 /// workspace work claims a steady-state allocation-free per-event path,
-/// and this artifact is what holds that claim to measurement.
+/// and this artifact is what holds that claim to measurement. With
+/// `--pooled`, [`run_pooled_resources`] contributes the pooled pipeline
+/// row and its allocation guard.
 fn run_resources_command(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
+    let pooled = args.iter().any(|a| a == "--pooled");
+    let enforce = args.iter().any(|a| a == "--enforce-floor");
     let out_path = tagged_out_path(args, "RESOURCES");
     let spec = nytaxi_like();
     let params = ExperimentParams::from_spec(&spec);
@@ -325,6 +441,21 @@ fn run_resources_command(args: &[String]) {
         );
         results.push(r);
     }
+    let pooled_allocs = pooled.then(|| {
+        let r = run_pooled_resources(&params, &stream);
+        println!(
+            "  {:<10} {:>10.0} events/s  {:>8.1} B/event  {:>6.3} allocs/event  cpu {}  rss {} kB",
+            r.name,
+            r.events_per_sec,
+            r.bytes_per_event,
+            r.allocs_per_event,
+            r.cpu_percent.map_or_else(|| "n/a".into(), |c| format!("{c:.0}%")),
+            r.peak_rss_kb_after.map_or_else(|| "n/a".into(), |k| k.to_string()),
+        );
+        let allocs = r.allocs_per_event;
+        results.push(r);
+        allocs
+    });
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"sns-resources\",\n");
@@ -351,10 +482,26 @@ fn run_resources_command(args: &[String]) {
         ));
     }
     json.push_str("  ],\n");
+    if let Some(allocs) = pooled_allocs {
+        json.push_str(&format!(
+            "  \"pooled_guard\": {{\"name\": \"SNS+_RND@pool\", \"max_allocs_per_event\": {}, \"measured\": {}, \"pass\": {}}},\n",
+            json_f64(POOLED_ALLOCS_PER_EVENT_MAX),
+            json_f64(allocs),
+            allocs <= POOLED_ALLOCS_PER_EVENT_MAX,
+        ));
+    }
     json.push_str(&format!("  \"peak_rss_kb\": {}\n", json_opt_u64(peak_rss_kb())));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write resources json");
     println!("wrote {out_path}");
+    if let Some(allocs) = pooled_allocs {
+        if enforce && allocs > POOLED_ALLOCS_PER_EVENT_MAX {
+            eprintln!(
+                "POOLED ALLOC REGRESSION: {allocs:.3} allocs/event, budget {POOLED_ALLOCS_PER_EVENT_MAX}",
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `bench sweep`: run the pooled multi-rank sweep scenario and write its
@@ -556,6 +703,88 @@ fn run_recover_command(args: &[String]) {
     }
 }
 
+/// `bench fleet`: the shards × streams aggregate-throughput grid.
+/// Exits non-zero (with `--enforce-floor`) if the best cell misses the
+/// aggregate floor, or — on hosts with enough cores for worker threads
+/// to actually spread — if the widest cell fails the 2× scaling
+/// requirement over the single-shard cell.
+fn run_fleet_command(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let enforce = args.iter().any(|a| a == "--enforce-floor");
+    let out_path = {
+        let tag = args
+            .iter()
+            .position(|a| a == "--tag")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "pr10".to_string());
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| format!("BENCH_{tag}.json"))
+    };
+    let mut cfg = FleetConfig::default();
+    if let Some(grid) = args.iter().position(|a| a == "--shards").and_then(|i| args.get(i + 1)) {
+        let parsed: Vec<usize> =
+            grid.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&n| n > 0).collect();
+        if !parsed.is_empty() {
+            cfg.shard_grid = parsed;
+        }
+    }
+    if let Some(streams) = args.iter().position(|a| a == "--streams").and_then(|i| args.get(i + 1))
+    {
+        if let Ok(n) = streams.parse::<usize>() {
+            cfg.streams = n.max(1);
+        }
+    }
+    if let Some(batch) = args.iter().position(|a| a == "--batch").and_then(|i| args.get(i + 1)) {
+        if let Ok(n) = batch.parse::<usize>() {
+            cfg.batch = n.max(1);
+        }
+    }
+    if smoke {
+        cfg.events /= 4;
+    }
+    println!(
+        "fleet: {} streams x shards {:?}, {} shared events, batch {}, quarantine disabled ({} mode)",
+        cfg.streams,
+        cfg.shard_grid,
+        cfg.events,
+        cfg.batch,
+        if smoke { "smoke" } else { "full" },
+    );
+    let report = match run_fleet(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    std::fs::write(&out_path, report.to_json(&cfg, if smoke { "smoke" } else { "full" }))
+        .expect("write fleet json");
+    println!("wrote {out_path}");
+    if enforce && !report.floor_pass() {
+        eprintln!(
+            "AGGREGATE FLOOR VIOLATION: best cell at {:.0} events/s, floor {:.0}",
+            report.best_aggregate(),
+            AGGREGATE_FLOOR_EVENTS_PER_SEC,
+        );
+        std::process::exit(1);
+    }
+    if !report.scaling_pass() {
+        let detail =
+            report.scaling_ratio().map_or_else(|| "n/a".to_string(), |r| format!("{r:.2}x"));
+        if enforce && report.scaling_enforceable() {
+            eprintln!("SCALING VIOLATION: {detail} at widest cell, required 2x over 1 shard");
+            std::process::exit(1);
+        }
+        println!(
+            "scaling advisory: {detail} at widest cell (not enforced on {} core(s))",
+            report.cores,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "sweep") {
@@ -572,6 +801,10 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "resources") {
         run_resources_command(&args[1..]);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "fleet") {
+        run_fleet_command(&args[1..]);
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");

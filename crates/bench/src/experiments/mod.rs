@@ -2,10 +2,12 @@
 //! `run(scale: f64) -> String`; the binaries print that string, and
 //! `run_all` concatenates everything for `EXPERIMENTS.md`.
 //!
-//! [`sweep`], [`recover`], and [`soak`] are not paper figures: they are
-//! the pooled multi-rank sweep scenario (`bench sweep`), the pool-wide
-//! crash recovery scenario (`bench recover`), and the chaos/quarantine
-//! soak (`bench soak`), all documented in the README.
+//! [`sweep`], [`recover`], [`soak`], and [`fleet`] are not paper
+//! figures: they are the pooled multi-rank sweep scenario
+//! (`bench sweep`), the pool-wide crash recovery scenario
+//! (`bench recover`), the chaos/quarantine soak (`bench soak`), and the
+//! shards × streams aggregate-throughput grid (`bench fleet`), all
+//! documented in the README.
 
 pub mod fig1;
 pub mod fig4;
@@ -14,6 +16,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod recover;
 pub mod soak;
 pub mod sweep;

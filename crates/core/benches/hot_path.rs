@@ -9,7 +9,11 @@
 //! - `mttkrp`: full (one mode), full (all modes via prefix/suffix), and
 //!   per-row kernels;
 //! - `gram_solve`: the `x = u·H†` row solve — fresh factorization per
-//!   solve versus the version-keyed cached factorization.
+//!   solve versus the version-keyed cached factorization;
+//! - `pool_round_trip`: the same batch ingest behind a one-shard
+//!   `EnginePool` session (submit → worker ingest → ack), so the
+//!   command pipeline's overhead over the bare `ingest_all` loop is a
+//!   number, not a claim.
 //!
 //! Run with `cargo bench -p sns-core --bench hot_path`.
 
@@ -28,6 +32,7 @@ use sns_core::mttkrp::{
 use sns_core::update::{ContinuousUpdater, Updater};
 use sns_core::workspace::GramSolves;
 use sns_linalg::lstsq::solve_row_sym;
+use sns_runtime::{EnginePool, EngineSpec, PoolConfig, QuarantinePolicy};
 use sns_stream::{ContinuousWindow, StreamTuple};
 use sns_tensor::{Coord, Shape, SparseTensor};
 
@@ -251,5 +256,57 @@ fn bench_gram_solve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_per_event, bench_ingest_batch, bench_mttkrp, bench_gram_solve);
+fn bench_pool_round_trip(c: &mut Criterion) {
+    let tuples = stream(30_000, 19);
+    let mut group = c.benchmark_group("pool_round_trip");
+    group.sample_size(10);
+    group.bench_function("open_ingest_ack_plus_rnd", |b| {
+        b.iter_custom(|iters| {
+            let config = SnsConfig { rank: RANK, theta: 20, eta: 1000.0, ..Default::default() };
+            let pool = EnginePool::new(PoolConfig {
+                shards: 1,
+                base_seed: 42,
+                queue_depth: 64,
+                bus_capacity: 1 << 10,
+                quarantine: QuarantinePolicy::Disabled,
+                ..Default::default()
+            });
+            let spec = EngineSpec::sns(&DIMS, WINDOW, PERIOD, AlgorithmKind::PlusRnd, &config);
+            let mut session = pool.open(0, spec).unwrap();
+            let (head, tail) = tuples.split_at(tuples.len() / 2);
+            for chunk in head.chunks(4096) {
+                let _ = session.prefill_batch(chunk).unwrap();
+            }
+            let n = (iters as usize).min(tail.len());
+            // The blocking round-trip: each batch is submit → worker
+            // ingest → ack before the next, so the measurement includes
+            // the full command-pipeline cost (freelist take/put, channel
+            // hops, receipt stamping) on top of the engine work.
+            let start = std::time::Instant::now();
+            for chunk in tail[..n].chunks(256) {
+                let _ = session.ingest_batch(chunk).unwrap();
+            }
+            let elapsed = start.elapsed();
+            drop(session);
+            pool.join();
+            // Scale to the requested iteration count when the finite
+            // stream is shorter (see bench_per_event).
+            if n < iters as usize {
+                elapsed.mul_f64(iters as f64 / n.max(1) as f64)
+            } else {
+                elapsed
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_event,
+    bench_ingest_batch,
+    bench_mttkrp,
+    bench_gram_solve,
+    bench_pool_round_trip
+);
 criterion_main!(benches);

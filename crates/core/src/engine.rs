@@ -97,7 +97,10 @@ impl SnsEngine {
     ///
     /// Bitwise-identical to calling [`SnsEngine::ingest`] per tuple; the
     /// batch entry point lets `dyn StreamingCpd` drivers pay one virtual
-    /// call per batch instead of one per tuple.
+    /// call per batch instead of one per tuple. Consecutive calls
+    /// compose: `ingest_all(a); ingest_all(b)` ≡ `ingest_all(a ++ b)`
+    /// bitwise (pinned by `ingest_all_matches_per_tuple_ingest_bitwise`)
+    /// — the invariant the pooled runtime's batch coalescing builds on.
     ///
     /// # Errors
     /// Short-circuits at the first failing tuple with

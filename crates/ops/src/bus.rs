@@ -9,8 +9,9 @@
 //!    a [`BusItem::Lagged`] gap marker instead of holding memory.
 //! 2. **Zero cost when nobody listens.** `publish` first checks an
 //!    atomic subscriber count and returns without locking when it is
-//!    zero — an unsubscribed pool pays one relaxed load + one atomic
-//!    increment per event site (and event construction is skipped by
+//!    zero — an unsubscribed pool pays exactly one relaxed *load* per
+//!    event site, no read-modify-write, so the cache line stays shared
+//!    across shard workers (and event construction is skipped by
 //!    callers via [`EventBus::has_subscribers`]).
 //! 3. **Causal per-publisher order.** Events published by one thread
 //!    are observed by every subscriber in publication order; no order
@@ -44,7 +45,8 @@ pub enum BusItem<E> {
 /// Aggregate counters of a bus, for the metrics dump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusStats {
-    /// Total publish calls (including those skipped with no subscriber).
+    /// Events that entered the ring (publishes with no live subscriber
+    /// are dropped before any counter traffic and are not counted).
     pub published: u64,
     /// Events evicted from the ring before every subscriber saw them.
     pub dropped: u64,
@@ -104,24 +106,31 @@ impl<E> EventBus<E> {
 
     /// True if at least one subscription is live. Callers on the hot
     /// path use this to skip event *construction* entirely.
+    ///
+    /// The load is `Relaxed`: this is a heuristic gate, not a
+    /// synchronization point. Real publish/receive ordering comes from
+    /// the ring mutex; the documented subscribe race (a subscription
+    /// only sees events published after it is established) already
+    /// permits a stale read here.
     #[inline]
     pub fn has_subscribers(&self) -> bool {
-        self.inner.subscribers.load(Ordering::Acquire) != 0
+        self.inner.subscribers.load(Ordering::Relaxed) != 0
     }
 
     /// Publishes an event. Never blocks. Returns `true` if the event
     /// entered the ring (i.e. somebody was subscribed to receive it).
     ///
-    /// With zero subscribers this is a counter bump and an atomic load —
-    /// the event is dropped without taking the lock. A subscriber that
-    /// races `subscribe` against this check may miss the event; a
-    /// subscription only guarantees events published after it is
-    /// established.
+    /// With zero subscribers this is a single relaxed load — the event
+    /// is dropped without taking the lock and without touching any
+    /// counter, so concurrent publishers never contend on a shared
+    /// cache line. A subscriber that races `subscribe` against this
+    /// check may miss the event; a subscription only guarantees events
+    /// published after it is established.
     pub fn publish(&self, event: E) -> bool {
-        self.inner.published.fetch_add(1, Ordering::Relaxed);
         if !self.has_subscribers() {
             return false;
         }
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
         {
             let mut ring = self.inner.ring.lock().expect("event-bus ring poisoned");
             if ring.buf.len() == self.inner.capacity {
@@ -241,7 +250,9 @@ mod tests {
         let bus: EventBus<u32> = EventBus::new(8);
         assert!(!bus.publish(1));
         let stats = bus.stats();
-        assert_eq!(stats.published, 1);
+        // The dropped publish leaves no counter trace: the unsubscribed
+        // fast path is a single relaxed load, no read-modify-write.
+        assert_eq!(stats.published, 0);
         assert_eq!(stats.depth, 0);
         assert_eq!(stats.subscribers, 0);
     }

@@ -24,6 +24,13 @@
 //!   [`BatchReceipt`] reporting tuples accepted and factor updates
 //!   applied, and failures are typed [`SnsError`]s carrying how far the
 //!   batch got;
+//! - the command pipeline is **zero-alloc and coalescing** at steady
+//!   state: batch buffers recycle through a per-shard freelist
+//!   (sessions take on submit, the worker returns on ack), and a shard
+//!   worker drains every consecutively queued batch for a stream in
+//!   one channel acquisition, driving them through a single engine
+//!   call — bitwise-identical to per-batch execution because the
+//!   per-tuple update sequence is untouched;
 //! - a live stream can **migrate**: [`StreamSession::snapshot`] captures
 //!   the complete engine state ([`EngineSnapshot`]) and
 //!   [`EnginePool::restore`] resumes it on any shard (or another pool),
@@ -273,6 +280,58 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "unknown panic payload".to_string())
 }
 
+/// Per-shard freelist of recycled batch tuple buffers.
+///
+/// A session `take`s a buffer to carry a batch's tuples to its shard
+/// worker; the worker `put`s the buffer back once the batch has been
+/// acknowledged and journaled (batches diverted to the dead-letter
+/// queue keep their buffer — the letter owns those tuples). At steady
+/// state pooled ingest therefore cycles a small set of allocations
+/// instead of allocating a fresh `Vec` per batch; `bench resources
+/// --pooled` measures the resulting allocs/event.
+///
+/// Buffers are cleared on `put`, so a recycled buffer can never leak
+/// one stream's tuples into another stream's batch, and the freelist
+/// is bounded so a burst cannot pin memory. The mutex is leaf-level:
+/// `take`/`put` are O(1) under the lock and never run while another
+/// lock is held.
+#[derive(Clone)]
+struct BufferPool {
+    inner: Arc<Mutex<Vec<Vec<StreamTuple>>>>,
+}
+
+impl BufferPool {
+    /// Freelist bound: deeper than any queue's worth of in-flight
+    /// batches needs, small enough that a burst's buffers are released.
+    const MAX_POOLED: usize = 64;
+
+    fn new() -> Self {
+        BufferPool { inner: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// A buffer holding a copy of `tuples` — a recycled allocation when
+    /// one is pooled (and large enough from past use), fresh otherwise.
+    fn take(&self, tuples: &[StreamTuple]) -> Vec<StreamTuple> {
+        let mut buf =
+            self.inner.lock().expect("buffer freelist poisoned").pop().unwrap_or_default();
+        debug_assert!(buf.is_empty(), "pooled buffer not cleared on put");
+        buf.extend_from_slice(tuples);
+        buf
+    }
+
+    /// Returns a buffer to the freelist, cleared.
+    fn put(&self, mut buf: Vec<StreamTuple>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.inner.lock().expect("buffer freelist poisoned");
+        if pool.len() < Self::MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+}
+
 struct StreamSlot {
     name: String,
     /// Session epoch: commands from a replaced (stale) session carry an
@@ -405,6 +464,7 @@ fn apply_batch(
     ops: &PoolOps,
     policy: QuarantinePolicy,
     journal: Option<&Arc<dyn BatchJournal>>,
+    buffers: &BufferPool,
     shard: usize,
     s: &mut StreamSlot,
     id: u64,
@@ -420,6 +480,7 @@ fn apply_batch(
     }
     let Some(engine) = s.engine.as_mut() else {
         let err = s.error.clone().unwrap_or(SnsError::StreamClosed { stream_id: id });
+        buffers.put(tuples);
         s.acknowledge(id, ticket, Err(err));
         return;
     };
@@ -451,6 +512,7 @@ fn apply_batch(
                 QuarantinedOp::Ingest => JournalOp::Ingest(&tuples),
             };
             journal_op(ops, journal, s, shard, id, ticket, jop);
+            buffers.put(tuples);
         }
         Ok(Err(e)) => {
             s.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -464,6 +526,7 @@ fn apply_batch(
                 QuarantinedOp::Ingest => JournalOp::Ingest(&tuples),
             };
             journal_op(ops, journal, s, shard, id, ticket, jop);
+            buffers.put(tuples);
         }
         Err(payload) => {
             ops.metrics().shard(shard).panics.fetch_add(1, Ordering::Relaxed);
@@ -485,6 +548,190 @@ fn apply_batch(
             divert_to_dlq(ops, s, shard, id, ticket, op, tuples, e.clone());
             s.acknowledge(id, ticket, Err(e));
         }
+    }
+}
+
+/// Applies a coalesced run of ingest batches ("segments") for one
+/// stream in a single engine acquisition.
+///
+/// Observable behavior is identical to driving each segment through
+/// [`apply_batch`] in submission order: every segment still runs the
+/// engine's own per-tuple `ingest_all` path, so update order — and the
+/// RNG draw order the `_RND` families depend on — is untouched and the
+/// results stay **bitwise** equal to per-batch (and to serial)
+/// execution. What the grouping amortizes is the per-batch overhead:
+/// one rollback snapshot, one anomaly probe per segment instead of a
+/// snapshot per segment, one stream-metrics flush, and one slot lookup
+/// per group.
+///
+/// Panic recovery preserves the serial contract exactly: a panic at
+/// segment `k` rolls the engine back to the group's pre-state and
+/// deterministically re-applies the `k` completed segments (engines
+/// are deterministic, so this reconstructs bitwise the state serial
+/// per-batch execution would have left), then quarantines the stream,
+/// diverts the panicking segment to the DLQ, and diverts/fails the
+/// remainder with the same per-segment errors serial execution
+/// produces.
+#[allow(clippy::too_many_arguments)]
+fn apply_ingest_group(
+    ops: &PoolOps,
+    policy: QuarantinePolicy,
+    journal: Option<&Arc<dyn BatchJournal>>,
+    buffers: &BufferPool,
+    shard: usize,
+    s: &mut StreamSlot,
+    id: u64,
+    group: &mut Vec<(u64, Vec<StreamTuple>)>,
+) {
+    if s.quarantined {
+        for (ticket, tuples) in group.drain(..) {
+            let err =
+                SnsError::StreamQuarantined { stream_id: id, pending: ops.dlq().pending(id) + 1 };
+            divert_to_dlq(ops, s, shard, id, ticket, QuarantinedOp::Ingest, tuples, err.clone());
+            s.acknowledge(id, ticket, Err(err));
+        }
+        return;
+    }
+    let Some(engine) = s.engine.as_mut() else {
+        let err = s.error.clone().unwrap_or(SnsError::StreamClosed { stream_id: id });
+        for (ticket, tuples) in group.drain(..) {
+            buffers.put(tuples);
+            s.acknowledge(id, ticket, Err(err.clone()));
+        }
+        return;
+    };
+    let pre = match policy {
+        QuarantinePolicy::Rollback => engine.snapshot().ok(),
+        QuarantinePolicy::Disabled => None,
+    };
+    // Drive every segment inside one panic guard, collecting each
+    // outcome plus the post-segment anomaly counter (read per segment
+    // so edge-triggered AnomalyFlagged events match serial execution).
+    let mut outcomes: Vec<(Result<BatchOutcome, SnsError>, Option<u64>)> =
+        Vec::with_capacity(group.len());
+    let panic_payload = {
+        let outcomes = &mut outcomes;
+        catch_unwind(AssertUnwindSafe(|| {
+            for (_, tuples) in group.iter() {
+                let r = engine.ingest_all(tuples);
+                let flagged = engine.anomalies().map(|a| a.flagged);
+                outcomes.push((r, flagged));
+            }
+        }))
+        .err()
+    };
+    let completed = outcomes.len();
+    let panic_err = panic_payload.map(|payload| {
+        ops.metrics().shard(shard).panics.fetch_add(1, Ordering::Relaxed);
+        let e = SnsError::EnginePanicked { stream_id: id, message: panic_message(payload) };
+        // Roll back to the group's pre-state and re-apply the completed
+        // prefix before its buffers are journaled and recycled below.
+        match pre.and_then(|state| state.into_engine().ok()) {
+            Some(mut rolled_back) => {
+                let replay = catch_unwind(AssertUnwindSafe(|| {
+                    for (_, tuples) in &group[..completed] {
+                        // Outcomes (including typed errors and their
+                        // accepted prefixes) are deterministic; results
+                        // were captured above and are re-produced, not
+                        // re-reported.
+                        let _ = rolled_back.ingest_all(tuples);
+                    }
+                }));
+                match replay {
+                    Ok(()) => {
+                        s.engine = Some(rolled_back);
+                        s.quarantined = true;
+                    }
+                    // A replay of batches that just succeeded cannot
+                    // panic on a deterministic engine; if it somehow
+                    // does, the state is untrustworthy — go dark.
+                    Err(_) => s.engine = None,
+                }
+            }
+            // No pre-group capture: the engine state is no longer
+            // trustworthy and the slot goes dark.
+            None => s.engine = None,
+        }
+        e
+    });
+    // Per-segment post-processing, in ticket order — acks, journal
+    // entries, and first-error recording exactly as per-batch execution
+    // produces them; the counter deltas are flushed once at the end.
+    let mut batches = 0u64;
+    let mut tuples_total = 0u64;
+    let mut updates = 0u64;
+    let mut errors = 0u64;
+    let mut segments = group.drain(..);
+    for ((outcome, flagged), (ticket, tuples)) in outcomes.into_iter().zip(&mut segments) {
+        match outcome {
+            Ok(outcome) => {
+                batches += 1;
+                tuples_total += outcome.accepted as u64;
+                updates += outcome.updates;
+                if let Some(flagged) = flagged.filter(|&f| f > s.last_flagged) {
+                    s.last_flagged = flagged;
+                    if ops.bus().has_subscribers() {
+                        ops.bus().publish(PoolEvent::AnomalyFlagged {
+                            stream_id: id,
+                            shard,
+                            flagged,
+                        });
+                    }
+                }
+                s.acknowledge(id, ticket, Ok(outcome));
+                journal_op(ops, journal, s, shard, id, ticket, JournalOp::Ingest(&tuples));
+                buffers.put(tuples);
+            }
+            Err(e) => {
+                errors += 1;
+                s.error.get_or_insert(e.clone());
+                s.acknowledge(id, ticket, Err(e));
+                // Journaled in full: the accepted prefix is what a
+                // deterministic replay of the same tuples reproduces.
+                journal_op(ops, journal, s, shard, id, ticket, JournalOp::Ingest(&tuples));
+                buffers.put(tuples);
+            }
+        }
+    }
+    if let (Some(e), Some((ticket, tuples))) = (panic_err, segments.next()) {
+        errors += 1;
+        s.error.get_or_insert(e.clone());
+        divert_to_dlq(ops, s, shard, id, ticket, QuarantinedOp::Ingest, tuples, e.clone());
+        s.acknowledge(id, ticket, Err(e));
+        for (ticket, tuples) in segments {
+            if s.quarantined {
+                let err = SnsError::StreamQuarantined {
+                    stream_id: id,
+                    pending: ops.dlq().pending(id) + 1,
+                };
+                divert_to_dlq(
+                    ops,
+                    s,
+                    shard,
+                    id,
+                    ticket,
+                    QuarantinedOp::Ingest,
+                    tuples,
+                    err.clone(),
+                );
+                s.acknowledge(id, ticket, Err(err));
+            } else {
+                // The slot went dark (no rollback capture): no divert,
+                // the recorded error is the acknowledgment — exactly
+                // the per-batch darkened-slot path.
+                let err = s.error.clone().unwrap_or(SnsError::StreamClosed { stream_id: id });
+                buffers.put(tuples);
+                s.acknowledge(id, ticket, Err(err));
+            }
+        }
+    }
+    if batches > 0 {
+        s.metrics.batches.fetch_add(batches, Ordering::Relaxed);
+        s.metrics.tuples.fetch_add(tuples_total, Ordering::Relaxed);
+        s.metrics.updates.fetch_add(updates, Ordering::Relaxed);
+    }
+    if errors > 0 {
+        s.metrics.errors.fetch_add(errors, Ordering::Relaxed);
     }
 }
 
@@ -525,6 +772,7 @@ fn worker_loop(
     ops: PoolOps,
     policy: QuarantinePolicy,
     journal: Option<Arc<dyn BatchJournal>>,
+    buffers: BufferPool,
 ) {
     let mut slots: HashMap<u64, StreamSlot> = HashMap::new();
     // Commands from a replaced session (stale token) are dropped: the
@@ -533,10 +781,22 @@ fn worker_loop(
     fn live(slots: &mut HashMap<u64, StreamSlot>, id: u64, token: u64) -> Option<&mut StreamSlot> {
         slots.get_mut(&id).filter(|s| s.token == token)
     }
-    while let Ok(cmd) = rx.recv() {
-        let shard_metrics = ops.metrics().shard(shard);
-        shard_metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        shard_metrics.commands.fetch_add(1, Ordering::Relaxed);
+    // A command pulled while coalescing an ingest group that belongs to
+    // a different stream/kind; processed (already counted) next turn.
+    let mut carry: Option<Command> = None;
+    // Reusable (ticket, tuples) scratch for coalesced ingest groups.
+    let mut group: Vec<(u64, Vec<StreamTuple>)> = Vec::new();
+    loop {
+        let cmd = match carry.take() {
+            Some(cmd) => cmd,
+            None => {
+                let Ok(cmd) = rx.recv() else { break };
+                let shard_metrics = ops.metrics().shard(shard);
+                shard_metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                shard_metrics.commands.fetch_add(1, Ordering::Relaxed);
+                cmd
+            }
+        };
         match cmd {
             Command::Open { id, token, ticket, seed, spec, replies } => {
                 let effective = spec.effective_seed(seed);
@@ -625,6 +885,7 @@ fn worker_loop(
                         &ops,
                         policy,
                         j,
+                        &buffers,
                         shard,
                         s,
                         id,
@@ -632,6 +893,8 @@ fn worker_loop(
                         QuarantinedOp::Prefill,
                         tuples,
                     );
+                } else {
+                    buffers.put(tuples);
                 }
             }
             Command::WarmStart { id, token, ticket, opts } => {
@@ -662,19 +925,48 @@ fn worker_loop(
                 }
             }
             Command::Ingest { id, token, ticket, tuples } => {
+                // Coalesce: drain every already-queued consecutive
+                // ingest for the same session in this one channel
+                // acquisition run and drive them as a single group —
+                // one slot lookup, one rollback snapshot, one metrics
+                // flush. The first command for a different stream (or
+                // of a different kind) is carried into the next loop
+                // turn, preserving global submission order. Per-tuple
+                // update order inside the engine is untouched, so
+                // results stay bitwise identical to per-batch
+                // execution (see `apply_ingest_group`).
+                group.clear();
+                group.push((ticket, tuples));
+                let mut drained = 0u64;
+                while carry.is_none() {
+                    match rx.try_recv() {
+                        Ok(Command::Ingest { id: i2, token: t2, ticket: k2, tuples: u2 })
+                            if i2 == id && t2 == token =>
+                        {
+                            drained += 1;
+                            group.push((k2, u2));
+                        }
+                        Ok(other) => {
+                            drained += 1;
+                            carry = Some(other);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if drained > 0 {
+                    let shard_metrics = ops.metrics().shard(shard);
+                    shard_metrics.queue_depth.fetch_sub(drained as i64, Ordering::Relaxed);
+                    shard_metrics.commands.fetch_add(drained, Ordering::Relaxed);
+                }
+                ops.metrics().shard(shard).ingest_groups.fetch_add(1, Ordering::Relaxed);
                 if let Some(s) = live(&mut slots, id, token) {
                     let j = journal.as_ref();
-                    apply_batch(
-                        &ops,
-                        policy,
-                        j,
-                        shard,
-                        s,
-                        id,
-                        ticket,
-                        QuarantinedOp::Ingest,
-                        tuples,
-                    );
+                    apply_ingest_group(&ops, policy, j, &buffers, shard, s, id, &mut group);
+                } else {
+                    // Stale session: drop the batches, recycle buffers.
+                    for (_, buf) in group.drain(..) {
+                        buffers.put(buf);
+                    }
                 }
             }
             Command::AdvanceTo { id, token, ticket, t } => {
@@ -792,6 +1084,9 @@ pub struct EnginePool {
     queue_depth: usize,
     next_token: AtomicU64,
     ops: PoolOps,
+    /// Per-shard freelists of recycled batch buffers; sessions take
+    /// from their shard's freelist, the worker returns on ack.
+    buffer_pools: Vec<BufferPool>,
     /// Which shard currently owns each stream id, if any. The outer lock
     /// only guards map shape (get-or-insert of a cell) and is never held
     /// across a channel send; the per-stream cell serializes
@@ -809,17 +1104,21 @@ impl EnginePool {
         let ops = PoolOps::new(shards, queue_depth, cfg.bus_capacity.max(1));
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
+        let mut buffer_pools = Vec::with_capacity(shards);
         for i in 0..shards {
             let (tx, rx) = sync_channel::<Command>(queue_depth);
             let worker_ops = ops.clone();
             let policy = cfg.quarantine;
             let journal = cfg.journal.clone();
+            let buffers = BufferPool::new();
+            let worker_buffers = buffers.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sns-pool-{i}"))
-                .spawn(move || worker_loop(i, rx, worker_ops, policy, journal))
+                .spawn(move || worker_loop(i, rx, worker_ops, policy, journal, worker_buffers))
                 .expect("spawn engine pool worker");
             senders.push(tx);
             workers.push(handle);
+            buffer_pools.push(buffers);
         }
         EnginePool {
             senders,
@@ -828,6 +1127,7 @@ impl EnginePool {
             queue_depth,
             next_token: AtomicU64::new(0),
             ops,
+            buffer_pools,
             owners: Mutex::new(HashMap::new()),
         }
     }
@@ -961,6 +1261,7 @@ impl EnginePool {
             closed: false,
             ops: self.ops.clone(),
             metrics,
+            buffers: self.buffer_pools[shard].clone(),
             pending_at: VecDeque::new(),
         };
         match session.wait_for(0)? {
@@ -1126,6 +1427,9 @@ pub struct StreamSession {
     ops: PoolOps,
     /// This stream's metrics handle (latency histogram, replay counter).
     metrics: Arc<StreamMetrics>,
+    /// The shard's batch-buffer freelist: batch submissions reuse
+    /// acknowledged batches' allocations instead of allocating.
+    buffers: BufferPool,
     /// Enqueue timestamps of outstanding receipt-bearing commands, in
     /// ticket order; receipts are stamped with `enqueue → pull` latency.
     pending_at: VecDeque<(u64, Instant)>,
@@ -1270,7 +1574,7 @@ impl StreamSession {
             id: self.stream_id,
             token: self.token,
             ticket,
-            tuples: tuples.to_vec(),
+            tuples: self.buffers.take(tuples),
         };
         self.submit_timed(ticket, cmd)?;
         self.await_receipt(ticket)
@@ -1300,7 +1604,7 @@ impl StreamSession {
             id: self.stream_id,
             token: self.token,
             ticket,
-            tuples: tuples.to_vec(),
+            tuples: self.buffers.take(tuples),
         };
         self.submit_timed(ticket, cmd)?;
         self.await_receipt(ticket)
@@ -1317,7 +1621,7 @@ impl StreamSession {
             id: self.stream_id,
             token: self.token,
             ticket,
-            tuples: tuples.to_vec(),
+            tuples: self.buffers.take(tuples),
         };
         match self.tx.try_send(cmd) {
             Ok(()) => {
@@ -1327,12 +1631,19 @@ impl StreamSession {
                 self.unclaimed += 1;
                 Ok(ticket)
             }
-            Err(TrySendError::Full(_)) => Err(SnsError::Backpressure {
-                stream_id: self.stream_id,
-                shard: self.shard,
-                depth: self.ops.metrics().shard(self.shard).depth(),
-                capacity: self.queue_depth,
-            }),
+            Err(TrySendError::Full(cmd)) => {
+                // Nothing was enqueued: recover the batch's buffer so a
+                // backpressure storm doesn't bleed allocations.
+                if let Command::Ingest { tuples, .. } = cmd {
+                    self.buffers.put(tuples);
+                }
+                Err(SnsError::Backpressure {
+                    stream_id: self.stream_id,
+                    shard: self.shard,
+                    depth: self.ops.metrics().shard(self.shard).depth(),
+                    capacity: self.queue_depth,
+                })
+            }
             Err(TrySendError::Disconnected(_)) => Err(self.closed_err()),
         }
     }
@@ -1548,6 +1859,28 @@ mod tests {
         (0..120u64)
             .map(|t| StreamTuple::new([((t + id) % 4) as u32, ((t * 3 + id) % 3) as u32], 1.0, t))
             .collect()
+    }
+
+    #[test]
+    fn batch_buffers_recycle_cleared_and_bounded() {
+        let freelist = BufferPool::new();
+        let tuples = tuples_for(1);
+        let buf = freelist.take(&tuples[..8]);
+        assert_eq!(buf.len(), 8);
+        let cap = buf.capacity();
+        freelist.put(buf);
+        // Recycled allocation, contents fully replaced — no stale tuples.
+        let again = freelist.take(&tuples[..2]);
+        assert_eq!(again.capacity(), cap, "allocation not recycled");
+        assert_eq!(again.as_slice(), &tuples[..2]);
+        // Capacity-0 buffers are not worth pooling.
+        freelist.put(Vec::new());
+        assert!(freelist.inner.lock().unwrap().is_empty());
+        // A burst cannot pin unbounded memory in the freelist.
+        for _ in 0..(2 * BufferPool::MAX_POOLED) {
+            freelist.put(Vec::with_capacity(4));
+        }
+        assert_eq!(freelist.inner.lock().unwrap().len(), BufferPool::MAX_POOLED);
     }
 
     #[test]

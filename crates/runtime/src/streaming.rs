@@ -97,6 +97,20 @@ pub trait StreamingCpd {
     /// per-tuple loop; engines with a cheaper batch path (e.g.
     /// [`SnsEngine`]) override it to amortize per-tuple dispatch.
     ///
+    /// # Composition invariant
+    /// `ingest_all(a)` then `ingest_all(b)` must be bitwise equivalent
+    /// to `ingest_all(a ++ b)`: batching is a dispatch amortization,
+    /// never a numeric transformation. The pool's worker-side batch
+    /// coalescing (`EnginePool`) relies on this to fuse queued batches
+    /// into one engine call. Implementations must therefore keep the
+    /// per-tuple update sequence — and with it any RNG draw order (the
+    /// `_RND` families sample per update) — independent of batch
+    /// boundaries. In particular, tuples landing in the same window
+    /// unit must **not** be pre-accumulated into one delta before the
+    /// factor update: float addition is non-associative and the
+    /// updaters read the window mid-batch, so any such fusion would
+    /// break bitwise reproducibility.
+    ///
     /// # Errors
     /// Short-circuits at the first failing tuple with
     /// [`SnsError::BatchAborted`] carrying the accepted-tuple count and

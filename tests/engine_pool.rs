@@ -414,6 +414,176 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Worker-side batch coalescing (PR 10) must be invisible: a
+    /// pipelined run keeps many batches queued ahead of the worker, so
+    /// it drains and coalesces an arbitrary, scheduling-dependent
+    /// number of them per group — and the result must stay bitwise
+    /// identical to serial per-tuple ingestion for every engine
+    /// family, including the RNG-draw-order-sensitive SNS_RND /
+    /// SNS⁺_RND (coalescing must not reorder or fuse sampling draws).
+    #[test]
+    fn pipelined_coalesced_ingest_equals_serial_per_tuple(
+        case_seed in 0u64..1_000,
+        batch in 1usize..40,
+        shards in 1usize..4,
+        family in 0usize..6,
+    ) {
+        let id = case_seed;
+        let config = SnsConfig { rank: 3, theta: 10, ..Default::default() };
+        let spec = match family {
+            0 => EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::Vec, &config),
+            1 => EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::Rnd, &config),
+            2 => EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::PlusVec, &config),
+            3 => EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::PlusRnd, &config),
+            4 => EngineSpec::sns(&BASE_DIMS, W, T, AlgorithmKind::Mat, &config),
+            _ => EngineSpec::baseline(&BASE_DIMS, W, T, 3, BaselineKind::OnlineScp),
+        };
+        // SNS_MAT runs a full ALS sweep per event; keep its case short.
+        let events = if family == 4 { 100 } else { 300 };
+        let tuples = generate(&GeneratorConfig {
+            base_dims: BASE_DIMS.to_vec(),
+            n_components: 2,
+            events,
+            duration: 4 * W as u64 * T,
+            day_ticks: 40,
+            seed: 0x5eed0 + case_seed,
+            ..Default::default()
+        });
+
+        // Serial per-tuple reference with the pool's derived seed.
+        let mut engine = spec.clone().build(stream_seed(BASE_SEED, id));
+        for tu in &tuples {
+            engine.ingest(*tu).unwrap();
+        }
+        let expected = (engine.fitness().to_bits(), engine.updates_applied());
+
+        // Pipelined pooled run: stack submissions ahead of the worker.
+        let pool = EnginePool::new(PoolConfig {
+            shards,
+            base_seed: BASE_SEED,
+            queue_depth: 32,
+            ..Default::default()
+        });
+        let mut session = pool.open(id, spec).unwrap();
+        for chunk in tuples.chunks(batch) {
+            loop {
+                match session.try_ingest_batch(chunk) {
+                    Ok(_) => break,
+                    Err(SnsError::Backpressure { .. }) => {
+                        // Free one slot but keep the queue deep so the
+                        // worker keeps finding batches to coalesce.
+                        if let Some(r) = session.recv_receipt() {
+                            let _ = r.unwrap();
+                        }
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }
+        while let Some(r) = session.recv_receipt() {
+            let _ = r.unwrap();
+        }
+        let report = session.report().unwrap();
+        prop_assert_eq!(report.error, None);
+        prop_assert_eq!(
+            (report.fitness.to_bits(), report.updates_applied),
+            expected,
+            "family {} diverged from serial under coalescing",
+            family
+        );
+        drop(session);
+        pool.join();
+    }
+
+    /// Recycled batch buffers (PR 10 freelist) must never leak tuples
+    /// across streams: two streams of different engine families share
+    /// one shard — hence one buffer freelist — with interleaved
+    /// pipelined batches of different sizes, so every submission reuses
+    /// a buffer the *other* stream just released. Both must still match
+    /// their serial references bitwise.
+    #[test]
+    fn recycled_buffers_never_leak_tuples_across_streams(
+        case_seed in 0u64..1_000,
+        batch_a in 1usize..30,
+        batch_b in 1usize..30,
+    ) {
+        let ids = [2 * case_seed, 2 * case_seed + 1]; // SNS⁺_RND + OnlineSCP
+        let streams: Vec<Vec<StreamTuple>> = ids
+            .iter()
+            .map(|&id| {
+                generate(&GeneratorConfig {
+                    base_dims: BASE_DIMS.to_vec(),
+                    n_components: 2,
+                    events: 300,
+                    duration: 4 * W as u64 * T,
+                    day_ticks: 40,
+                    seed: 0x1ee7 + id,
+                    ..Default::default()
+                })
+            })
+            .collect();
+
+        let serial: Vec<(u64, u64)> = ids
+            .iter()
+            .zip(&streams)
+            .map(|(&id, tuples)| {
+                let mut engine = tenant_spec(id).build(stream_seed(BASE_SEED, id));
+                for tu in tuples {
+                    engine.ingest(*tu).unwrap();
+                }
+                (engine.fitness().to_bits(), engine.updates_applied())
+            })
+            .collect();
+
+        let pool = EnginePool::new(PoolConfig {
+            shards: 1, // both streams on one worker: shared freelist
+            base_seed: BASE_SEED,
+            queue_depth: 16,
+            ..Default::default()
+        });
+        let mut sessions: Vec<StreamSession> =
+            ids.iter().map(|&id| pool.open(id, tenant_spec(id)).unwrap()).collect();
+        let batches = [batch_a, batch_b];
+        let mut offs = [0usize, 0];
+        while offs[0] < streams[0].len() || offs[1] < streams[1].len() {
+            for k in 0..2 {
+                if offs[k] >= streams[k].len() {
+                    continue;
+                }
+                let hi = (offs[k] + batches[k]).min(streams[k].len());
+                match sessions[k].try_ingest_batch(&streams[k][offs[k]..hi]) {
+                    Ok(_) => offs[k] = hi,
+                    Err(SnsError::Backpressure { .. }) => {
+                        if let Some(r) = sessions[k].recv_receipt() {
+                            let _ = r.unwrap();
+                        }
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }
+        for (session, &(fitness, updates)) in sessions.iter_mut().zip(&serial) {
+            while let Some(r) = session.recv_receipt() {
+                let _ = r.unwrap();
+            }
+            let report = session.report().unwrap();
+            prop_assert_eq!(report.error, None);
+            prop_assert_eq!(
+                report.fitness.to_bits(),
+                fitness,
+                "stream {} fitness corrupted by a recycled buffer",
+                report.stream_id
+            );
+            prop_assert_eq!(report.updates_applied, updates);
+        }
+        drop(sessions);
+        pool.join();
+    }
+}
+
 /// A producer thread hammering a deliberately slow shard (SNS_MAT: one
 /// full ALS sweep per event) through a depth-2 queue must neither
 /// deadlock nor drop batches: blocking submits apply flow control,
